@@ -1,0 +1,78 @@
+"""Figure 1 reproduction: MRBC execution time and rounds vs batch size k
+on the large graphs at the scaled "256-host" configuration.
+
+Paper shapes: increasing k always reduces rounds; it speeds up the
+high-diameter web-crawls (gsh15 1.2×, clueweb12 2.2× from the smallest to
+the largest batch) but barely helps — or slightly hurts — the trivial-
+diameter kron30 (1.0×), because the round reduction is tied to the
+estimated diameter (Lemma 8) while the per-round data-structure cost grows
+with k.
+"""
+
+import pytest
+
+from repro.graph.suite import suite_names
+
+from conftest import COLLECTOR, FIG1_BATCHES, LARGE_HOSTS, run_mrbc, simulated, sources_for
+
+HEADERS = ["graph", "k (batch)", "rounds", "rounds/src", "exec time (s)"]
+
+_times: dict[tuple[str, int], float] = {}
+_rounds: dict[tuple[str, int], int] = {}
+
+
+@pytest.mark.parametrize("name", suite_names("large"))
+@pytest.mark.parametrize("k", FIG1_BATCHES)
+def test_fig1_point(name, k, benchmark):
+    res = benchmark.pedantic(
+        lambda: run_mrbc(name, LARGE_HOSTS, batch_size=k), rounds=1, iterations=1
+    )
+    t = simulated(res.run, LARGE_HOSTS).total
+    _times[(name, k)] = t
+    _rounds[(name, k)] = res.total_rounds
+    benchmark.extra_info.update(
+        simulated_time=t, rounds=res.total_rounds, batch=k
+    )
+    COLLECTOR.add(
+        "Figure 1: MRBC execution time and rounds vs batch size",
+        HEADERS,
+        [name, k, res.total_rounds, f"{res.rounds_per_source():.1f}", f"{t:.4f}"],
+    )
+
+
+@pytest.mark.parametrize("name", suite_names("large"))
+def test_fig1_rounds_monotone_in_k(name, benchmark):
+    """Larger batches always execute fewer total rounds (Lemma 8)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for k in FIG1_BATCHES:
+        if (name, k) not in _rounds:
+            run = run_mrbc(name, LARGE_HOSTS, batch_size=k)
+            _rounds[(name, k)] = run.total_rounds
+            _times[(name, k)] = simulated(run.run, LARGE_HOSTS).total
+    rounds = [_rounds[(name, k)] for k in FIG1_BATCHES]
+    assert rounds == sorted(rounds, reverse=True)
+    assert rounds[0] > rounds[-1]
+
+
+def test_fig1_speedup_pattern(benchmark):
+    """Batch-size speedup (smallest k → largest k) grows with diameter:
+    the web-crawls must benefit more than kron30."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lo, hi = FIG1_BATCHES[0], FIG1_BATCHES[-1]
+    speedup = {
+        name: _times[(name, lo)] / _times[(name, hi)]
+        for name in suite_names("large")
+    }
+    assert speedup["clueweb12"] > speedup["kron30"]
+    assert speedup["gsh15"] > 0.9  # batching never catastrophically hurts
+    COLLECTOR.add(
+        "Figure 1: MRBC execution time and rounds vs batch size",
+        HEADERS,
+        [
+            "speedup k%d->k%d" % (lo, hi),
+            "",
+            "",
+            "",
+            ", ".join(f"{n}: {s:.2f}x" for n, s in speedup.items()),
+        ],
+    )

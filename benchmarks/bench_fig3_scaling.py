@@ -1,0 +1,85 @@
+"""Figure 3 reproduction: strong scaling of SBBC and MRBC on the large
+graphs across the scaled 64 → 128 → 256 host ladder (here 4 → 8 → 16).
+
+Paper shapes: MRBC scales better than SBBC — mean self-relative speedup on
+the largest host count over the smallest is 2.7× for MRBC vs 1.5× for
+SBBC — because the benefit of reducing rounds grows with the number of
+hosts (barrier and straggler costs grow with the cluster).
+"""
+
+import pytest
+
+from repro.analysis.reporting import geometric_mean
+from repro.graph.suite import suite_names
+
+from conftest import COLLECTOR, SCALING_HOSTS, run_mrbc, run_sbbc, simulated
+
+HEADERS = ["graph", "algo", "hosts", "exec (s)", "comp (s)", "comm (s)"]
+
+_exec: dict[tuple[str, str, int], float] = {}
+
+
+def _measure(name: str, H: int) -> None:
+    for algo, run_fn in (("SBBC", run_sbbc), ("MRBC", run_mrbc)):
+        t = simulated(run_fn(name, H).run, H)
+        _exec[(name, algo, H)] = t.total
+        COLLECTOR.add(
+            "Figure 3: strong scaling on large graphs",
+            HEADERS,
+            [
+                name,
+                algo,
+                H,
+                f"{t.total:.4f}",
+                f"{t.computation:.4f}",
+                f"{t.communication:.4f}",
+            ],
+        )
+
+
+@pytest.mark.parametrize("name", suite_names("large"))
+@pytest.mark.parametrize("H", SCALING_HOSTS)
+def test_fig3_point(name, H, benchmark):
+    benchmark.pedantic(lambda: _measure(name, H), rounds=1, iterations=1)
+    assert _exec[(name, "MRBC", H)] > 0
+
+
+@pytest.mark.parametrize("name", suite_names("large"))
+def test_fig3_mrbc_scales_no_worse(name, benchmark):
+    """MRBC's self-relative speedup (smallest → largest hosts) must be at
+    least SBBC's on every large graph."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for H in SCALING_HOSTS:
+        if (name, "MRBC", H) not in _exec:
+            _measure(name, H)
+    lo, hi = SCALING_HOSTS[0], SCALING_HOSTS[-1]
+    mr = _exec[(name, "MRBC", lo)] / _exec[(name, "MRBC", hi)]
+    sb = _exec[(name, "SBBC", lo)] / _exec[(name, "SBBC", hi)]
+    assert mr >= sb * 0.9, (mr, sb)
+
+
+def test_fig3_mean_speedups(benchmark):
+    """Mean self-relative speedup: MRBC's must exceed SBBC's (paper: 2.7×
+    vs 1.5×)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lo, hi = SCALING_HOSTS[0], SCALING_HOSTS[-1]
+    names = suite_names("large")
+    mr = geometric_mean(
+        [_exec[(n, "MRBC", lo)] / _exec[(n, "MRBC", hi)] for n in names]
+    )
+    sb = geometric_mean(
+        [_exec[(n, "SBBC", lo)] / _exec[(n, "SBBC", hi)] for n in names]
+    )
+    assert mr > sb
+    COLLECTOR.add(
+        "Figure 3: strong scaling on large graphs",
+        HEADERS,
+        [
+            "GEOMEAN self-speedup",
+            f"MRBC {mr:.2f}x",
+            f"SBBC {sb:.2f}x",
+            "",
+            "",
+            "",
+        ],
+    )

@@ -1,0 +1,101 @@
+"""Table 1 reproduction: rounds per source (SBBC vs MRBC) and load
+imbalance at scale, for every suite input.
+
+Paper numbers (per source): SBBC 6.0-42,346 rounds depending on diameter;
+MRBC 1.0-1,411; mean reduction 14.0×.  The shape to reproduce: MRBC's
+round count is dramatically lower, with the gap growing with the graph's
+estimated diameter.
+"""
+
+import pytest
+
+from repro.graph.properties import estimate_diameter, graph_properties
+from repro.graph.suite import SUITE, load_suite_graph, suite_names
+
+from conftest import (
+    COLLECTOR,
+    batch_for,
+    hosts_for,
+    run_mrbc,
+    run_sbbc,
+    sources_for,
+)
+
+HEADERS = [
+    "graph",
+    "|V|",
+    "|E|",
+    "sources",
+    "est.diam",
+    "SBBC rounds/src",
+    "MRBC rounds/src",
+    "reduction",
+    "SBBC imbalance",
+    "MRBC imbalance",
+]
+
+
+@pytest.mark.parametrize("name", suite_names())
+def test_table1_row(name, benchmark):
+    g = load_suite_graph(name)
+    H = hosts_for(name)
+    srcs = sources_for(name)
+
+    mr = benchmark.pedantic(
+        lambda: run_mrbc(name, H, batch_for(name)), rounds=1, iterations=1
+    )
+    sb = run_sbbc(name, H)
+
+    props = graph_properties(g)
+    est_d = estimate_diameter(g, srcs[: min(8, srcs.size)])
+    sb_rps = sb.rounds_per_source()
+    mr_rps = mr.rounds_per_source()
+
+    # The paper's headline: MRBC executes fewer rounds on every input.
+    assert mr.total_rounds < sb.total_rounds, name
+    # And the reduction grows with diameter: non-trivial-diameter graphs
+    # must show a bigger factor than the most trivial one.
+    reduction = sb_rps / mr_rps
+
+    benchmark.extra_info.update(
+        sbbc_rounds_per_source=sb_rps,
+        mrbc_rounds_per_source=mr_rps,
+        reduction=reduction,
+    )
+    COLLECTOR.add(
+        "Table 1: rounds per source and load imbalance",
+        HEADERS,
+        [
+            name,
+            props.num_vertices,
+            props.num_edges,
+            srcs.size,
+            est_d,
+            f"{sb_rps:.1f}",
+            f"{mr_rps:.1f}",
+            f"{reduction:.1f}x",
+            f"{sb.run.load_imbalance():.2f}",
+            f"{mr.run.load_imbalance():.2f}",
+        ],
+    )
+
+
+def test_table1_mean_reduction(benchmark):
+    """Paper: 14.0× mean round reduction.  At our scale the mean reduction
+    across the suite must be substantial (> 3×)."""
+    from repro.analysis.reporting import geometric_mean
+
+    ratios = []
+    for name in suite_names():
+        H = hosts_for(name)
+        ratios.append(
+            run_sbbc(name, H).rounds_per_source()
+            / run_mrbc(name, H).rounds_per_source()
+        )
+    mean = benchmark.pedantic(lambda: geometric_mean(ratios), rounds=1, iterations=1)
+    assert mean > 3.0
+    COLLECTOR.add(
+        "Table 1: rounds per source and load imbalance",
+        HEADERS,
+        ["GEOMEAN", "", "", "", "", "", "", f"{mean:.1f}x", "", ""],
+    )

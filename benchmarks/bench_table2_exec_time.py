@@ -1,0 +1,148 @@
+"""Table 2 reproduction: execution time per source at the best-performing
+host count, for ABBC / MFBC / SBBC / MRBC.
+
+Paper shapes to reproduce:
+
+- ABBC wins on road networks (asynchronous, no barrier cost) but runs out
+  of memory on the largest single-host input and loses elsewhere;
+- MFBC loses to both SBBC and MRBC (MRBC 3.0× faster on average);
+- SBBC wins on trivial-diameter graphs (estimated diameter ≤ 25);
+- MRBC wins on non-trivial-diameter graphs, especially web-crawls
+  (2.1× over SBBC on the paper's crawls at 256 hosts).
+
+ABBC and MFBC are evaluated on the small inputs only, exactly as in the
+paper (§5.1: MFBC does not scale to the large graphs; ABBC is
+shared-memory only).
+"""
+
+import math
+
+import pytest
+
+from repro.baselines.abbc import abbc, abbc_simulated_time
+from repro.graph.suite import SUITE, load_suite_graph, suite_names
+
+from conftest import (
+    COLLECTOR,
+    LARGE_HOSTS,
+    SCALING_HOSTS,
+    SMALL_HOSTS,
+    batch_for,
+    run_mfbc,
+    run_mrbc,
+    run_sbbc,
+    simulated,
+    sources_for,
+)
+
+#: Single-host memory ceiling (words) for the ABBC OOM model: large enough
+#: for every small input except the friendster stand-in (the paper's ABBC
+#: similarly OOMs on its biggest shared-memory inputs).
+ABBC_MEMORY_LIMIT = 150_000
+
+HEADERS = ["graph", "ABBC (s/src)", "MFBC (s/src)", "SBBC (s/src)", "MRBC (s/src)", "winner"]
+
+_best: dict[tuple[str, str], float] = {}
+
+
+def _host_candidates(name: str) -> tuple[int, ...]:
+    return (1, SMALL_HOSTS) if SUITE[name].size_class == "small" else SCALING_HOSTS
+
+
+def _time_per_source(result, H: int, n_src: int) -> float:
+    return simulated(result.run, H).total / n_src
+
+
+def _best_time(algo: str, name: str) -> float:
+    key = (algo, name)
+    if key not in _best:
+        n_src = sources_for(name).size
+        times = []
+        for H in _host_candidates(name):
+            if algo == "sbbc":
+                times.append(_time_per_source(run_sbbc(name, H), H, n_src))
+            else:
+                times.append(_time_per_source(run_mrbc(name, H), H, n_src))
+        _best[key] = min(times)
+    return _best[key]
+
+
+@pytest.mark.parametrize("name", suite_names("small"))
+def test_table2_small(name, benchmark):
+    n_src = sources_for(name).size
+    g = load_suite_graph(name)
+
+    def compute():
+        ab = abbc(g, sources=sources_for(name), memory_limit_words=ABBC_MEMORY_LIMIT)
+        t_ab = abbc_simulated_time(ab, g) / n_src
+        mf = run_mfbc(name, SMALL_HOSTS)
+        t_mf = _time_per_source(mf, SMALL_HOSTS, n_src)
+        return t_ab, t_mf
+
+    t_ab, t_mf = benchmark.pedantic(compute, rounds=1, iterations=1)
+    t_sb = _best_time("sbbc", name)
+    t_mr = _best_time("mrbc", name)
+
+    named = {"ABBC": t_ab, "MFBC": t_mf, "SBBC": t_sb, "MRBC": t_mr}
+    winner = min(named, key=lambda k: named[k])
+
+    if name == "road-europe":
+        # Paper: ABBC substantially outperforms all BSP algorithms on
+        # road networks.
+        assert winner == "ABBC"
+    if SUITE[name].low_diameter:
+        # Paper: SBBC beats MRBC on trivial-diameter inputs.
+        assert t_sb < t_mr, name
+    # MFBC never wins (paper: MRBC is 3.0x faster than MFBC on average).
+    assert winner != "MFBC"
+
+    def fmt(t: float) -> str:
+        return "OOM" if math.isinf(t) else f"{t:.5f}"
+
+    COLLECTOR.add(
+        "Table 2: execution time per source (best host count)",
+        HEADERS,
+        [name, fmt(t_ab), fmt(t_mf), fmt(t_sb), fmt(t_mr), winner],
+    )
+
+
+@pytest.mark.parametrize("name", suite_names("large"))
+def test_table2_large(name, benchmark):
+    t_sb = benchmark.pedantic(
+        lambda: _best_time("sbbc", name), rounds=1, iterations=1
+    )
+    t_mr = _best_time("mrbc", name)
+    # Paper: MRBC is faster on all three large graphs (non-trivial
+    # diameter or equal), except kron30 where SBBC wins (diameter 9).
+    if not SUITE[name].low_diameter:
+        assert t_mr < t_sb, name
+    winner = "MRBC" if t_mr < t_sb else "SBBC"
+    COLLECTOR.add(
+        "Table 2: execution time per source (best host count)",
+        HEADERS,
+        [name, "-", "-", f"{t_sb:.5f}", f"{t_mr:.5f}", winner],
+    )
+
+
+def test_table2_webcrawl_speedup(benchmark):
+    """Paper: MRBC is 2.1× faster than SBBC for real-world web-crawls at
+    scale.  Our gsh15/clueweb12 stand-ins must show ≥ 1.5× at the scaled
+    'at scale' host count."""
+    from repro.analysis.reporting import geometric_mean
+
+    def compute():
+        ratios = []
+        for name in ("gsh15", "clueweb12"):
+            n_src = sources_for(name).size
+            t_sb = _time_per_source(run_sbbc(name, LARGE_HOSTS), LARGE_HOSTS, n_src)
+            t_mr = _time_per_source(run_mrbc(name, LARGE_HOSTS), LARGE_HOSTS, n_src)
+            ratios.append(t_sb / t_mr)
+        return geometric_mean(ratios)
+
+    speedup = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert speedup > 1.5
+    COLLECTOR.add(
+        "Table 2: execution time per source (best host count)",
+        HEADERS,
+        ["web-crawl speedup", "", "", "", "", f"MRBC {speedup:.1f}x vs SBBC"],
+    )

@@ -1,0 +1,83 @@
+"""Theory benchmark: Theorem 1 / Lemma 8 round and message counts against
+their bounds, across graph families (§3).
+
+Not a paper table per se, but the quantities Theorem 1 bounds are the
+paper's first contribution; this bench records how tight the bounds run in
+practice on each graph family (the k-SSP round bound is typically met
+within a few rounds of equality; the message bound within the fraction of
+(vertex, source) pairs actually reachable).
+"""
+
+import pytest
+
+from repro.core.mrbc_congest import directed_apsp, mrbc_congest
+from repro.core.sampling import sample_sources
+from repro.graph import generators as gen
+
+from conftest import COLLECTOR
+
+HEADERS = [
+    "family",
+    "n",
+    "m",
+    "k",
+    "rounds",
+    "bound k+H",
+    "tightness",
+    "messages",
+    "bound mk",
+]
+
+FAMILIES = {
+    "erdos-renyi": lambda: gen.erdos_renyi(300, 4.0, seed=11),
+    "rmat": lambda: gen.rmat(8, 6, seed=12),
+    "road-grid": lambda: gen.grid_road(16, 16, seed=13),
+    "web-crawl": lambda: gen.web_crawl_like(200, 120, avg_tail_len=25, seed=14),
+    "small-world": lambda: gen.small_world(250, k=3, rewire_prob=0.1, seed=15),
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_kssp_bounds(family, benchmark):
+    g = FAMILIES[family]()
+    srcs = sample_sources(g, 12, seed=16)
+
+    res = benchmark.pedantic(
+        lambda: directed_apsp(g, sources=srcs), rounds=1, iterations=1
+    )
+    H = int(res.dist.max())
+    k = srcs.size
+    bound_rounds = k + H
+    msgs = res.stats.count_for_tag("apsp")
+    bound_msgs = g.num_edges * k
+
+    assert res.last_send_round <= bound_rounds
+    assert msgs <= bound_msgs
+
+    COLLECTOR.add(
+        "Theory: Lemma 8 k-SSP bounds by graph family",
+        HEADERS,
+        [
+            family,
+            g.num_vertices,
+            g.num_edges,
+            k,
+            res.last_send_round,
+            bound_rounds,
+            f"{res.last_send_round / bound_rounds:.2f}",
+            msgs,
+            bound_msgs,
+        ],
+    )
+
+
+@pytest.mark.parametrize("family", ["erdos-renyi", "road-grid"])
+def test_bc_at_most_twice_kssp(family, benchmark):
+    """Theorem 1 part II at the full-BC level."""
+    g = FAMILIES[family]()
+    srcs = sample_sources(g, 8, seed=17)
+    res = benchmark.pedantic(
+        lambda: mrbc_congest(g, sources=srcs), rounds=1, iterations=1
+    )
+    assert res.backward_rounds <= res.forward_rounds
+    assert res.total_rounds <= 2 * res.forward_rounds

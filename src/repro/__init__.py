@@ -1,0 +1,67 @@
+"""repro — a reproduction of Min-Rounds BC (MRBC), PPoPP 2019.
+
+Hoang, Pontecorvi, Dathathri, Gill, You, Pingali, Ramachandran:
+*A Round-Efficient Distributed Betweenness Centrality Algorithm.*
+
+The library implements the paper's algorithm and every substrate it
+depends on:
+
+- :mod:`repro.graph` — CSR directed graphs, generators, the Table 1
+  test-suite stand-ins;
+- :mod:`repro.congest` — a CONGEST-model network simulator with exact
+  round/message accounting;
+- :mod:`repro.core` — MRBC itself: the CONGEST implementation
+  (Algorithms 3/4/5) and the D-Galois-style engine implementation with
+  batched sources, flat-map scheduling, and delayed synchronization;
+- :mod:`repro.engine` — the simulated D-Galois/Gluon distributed engine
+  (partitioning, proxies, reduce/broadcast with byte-exact accounting);
+- :mod:`repro.cluster` — the deterministic performance model that turns
+  engine statistics into simulated cluster time;
+- :mod:`repro.baselines` — Brandes (reference), SBBC, ABBC, and MFBC;
+- :mod:`repro.analysis` — metrics, validation, and report formatting.
+
+Quickstart
+----------
+>>> from repro import graph, mrbc_engine, brandes_bc
+>>> g = graph.rmat(8, edge_factor=8, seed=1)
+>>> result = mrbc_engine(g, num_sources=16, batch_size=8, num_hosts=4)
+>>> reference = brandes_bc(g, sources=result.sources)
+>>> bool(abs(result.bc - reference).max() < 1e-6)
+True
+"""
+
+from repro import analysis, baselines, cluster, congest, core, engine, graph, utils
+from repro.baselines.abbc import abbc
+from repro.baselines.brandes import brandes_bc
+from repro.baselines.mfbc import mfbc
+from repro.baselines.sbbc import sbbc_engine
+from repro.cluster.model import ClusterModel
+from repro.core.mrbc import mrbc_engine
+from repro.core.mrbc_congest import directed_apsp, mrbc_congest
+from repro.core.sampling import sample_sources
+from repro.engine.partition import partition_graph
+from repro.graph.digraph import DiGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterModel",
+    "DiGraph",
+    "abbc",
+    "analysis",
+    "baselines",
+    "brandes_bc",
+    "cluster",
+    "congest",
+    "core",
+    "directed_apsp",
+    "engine",
+    "graph",
+    "mfbc",
+    "mrbc_congest",
+    "mrbc_engine",
+    "partition_graph",
+    "sample_sources",
+    "sbbc_engine",
+    "utils",
+]

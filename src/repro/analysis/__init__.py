@@ -1,0 +1,36 @@
+"""Metrics, validation, and reporting for the evaluation harness.
+
+- :mod:`repro.analysis.metrics` — turns algorithm results plus the cluster
+  model into the rows the paper's tables/figures report (rounds per
+  source, execution/computation/communication time, volume, imbalance).
+- :mod:`repro.analysis.validation` — correctness cross-checks against the
+  Brandes reference and NetworkX.
+- :mod:`repro.analysis.reporting` — plain-text table formatting used by
+  the benchmark harness to print paper-style tables.
+"""
+
+from repro.analysis.export import export_tables, read_csv, write_csv
+from repro.analysis.metrics import AlgorithmSummary, summarize_engine_result
+from repro.analysis.reporting import format_table, geometric_mean
+from repro.analysis.sanity import SanityDigest, bc_digest, structural_checks
+from repro.analysis.validation import (
+    bc_networkx,
+    compare_bc,
+    max_abs_error,
+)
+
+__all__ = [
+    "AlgorithmSummary",
+    "SanityDigest",
+    "bc_digest",
+    "bc_networkx",
+    "compare_bc",
+    "export_tables",
+    "format_table",
+    "geometric_mean",
+    "max_abs_error",
+    "read_csv",
+    "structural_checks",
+    "summarize_engine_result",
+    "write_csv",
+]

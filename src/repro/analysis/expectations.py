@@ -1,0 +1,259 @@
+"""Artifact-evaluation checker: paper expectations over exported results.
+
+The benchmark harness exports one CSV per reproduced artifact
+(`benchmarks/results/`).  This module encodes the paper's qualitative
+claims as declarative expectations over those CSVs and checks them —
+the automated version of what an artifact-evaluation reviewer does by
+eye ("does MRBC really win on the crawls?").
+
+Run it on a results directory::
+
+    python -m repro.report benchmarks/results
+
+Each expectation reports PASS / FAIL / SKIPPED (missing artifact), so a
+partial benchmark run can still be checked for what it produced.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.export import read_csv
+
+#: Rows are dictionaries keyed by the CSV header.
+Rows = list[dict[str, str]]
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One paper claim over one exported artifact."""
+
+    artifact: str  # CSV basename (without .csv)
+    claim: str  # the paper's wording / paraphrase
+    check: Callable[[Rows], bool]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one expectation."""
+
+    expectation: Expectation
+    status: str  # "PASS" | "FAIL" | "SKIPPED"
+    detail: str = ""
+
+
+def _load(results_dir: str | os.PathLike, artifact: str) -> Rows | None:
+    path = os.path.join(results_dir, artifact + ".csv")
+    if not os.path.exists(path):
+        return None
+    headers, rows = read_csv(path)
+    return [dict(zip(headers, row)) for row in rows]
+
+
+def _f(value: str) -> float:
+    return float(value.rstrip("x"))
+
+
+# -- expectation predicates ----------------------------------------------------
+
+
+def _table1_mrbc_fewer_rounds(rows: Rows) -> bool:
+    data = [r for r in rows if r.get("graph") not in ("", "GEOMEAN")]
+    return all(
+        _f(r["MRBC rounds/src"]) < _f(r["SBBC rounds/src"]) for r in data
+    )
+
+
+def _table1_reduction_grows_with_diameter(rows: Rows) -> bool:
+    data = [r for r in rows if r.get("graph") not in ("", "GEOMEAN")]
+    lo = [r for r in data if int(r["est.diam"]) <= 25]
+    hi = [r for r in data if int(r["est.diam"]) > 25]
+    if not lo or not hi:
+        return False
+    return max(_f(r["reduction"]) for r in lo) < max(
+        _f(r["reduction"]) for r in hi
+    )
+
+
+def _table2_winners(rows: Rows) -> bool:
+    by_graph = {r["graph"]: r for r in rows if r.get("winner")}
+    ok = True
+    if "road-europe" in by_graph:
+        ok &= by_graph["road-europe"]["winner"] == "ABBC"
+    for crawl in ("gsh15", "clueweb12"):
+        if crawl in by_graph:
+            ok &= by_graph[crawl]["winner"] == "MRBC"
+    for trivial in ("livejournal", "rmat24"):
+        if trivial in by_graph:
+            ok &= by_graph[trivial]["winner"] == "SBBC"
+    ok &= all(r["winner"] != "MFBC" for r in by_graph.values())
+    return bool(ok)
+
+
+def _fig1_rounds_monotone(rows: Rows) -> bool:
+    per_graph: dict[str, list[tuple[int, int]]] = {}
+    for r in rows:
+        if r.get("k (batch)") and r.get("rounds"):
+            per_graph.setdefault(r["graph"], []).append(
+                (int(r["k (batch)"]), int(r["rounds"]))
+            )
+    if not per_graph:
+        return False
+    for points in per_graph.values():
+        points.sort()
+        rounds = [rr for _, rr in points]
+        if rounds != sorted(rounds, reverse=True):
+            return False
+    return True
+
+
+def _fig2_computation_overhead(rows: Rows) -> bool:
+    pairs: dict[str, dict[str, float]] = {}
+    for r in rows:
+        if r.get("algo") in ("SBBC", "MRBC"):
+            pairs.setdefault(r["graph"], {})[r["algo"]] = _f(r["comp (s)"])
+    if not pairs:
+        return False
+    return all(
+        p["MRBC"] > p["SBBC"] for p in pairs.values() if len(p) == 2
+    )
+
+
+def _fig2_comm_reduction(rows: Rows) -> bool:
+    pairs: dict[str, dict[str, float]] = {}
+    for r in rows:
+        if r.get("algo") in ("SBBC", "MRBC"):
+            pairs.setdefault(r["graph"], {})[r["algo"]] = _f(r["comm (s)"])
+    complete = [p for p in pairs.values() if len(p) == 2]
+    if not complete:
+        return False
+    wins = sum(1 for p in complete if p["MRBC"] < p["SBBC"])
+    return wins >= 0.7 * len(complete)
+
+
+def _fig3_mrbc_scales_better(rows: Rows) -> bool:
+    series: dict[tuple[str, str], dict[int, float]] = {}
+    for r in rows:
+        if r.get("algo") in ("SBBC", "MRBC") and r.get("hosts"):
+            series.setdefault((r["graph"], r["algo"]), {})[
+                int(r["hosts"])
+            ] = _f(r["exec (s)"])
+    graphs = {g for g, _ in series}
+    checked = 0
+    for g in graphs:
+        mr = series.get((g, "MRBC"), {})
+        sb = series.get((g, "SBBC"), {})
+        hosts = sorted(set(mr) & set(sb))
+        if len(hosts) < 2:
+            continue
+        lo, hi = hosts[0], hosts[-1]
+        checked += 1
+        if mr[lo] / mr[hi] < sb[lo] / sb[hi] * 0.9:
+            return False
+    return checked > 0
+
+
+def _ablation_delayed_sync(rows: Rows) -> bool:
+    pairs: dict[str, dict[str, int]] = {}
+    for r in rows:
+        if r.get("mode") in ("delayed", "eager"):
+            pairs.setdefault(r["graph"], {})[r["mode"]] = int(r["volume (B)"])
+    complete = [p for p in pairs.values() if len(p) == 2]
+    return bool(complete) and all(
+        p["delayed"] <= p["eager"] for p in complete
+    )
+
+
+def _schedule_refinement(rows: Rows) -> bool:
+    pairs: dict[str, dict[str, int]] = {}
+    for r in rows:
+        algo = r.get("algorithm", "")
+        if algo in ("Lenzen-Peleg", "MRBC (Alg. 3)"):
+            pairs.setdefault(r["graph"], {})[algo] = int(r["messages"])
+    complete = [p for p in pairs.values() if len(p) == 2]
+    return bool(complete) and all(
+        p["MRBC (Alg. 3)"] <= p["Lenzen-Peleg"] for p in complete
+    )
+
+
+EXPECTATIONS: list[Expectation] = [
+    Expectation(
+        "table_1_rounds_per_source_and_load_imbalance",
+        "MRBC executes fewer rounds than SBBC on every input (§5.3)",
+        _table1_mrbc_fewer_rounds,
+    ),
+    Expectation(
+        "table_1_rounds_per_source_and_load_imbalance",
+        "the round reduction grows with estimated diameter (Table 1)",
+        _table1_reduction_grows_with_diameter,
+    ),
+    Expectation(
+        "table_2_execution_time_per_source_best_host_count",
+        "Table 2 winners: ABBC on roads, MRBC on crawls, SBBC on trivial "
+        "diameter, MFBC never",
+        _table2_winners,
+    ),
+    Expectation(
+        "figure_1_mrbc_execution_time_and_rounds_vs_batch_size",
+        "rounds decrease monotonically with batch size (Fig. 1 / Lemma 8)",
+        _fig1_rounds_monotone,
+    ),
+    Expectation(
+        "figure_2_computation_vs_communication_breakdown",
+        "MRBC's computation time exceeds SBBC's on every input (Fig. 2)",
+        _fig2_computation_overhead,
+    ),
+    Expectation(
+        "figure_2_computation_vs_communication_breakdown",
+        "MRBC's communication time is lower on the large majority of inputs (Fig. 2)",
+        _fig2_comm_reduction,
+    ),
+    Expectation(
+        "figure_3_strong_scaling_on_large_graphs",
+        "MRBC's self-relative speedup is at least SBBC's (Fig. 3)",
+        _fig3_mrbc_scales_better,
+    ),
+    Expectation(
+        "ablation_delayed_synchronization_4_3",
+        "delayed synchronization never increases volume (§4.3)",
+        _ablation_delayed_sync,
+    ),
+    Expectation(
+        "ablation_pipelining_schedule_mrbc_vs_lenzen_peleg",
+        "MRBC sends no more messages than Lenzen-Peleg (Theorem 1)",
+        _schedule_refinement,
+    ),
+]
+
+
+def check_results(results_dir: str | os.PathLike) -> list[CheckResult]:
+    """Evaluate every expectation against a results directory."""
+    out: list[CheckResult] = []
+    for exp in EXPECTATIONS:
+        rows = _load(results_dir, exp.artifact)
+        if rows is None:
+            out.append(CheckResult(exp, "SKIPPED", "artifact not found"))
+            continue
+        try:
+            ok = exp.check(rows)
+        except (KeyError, ValueError) as err:
+            out.append(CheckResult(exp, "FAIL", f"malformed artifact: {err}"))
+            continue
+        out.append(CheckResult(exp, "PASS" if ok else "FAIL"))
+    return out
+
+
+def render_report(results: list[CheckResult]) -> str:
+    """Human-readable PASS/FAIL report."""
+    lines = ["artifact-evaluation report", "=" * 26]
+    for r in results:
+        lines.append(f"[{r.status:>7}] {r.expectation.claim}")
+        if r.detail:
+            lines.append(f"          {r.detail}")
+    n_pass = sum(1 for r in results if r.status == "PASS")
+    n_fail = sum(1 for r in results if r.status == "FAIL")
+    n_skip = sum(1 for r in results if r.status == "SKIPPED")
+    lines.append(f"\n{n_pass} passed, {n_fail} failed, {n_skip} skipped")
+    return "\n".join(lines)

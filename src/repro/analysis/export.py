@@ -1,0 +1,61 @@
+"""CSV export for benchmark artifacts.
+
+The paper's artifact appendix ships "CSVs that can be used to generate the
+exact figures in this paper"; this module provides the same affordance for
+the reproduction: every collected table can be written as a CSV, one file
+per artifact, suitable for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import re
+from collections.abc import Sequence
+
+
+def _slug(title: str) -> str:
+    """Filesystem-safe, stable name for an artifact title."""
+    s = title.lower()
+    s = re.sub(r"[^a-z0-9]+", "_", s).strip("_")
+    return s or "table"
+
+
+def write_csv(
+    path: str | os.PathLike,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> None:
+    """Write one table as CSV (excel dialect, header row first)."""
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(headers))
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError("row width does not match headers")
+            writer.writerow(list(row))
+
+
+def export_tables(
+    outdir: str | os.PathLike,
+    tables: dict[str, Sequence[Sequence[object]]],
+    headers: dict[str, Sequence[str]],
+) -> list[str]:
+    """Write every collected table to ``outdir``; returns written paths."""
+    os.makedirs(outdir, exist_ok=True)
+    written: list[str] = []
+    for title, rows in tables.items():
+        path = os.path.join(outdir, _slug(title) + ".csv")
+        write_csv(path, headers[title], rows)
+        written.append(path)
+    return written
+
+
+def read_csv(path: str | os.PathLike) -> tuple[list[str], list[list[str]]]:
+    """Round-trip reader for :func:`write_csv` output."""
+    with open(path, newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        rows = list(reader)
+    if not rows:
+        return [], []
+    return rows[0], rows[1:]

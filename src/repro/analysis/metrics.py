@@ -1,0 +1,93 @@
+"""Evaluation metrics: the columns of the paper's tables and figures.
+
+:func:`summarize_engine_result` is the single entry point the benchmark
+harness uses: given an algorithm result carrying an
+:class:`~repro.engine.stats.EngineRun` and a cluster model, it produces an
+:class:`AlgorithmSummary` with every quantity the paper reports —
+per-source rounds (Table 1), execution time per source (Table 2),
+computation vs non-overlapped communication breakdown and volume
+(Figure 2), and load imbalance (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.model import ClusterModel
+from repro.engine.stats import EngineRun
+
+
+@dataclass
+class AlgorithmSummary:
+    """One algorithm × graph × host-count evaluation row."""
+
+    algorithm: str
+    graph: str
+    num_hosts: int
+    num_sources: int
+    total_rounds: int
+    #: Simulated seconds (cluster model), total and broken down.
+    execution_time: float
+    computation_time: float
+    communication_time: float
+    #: Total bytes across the wire.
+    comm_volume: int
+    #: Gluon host-pair messages.
+    pair_messages: int
+    load_imbalance: float
+
+    @property
+    def rounds_per_source(self) -> float:
+        """Table 1's "rounds" metric."""
+        return self.total_rounds / max(1, self.num_sources)
+
+    @property
+    def time_per_source(self) -> float:
+        """Table 2's metric: simulated seconds averaged per source."""
+        return self.execution_time / max(1, self.num_sources)
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dictionary for tabular reporting."""
+        return {
+            "algorithm": self.algorithm,
+            "graph": self.graph,
+            "hosts": self.num_hosts,
+            "sources": self.num_sources,
+            "rounds/src": round(self.rounds_per_source, 2),
+            "time/src (s)": f"{self.time_per_source:.6f}",
+            "comp (s)": f"{self.computation_time:.6f}",
+            "comm (s)": f"{self.communication_time:.6f}",
+            "volume (B)": self.comm_volume,
+            "imbalance": round(self.load_imbalance, 2),
+        }
+
+
+def summarize_engine_result(
+    algorithm: str,
+    graph_name: str,
+    run: EngineRun,
+    num_sources: int,
+    total_rounds: int | None = None,
+    model: ClusterModel | None = None,
+) -> AlgorithmSummary:
+    """Build an :class:`AlgorithmSummary` from an engine run.
+
+    ``total_rounds`` defaults to the run's round count; pass it explicitly
+    for algorithms whose logical rounds differ from engine rounds.
+    """
+    if model is None:
+        model = ClusterModel(run.num_hosts)
+    t = model.time_run(run)
+    return AlgorithmSummary(
+        algorithm=algorithm,
+        graph=graph_name,
+        num_hosts=run.num_hosts,
+        num_sources=num_sources,
+        total_rounds=run.num_rounds if total_rounds is None else total_rounds,
+        execution_time=t.total,
+        computation_time=t.computation,
+        communication_time=t.communication,
+        comm_volume=run.total_bytes,
+        pair_messages=run.total_pair_messages,
+        load_imbalance=run.load_imbalance(),
+    )

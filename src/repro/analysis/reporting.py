@@ -1,0 +1,64 @@
+"""Plain-text tabular reporting for the benchmark harness.
+
+The benchmarks print each reproduced table/figure as an aligned text table
+(one per paper artifact) so that EXPERIMENTS.md's paper-vs-measured
+comparisons can be regenerated with a single pytest invocation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table."""
+    srows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(list(headers)))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(row) for row in srows)
+    return "\n".join(lines)
+
+
+def rows_from_dicts(dicts: Sequence[dict[str, object]]) -> tuple[list[str], list[list[object]]]:
+    """Build (headers, rows) from a list of same-keyed dictionaries."""
+    if not dicts:
+        return [], []
+    headers = list(dicts[0].keys())
+    rows = [[d.get(h, "") for h in headers] for d in dicts]
+    return headers, rows
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's "on average" for speedup ratios)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def ratio(a: float, b: float) -> float:
+    """Safe ratio a/b used for speedup columns."""
+    if b == 0:
+        return math.inf
+    return a / b

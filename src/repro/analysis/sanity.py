@@ -1,0 +1,89 @@
+"""Sanity-check statistics for BC outputs.
+
+The paper's artifact prints, per run, "sanity check output used to verify
+correctness across runs (e.g. the maximum betweenness centrality value
+among all nodes, the sum of all centrality values, etc.)".  This module
+computes the same digest so that any two runs — any algorithm, any host
+count, any batch size — can be compared at a glance, plus structural
+checks (non-negativity, zero BC at sinks and at unsampled-unreachable
+vertices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+
+@dataclass(frozen=True)
+class SanityDigest:
+    """Order-independent summary of a BC vector."""
+
+    max_bc: float
+    argmax: int
+    sum_bc: float
+    nonzero: int
+    mean_nonzero: float
+
+    def as_row(self) -> dict[str, object]:
+        """Dictionary for tabular reporting (artifact-style printout)."""
+        return {
+            "max BC": f"{self.max_bc:.6f}",
+            "argmax": self.argmax,
+            "sum BC": f"{self.sum_bc:.6f}",
+            "# nonzero": self.nonzero,
+            "mean nonzero": f"{self.mean_nonzero:.6f}",
+        }
+
+    def matches(self, other: "SanityDigest", rtol: float = 1e-9) -> bool:
+        """Whether two digests describe the same BC vector (numerically)."""
+        return (
+            np.isclose(self.max_bc, other.max_bc, rtol=rtol)
+            and np.isclose(self.sum_bc, other.sum_bc, rtol=rtol)
+            and self.nonzero == other.nonzero
+        )
+
+
+def bc_digest(bc: np.ndarray) -> SanityDigest:
+    """Compute the sanity digest of a BC vector."""
+    bc = np.asarray(bc, dtype=np.float64)
+    if bc.ndim != 1 or bc.size == 0:
+        raise ValueError("bc must be a non-empty 1-D vector")
+    nz = bc[np.abs(bc) > 0]
+    return SanityDigest(
+        max_bc=float(bc.max()),
+        argmax=int(np.argmax(bc)),
+        sum_bc=float(bc.sum()),
+        nonzero=int(nz.size),
+        mean_nonzero=float(nz.mean()) if nz.size else 0.0,
+    )
+
+
+def structural_checks(g: DiGraph, bc: np.ndarray) -> list[str]:
+    """Return a list of violated structural invariants (empty = all good).
+
+    Invariants that hold for any (sampled or exact) BC vector:
+    non-negativity, zero score at vertices with no outgoing or no incoming
+    edges (they cannot be interior to any shortest path), and a finite
+    upper bound of ``(n-1)(n-2)`` per vertex.
+    """
+    problems: list[str] = []
+    bc = np.asarray(bc, dtype=np.float64)
+    n = g.num_vertices
+    if bc.shape != (n,):
+        return [f"bc has shape {bc.shape}, expected ({n},)"]
+    if np.any(bc < -1e-9):
+        problems.append("negative BC values")
+    sinks = np.nonzero(g.out_degrees() == 0)[0]
+    if np.any(np.abs(bc[sinks]) > 1e-9):
+        problems.append("nonzero BC at a vertex with no outgoing edges")
+    sources_only = np.nonzero(g.in_degrees() == 0)[0]
+    if np.any(np.abs(bc[sources_only]) > 1e-9):
+        problems.append("nonzero BC at a vertex with no incoming edges")
+    bound = float((n - 1) * (n - 2)) if n >= 2 else 0.0
+    if np.any(bc > bound + 1e-6):
+        problems.append("BC exceeds the (n-1)(n-2) upper bound")
+    return problems

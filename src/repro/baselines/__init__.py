@@ -1,0 +1,38 @@
+"""Baseline BC algorithms the paper evaluates MRBC against.
+
+- :mod:`repro.baselines.brandes` — Brandes' sequential algorithm
+  (Algorithms 1-2 of the paper); the correctness reference for everything
+  else in the library.
+- :mod:`repro.baselines.sbbc` — Synchronous-Brandes BC: level-by-level BFS
+  plus level-by-level accumulation on the distributed engine, one source
+  at a time (the paper's main distributed comparison point).
+- :mod:`repro.baselines.abbc` — Asynchronous-Brandes BC: worklist-driven
+  shared-memory implementation (Lonestar style); no BSP barriers, wins on
+  high-diameter graphs, single-host only.
+- :mod:`repro.baselines.mfbc` — Maximal-Frontier BC: sparse-matrix
+  Bellman-Ford formulation (Solomonik et al.), batched over sources.
+"""
+
+from repro.baselines.abbc import ABBCResult, abbc
+from repro.baselines.brandes import brandes_bc, brandes_sssp
+from repro.baselines.mfbc import MFBCResult, mfbc
+from repro.baselines.sbbc import SBBCResult, sbbc_engine
+from repro.baselines.sbbc_congest import SBBCCongestResult, sbbc_congest
+from repro.baselines.weighted_brandes import weighted_brandes_bc
+from repro.baselines.weighted_mfbc import WeightedMFBCResult, weighted_mfbc
+
+__all__ = [
+    "ABBCResult",
+    "MFBCResult",
+    "SBBCCongestResult",
+    "SBBCResult",
+    "WeightedMFBCResult",
+    "abbc",
+    "brandes_bc",
+    "brandes_sssp",
+    "mfbc",
+    "sbbc_congest",
+    "sbbc_engine",
+    "weighted_brandes_bc",
+    "weighted_mfbc",
+]

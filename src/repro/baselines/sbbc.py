@@ -1,0 +1,321 @@
+"""Synchronous-Brandes BC (SBBC) on the simulated D-Galois engine.
+
+SBBC is the paper's main distributed comparison point (§5): the classic
+Brandes algorithm executed one source at a time with level-by-level BFS —
+in BSP round ``ℓ`` the vertices at distance ``ℓ`` settle, and the
+accumulation phase walks the levels in reverse.  Per source it therefore
+executes roughly ``2 · ecc(s)`` rounds, against MRBC's ``2(k + H)/k``
+rounds amortized per source; the entire Table 1 "rounds" comparison falls
+out of these two schedules.
+
+Engine mapping (mirroring the MRBC implementation for a fair comparison):
+
+- mirrors accumulate ``(dist, σ)`` candidates from host-local in-edges and
+  reduce them to the master, which settles a vertex the first round any
+  candidate arrives (level-synchrony makes that round its BFS level, with
+  all same-level σ contributions present in the same reduce);
+- settled values broadcast to *all* proxies — the standard Brandes-BFS
+  sync; mirrors use them both to relax out-edges and to suppress redundant
+  candidates;
+- the backward phase fires each settled vertex at round
+  ``(max level − its level + 1)``, broadcasting ``(1 + δ)/σ`` to in-edge
+  hosts, which credit host-local predecessors and reduce partial δ sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.model import ClusterModel, SimulatedTime
+from repro.engine.gluon import (
+    TARGET_ALL_PROXIES,
+    TARGET_IN_EDGES,
+    GluonSubstrate,
+)
+from repro.engine.partition import PartitionedGraph, partition_graph
+from repro.engine.stats import EngineRun
+from repro.graph.digraph import DiGraph
+
+INF = np.iinfo(np.int32).max
+
+#: Forward payload: dist (4B) + sigma (8B); single source, no source slot.
+FWD_PAYLOAD_BYTES = 12
+#: Backward payload: dependency coefficient (8B).
+BWD_PAYLOAD_BYTES = 8
+
+
+@dataclass
+class SBBCResult:
+    """Output of :func:`sbbc_engine`."""
+
+    bc: np.ndarray
+    dist: np.ndarray
+    sigma: np.ndarray
+    sources: np.ndarray
+    run: EngineRun
+    forward_rounds: int
+    backward_rounds: int
+    partition: PartitionedGraph
+
+    @property
+    def total_rounds(self) -> int:
+        """All BSP rounds across sources and phases."""
+        return self.forward_rounds + self.backward_rounds
+
+    def rounds_per_source(self) -> float:
+        """The paper's Table 1 metric."""
+        return self.total_rounds / self.sources.size
+
+
+class _SourceExecutor:
+    """One Brandes source on the engine."""
+
+    def __init__(
+        self,
+        pg: PartitionedGraph,
+        gluon: GluonSubstrate,
+        run: EngineRun,
+        source: int,
+    ) -> None:
+        self.pg = pg
+        self.gluon = gluon
+        self.run = run
+        self.source = source
+        self.H = pg.num_hosts
+        self.cand_dist = [
+            np.full(p.num_local, INF, dtype=np.int64) for p in pg.parts
+        ]
+        self.cand_sigma = [np.zeros(p.num_local) for p in pg.parts]
+        self.fin_dist = [np.full(p.num_local, INF, dtype=np.int64) for p in pg.parts]
+        self.fin_sigma = [np.zeros(p.num_local) for p in pg.parts]
+        self.dirty: list[np.ndarray] = [
+            np.zeros(p.num_local, dtype=bool) for p in pg.parts
+        ]
+        self.partial_delta = [np.zeros(p.num_local) for p in pg.parts]
+        self.delta_dirty = [np.zeros(p.num_local, dtype=bool) for p in pg.parts]
+        # Master-side settled state and dependency accumulators.
+        self.settled: dict[int, tuple[int, float]] = {}
+        self.delta: dict[int, float] = {}
+
+    def run_forward(self) -> int:
+        pg, gluon = self.pg, self.gluon
+        s = self.source
+        pending: list[list[tuple]] = [[] for _ in range(self.H)]
+        # Round 1 settles the source itself.
+        newly_settled: dict[int, tuple[int, float]] = {s: (0, 1.0)}
+        rnd = 0
+        while True:
+            rnd += 1
+            rs = self.run.new_round("forward")
+
+            inbox = gluon.reduce_to_masters(pending, FWD_PAYLOAD_BYTES, 1, rs)
+            pending = [[] for _ in range(self.H)]
+            for h, items in enumerate(inbox):
+                oc = rs.compute[h]
+                for gid, _sender, d, sigma in items:
+                    oc.struct_ops += 1
+                    cur = self.settled.get(gid)
+                    fresh = newly_settled.get(gid)
+                    if cur is not None:
+                        assert d > cur[0], "late same-level contribution"
+                        continue  # redundant longer-path candidate
+                    if fresh is None:
+                        newly_settled[gid] = (d, sigma)
+                    else:
+                        assert fresh[0] == d, "level-synchrony violated"
+                        newly_settled[gid] = (d, fresh[1] + sigma)
+
+            fires: list[list[tuple]] = [[] for _ in range(self.H)]
+            for gid, (d, sigma) in newly_settled.items():
+                self.settled[gid] = (d, sigma)
+                h = int(pg.master_of[gid])
+                fires[h].append((gid, d, sigma))
+                rs.compute[h].vertex_ops += 1
+            newly_settled = {}
+
+            deliveries = gluon.broadcast_from_masters(
+                fires, TARGET_ALL_PROXIES, FWD_PAYLOAD_BYTES, 1, rs
+            )
+
+            any_activity = False
+            for h, items in enumerate(deliveries):
+                part = pg.parts[h]
+                oc = rs.compute[h]
+                fd, fsg = self.fin_dist[h], self.fin_sigma[h]
+                cd, csg = self.cand_dist[h], self.cand_sigma[h]
+                dirty = self.dirty[h]
+                for gid, d, sigma in items:
+                    lid = int(np.searchsorted(part.gids, gid))
+                    fd[lid] = d
+                    fsg[lid] = sigma
+                    nbrs = part.out_neighbors_local(lid)
+                    oc.vertex_ops += 1
+                    oc.edge_ops += nbrs.size
+                    if nbrs.size == 0:
+                        continue
+                    nd = d + 1
+                    # Suppress relaxations into already-settled proxies.
+                    open_mask = fd[nbrs] == INF
+                    tgt = nbrs[open_mask]
+                    if tgt.size == 0:
+                        continue
+                    better = nd < cd[tgt]
+                    equal = nd == cd[tgt]
+                    if np.any(better):
+                        t = tgt[better]
+                        cd[t] = nd
+                        csg[t] = sigma
+                        dirty[t] = True
+                        oc.struct_ops += int(better.sum())
+                    if np.any(equal):
+                        t = tgt[equal]
+                        csg[t] += sigma
+                        dirty[t] = True
+                        oc.struct_ops += int(equal.sum())
+
+            for h in range(self.H):
+                rows = np.nonzero(self.dirty[h])[0]
+                if rows.size:
+                    any_activity = True
+                    part = pg.parts[h]
+                    gids = part.gids[rows]
+                    cd = self.cand_dist[h][rows]
+                    csg = self.cand_sigma[h][rows]
+                    items = pending[h]
+                    for g, d, sg in zip(gids.tolist(), cd.tolist(), csg.tolist()):
+                        items.append((g, d, sg))
+                    self.dirty[h][:] = False
+
+            if not any_activity:
+                break
+        return rnd
+
+    def run_backward(self) -> int:
+        pg, gluon = self.pg, self.gluon
+        levels: dict[int, list[int]] = {}
+        max_level = 0
+        for gid, (d, _sg) in self.settled.items():
+            if gid == self.source:
+                continue
+            levels.setdefault(d, []).append(gid)
+            max_level = max(max_level, d)
+        self.delta = {gid: 0.0 for gid in self.settled}
+
+        pending: list[list[tuple]] = [[] for _ in range(self.H)]
+        rnd = 0
+        while True:
+            rnd += 1
+            rs = self.run.new_round("backward")
+
+            inbox = gluon.reduce_to_masters(pending, BWD_PAYLOAD_BYTES, 1, rs)
+            pending = [[] for _ in range(self.H)]
+            for h, items in enumerate(inbox):
+                oc = rs.compute[h]
+                for gid, _sender, pd in items:
+                    self.delta[gid] += pd
+                    oc.struct_ops += 1
+
+            level = max_level - rnd + 1
+            fires: list[list[tuple]] = [[] for _ in range(self.H)]
+            for gid in levels.get(level, ()):
+                d, sigma = self.settled[gid]
+                coeff = (1.0 + self.delta[gid]) / sigma
+                h = int(pg.master_of[gid])
+                fires[h].append((gid, coeff, d))
+                rs.compute[h].vertex_ops += 1
+
+            deliveries = gluon.broadcast_from_masters(
+                fires, TARGET_IN_EDGES, BWD_PAYLOAD_BYTES, 1, rs
+            )
+
+            for h, items in enumerate(deliveries):
+                part = pg.parts[h]
+                oc = rs.compute[h]
+                fd, fsg = self.fin_dist[h], self.fin_sigma[h]
+                for gid, coeff, d in items:
+                    lid = int(np.searchsorted(part.gids, gid))
+                    preds = part.in_neighbors_local(lid)
+                    oc.vertex_ops += 1
+                    oc.edge_ops += preds.size
+                    if preds.size == 0:
+                        continue
+                    is_pred = fd[preds] == d - 1
+                    if np.any(is_pred):
+                        tgt = preds[is_pred]
+                        self.partial_delta[h][tgt] += fsg[tgt] * coeff
+                        self.delta_dirty[h][tgt] = True
+                        oc.struct_ops += int(is_pred.sum())
+
+            any_dirty = False
+            for h in range(self.H):
+                rows = np.nonzero(self.delta_dirty[h])[0]
+                if rows.size:
+                    any_dirty = True
+                    part = pg.parts[h]
+                    gids = part.gids[rows]
+                    pd = self.partial_delta[h][rows]
+                    items = pending[h]
+                    for g, v in zip(gids.tolist(), pd.tolist()):
+                        items.append((g, v))
+                    self.partial_delta[h][rows] = 0.0
+                    self.delta_dirty[h][:] = False
+
+            if not any_dirty and rnd >= max_level:
+                break
+        return rnd
+
+
+def sbbc_engine(
+    g: DiGraph,
+    sources: np.ndarray | list[int] | None = None,
+    num_hosts: int = 8,
+    policy: str = "cvc",
+    partition: PartitionedGraph | None = None,
+) -> SBBCResult:
+    """Run Synchronous-Brandes BC on the simulated engine.
+
+    Processes one source at a time (the algorithm's defining property);
+    ``sources=None`` uses every vertex (exact BC).
+    """
+    if partition is None:
+        partition = partition_graph(g, num_hosts, policy)
+    elif partition.graph is not g:
+        raise ValueError("partition was built for a different graph")
+    pg = partition
+    if sources is None:
+        src = np.arange(g.num_vertices, dtype=np.int64)
+    else:
+        src = np.asarray(sources, dtype=np.int64).ravel()
+    if src.size == 0:
+        raise ValueError("need at least one source")
+
+    gluon = GluonSubstrate(pg)
+    run = EngineRun(num_hosts=pg.num_hosts)
+    n = g.num_vertices
+    bc = np.zeros(n, dtype=np.float64)
+    dist = np.full((src.size, n), -1, dtype=np.int64)
+    sigma = np.zeros((src.size, n), dtype=np.float64)
+    fwd = 0
+    bwd = 0
+    for i, s in enumerate(src.tolist()):
+        ex = _SourceExecutor(pg, gluon, run, int(s))
+        fwd += ex.run_forward()
+        bwd += ex.run_backward()
+        for gid, (d, sg) in ex.settled.items():
+            dist[i, gid] = d
+            sigma[i, gid] = sg
+        for gid, dl in ex.delta.items():
+            if gid != s:
+                bc[gid] += dl
+    return SBBCResult(
+        bc=bc,
+        dist=dist,
+        sigma=sigma,
+        sources=src,
+        run=run,
+        forward_rounds=fwd,
+        backward_rounds=bwd,
+        partition=pg,
+    )

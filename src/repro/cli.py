@@ -1,0 +1,146 @@
+"""Command-line interface: run any BC algorithm on an edge-list file.
+
+Examples
+--------
+Compute exact BC with MRBC on a generated graph and print the top ranks::
+
+    python -m repro --generate rmat:8:8 --algorithm mrbc --top 10
+
+Compare algorithms on an edge-list file with 16 sampled sources::
+
+    python -m repro graph.txt --algorithm mrbc sbbc --sources 16 --hosts 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.baselines.abbc import abbc, abbc_simulated_time
+from repro.baselines.brandes import brandes_bc
+from repro.baselines.mfbc import mfbc
+from repro.baselines.sbbc import sbbc_engine
+from repro.cluster.model import ClusterModel
+from repro.core.mrbc import mrbc_engine
+from repro.core.sampling import sample_sources
+from repro.engine.partition import partition_graph
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+from repro.graph.io import read_edge_list
+
+ALGORITHMS = ("mrbc", "sbbc", "abbc", "mfbc", "brandes")
+
+
+def _generate(spec: str) -> DiGraph:
+    """Build a graph from a ``kind:arg:arg`` spec, e.g. ``rmat:8:8``."""
+    kind, *args = spec.split(":")
+    vals = [int(a) for a in args]
+    if kind == "rmat":
+        return generators.rmat(*vals)
+    if kind == "grid":
+        return generators.grid_road(*vals)
+    if kind == "webcrawl":
+        return generators.web_crawl_like(*vals)
+    if kind == "er":
+        return generators.erdos_renyi(vals[0], float(vals[1]))
+    raise SystemExit(f"unknown generator kind {kind!r} "
+                     "(options: rmat, grid, webcrawl, er)")
+
+
+def _run_one(
+    algo: str,
+    g: DiGraph,
+    sources: np.ndarray,
+    hosts: int,
+    batch: int,
+) -> tuple[np.ndarray, dict[str, object]]:
+    model = ClusterModel(hosts)
+    if algo == "brandes":
+        return brandes_bc(g, sources=sources), {"rounds": "-", "time (s)": "-"}
+    if algo == "abbc":
+        res = abbc(g, sources=sources)
+        return res.bc, {
+            "rounds": "-",
+            "time (s)": f"{abbc_simulated_time(res, g):.5f}",
+        }
+    if algo == "mfbc":
+        res = mfbc(g, sources=sources, batch_size=batch, num_hosts=hosts)
+        return res.bc, {
+            "rounds": res.iterations,
+            "time (s)": f"{model.time_run(res.run).total:.5f}",
+        }
+    pg = partition_graph(g, hosts, "cvc")
+    if algo == "sbbc":
+        res = sbbc_engine(g, sources=sources, partition=pg)
+    else:
+        res = mrbc_engine(g, sources=sources, batch_size=batch, partition=pg)
+    return res.bc, {
+        "rounds": res.total_rounds,
+        "time (s)": f"{model.time_run(res.run).total:.5f}",
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(
+        prog="repro", description="Min-Rounds BC reproduction CLI"
+    )
+    p.add_argument("graph", nargs="?", help="edge-list file (u v per line)")
+    p.add_argument(
+        "--generate", metavar="SPEC",
+        help="generate a graph instead: rmat:scale:ef | grid:r:c | "
+             "webcrawl:core:tails | er:n:deg",
+    )
+    p.add_argument(
+        "--algorithm", "-a", nargs="+", default=["mrbc"],
+        choices=ALGORITHMS, help="algorithms to run (default: mrbc)",
+    )
+    p.add_argument("--sources", "-k", type=int, default=None,
+                   help="number of sampled sources (default: all vertices)")
+    p.add_argument("--hosts", type=int, default=8, help="simulated hosts")
+    p.add_argument("--batch", type=int, default=16, help="MRBC batch size")
+    p.add_argument("--top", type=int, default=10,
+                   help="print this many top-BC vertices")
+    p.add_argument("--seed", type=int, default=0, help="sampling seed")
+    args = p.parse_args(argv)
+
+    if bool(args.graph) == bool(args.generate):
+        p.error("provide exactly one of: a graph file, or --generate SPEC")
+    g = _generate(args.generate) if args.generate else read_edge_list(args.graph)
+    print(f"graph: {g}", file=sys.stderr)
+
+    if args.sources is None:
+        sources = np.arange(g.num_vertices, dtype=np.int64)
+    else:
+        sources = sample_sources(g, args.sources, seed=args.seed)
+
+    rows = []
+    bc_by_algo: dict[str, np.ndarray] = {}
+    for algo in args.algorithm:
+        bc, stats = _run_one(algo, g, sources, args.hosts, args.batch)
+        bc_by_algo[algo] = bc
+        rows.append([algo, len(sources), stats["rounds"], stats["time (s)"]])
+    print(format_table(["algorithm", "sources", "rounds", "time (s)"], rows))
+
+    first = args.algorithm[0]
+    for other in args.algorithm[1:]:
+        if not np.allclose(
+            bc_by_algo[first], bc_by_algo[other], atol=1e-6, equal_nan=True
+        ):
+            print(f"WARNING: {first} and {other} disagree", file=sys.stderr)
+            return 1
+
+    bc = bc_by_algo[first]
+    order = np.argsort(bc)[::-1][: args.top]
+    print(format_table(
+        ["vertex", "BC"],
+        [[int(v), f"{bc[v]:.4f}"] for v in order],
+        title=f"top {args.top} by betweenness ({first})",
+    ))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

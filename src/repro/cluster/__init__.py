@@ -1,0 +1,18 @@
+"""Deterministic cluster performance model.
+
+The paper's measurements were taken on Stampede2 (48-core Skylake hosts,
+100 Gbps Omni-Path, up to 256 hosts).  We cannot run on such a cluster, so
+per DESIGN.md §2 the engine collects *exact deterministic counts* — rounds,
+per-host work units, per-host-pair bytes and messages — and this subpackage
+converts them into simulated execution time with a linear cost model whose
+constants are calibrated to that class of machine.
+
+The model exposes exactly the quantities the paper reports: execution
+time, computation time (max across hosts, summed over rounds), and
+non-overlapped communication time (barrier waits + wire time +
+(de)serialization), so every figure's time axis can be regenerated.
+"""
+
+from repro.cluster.model import ClusterModel, SimulatedTime
+
+__all__ = ["ClusterModel", "SimulatedTime"]

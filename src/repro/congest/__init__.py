@@ -1,0 +1,40 @@
+"""CONGEST-model network simulator.
+
+The CONGEST model (paper §2.2): processors sit at the graph's vertices and
+communicate over the *undirected* version ``UG`` of the input graph — every
+edge is a bidirectional channel.  In one round a vertex receives the
+messages sent to it this round along incident channels, computes
+(instantaneously), and sends at most one O(log n)-bit message per incident
+channel.  Algorithm quality is measured in **rounds** and **total
+messages**, both of which the simulator counts exactly.
+
+Key pieces:
+
+- :class:`repro.congest.network.CongestNetwork` — the round loop, message
+  delivery, channel-capacity enforcement, message accounting, and the
+  global-termination detector the paper's Lemma 8 relies on.
+- :class:`repro.congest.program.VertexProgram` — per-vertex algorithm
+  protocol (``compute_sends`` / ``handle_message``).
+- :mod:`repro.congest.messages` — payload tagging and size accounting.
+
+Delivery semantics match the paper's Algorithm 3: a message sent in round
+``r`` is processed by its receiver during round ``r``, so it is part of the
+receiver's state ``L_v^{r+1}`` at the beginning of round ``r+1``.
+"""
+
+from repro.congest.messages import MessageStats, payload_words
+from repro.congest.network import CongestNetwork, NetworkRunResult
+from repro.congest.program import VertexProgram
+from repro.congest.trace import SendEvent, Trace, render_schedule, traced_factory
+
+__all__ = [
+    "CongestNetwork",
+    "MessageStats",
+    "NetworkRunResult",
+    "SendEvent",
+    "Trace",
+    "VertexProgram",
+    "payload_words",
+    "render_schedule",
+    "traced_factory",
+]

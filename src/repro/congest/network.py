@@ -1,0 +1,162 @@
+"""The CONGEST round loop: scheduling, delivery, accounting, termination.
+
+See :mod:`repro.congest` for the model semantics.  The simulator is
+deterministic: vertices compute their sends in increasing vertex order and
+deliveries are processed in (sender, arrival) order, but correct CONGEST
+algorithms — including all of the paper's — may not depend on any such
+order within a round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.congest.messages import MAX_COMBINED_VALUES, MessageStats
+from repro.congest.program import BROADCAST, VertexContext, VertexProgram
+from repro.graph.digraph import DiGraph
+
+
+class ChannelCapacityError(RuntimeError):
+    """A vertex tried to exceed the per-channel combining cap in one round."""
+
+
+class NotAChannelError(RuntimeError):
+    """A vertex tried to send to a non-neighbor."""
+
+
+@dataclass
+class NetworkRunResult:
+    """Outcome of one network run."""
+
+    rounds_executed: int
+    last_send_round: int
+    terminated_by: str  # "stopped" | "quiescence" | "round_limit"
+    stats: MessageStats = field(default_factory=MessageStats)
+    #: Messages sent per round (index 0 = round 1).
+    sends_per_round: list[int] = field(default_factory=list)
+
+
+class CongestNetwork:
+    """A network of vertex programs over the undirected version of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The directed input graph; channels follow ``UG``.
+    program_factory:
+        Called once per vertex id to create its :class:`VertexProgram`.
+    expose_n:
+        If True, programs receive the true vertex count in their context
+        (the paper's "n is known" case); otherwise ``num_vertices_hint``
+        is ``None`` and the algorithm must compute n itself.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        program_factory: Callable[[int], VertexProgram],
+        expose_n: bool = True,
+    ) -> None:
+        self.graph = graph
+        n = graph.num_vertices
+        ug = graph.to_undirected()
+        self.channel_neighbors: list[np.ndarray] = [
+            ug.out_neighbors(v) for v in range(n)
+        ]
+        self._channel_sets: list[set[int]] = [
+            set(nbrs.tolist()) for nbrs in self.channel_neighbors
+        ]
+        self.programs: list[VertexProgram] = []
+        for v in range(n):
+            prog = program_factory(v)
+            prog.setup(
+                VertexContext(
+                    vid=v,
+                    num_vertices_hint=n if expose_n else None,
+                    out_neighbors=graph.out_neighbors(v),
+                    in_neighbors=graph.in_neighbors(v),
+                    channel_neighbors=self.channel_neighbors[v],
+                )
+            )
+            self.programs.append(prog)
+
+    # -- round loop ----------------------------------------------------------
+
+    def run(
+        self,
+        max_rounds: int,
+        detect_quiescence: bool = False,
+        detect_stopped: bool = False,
+    ) -> NetworkRunResult:
+        """Execute rounds ``1 .. max_rounds`` (or fewer on termination).
+
+        ``detect_quiescence`` enables Lemma 8's global termination detector:
+        stop after a round with no sends and no vertex reporting pending
+        work.  ``detect_stopped`` halts once every program reports
+        :meth:`~repro.congest.program.VertexProgram.is_stopped` (Algorithm 4
+        semantics).
+        """
+        result = NetworkRunResult(rounds_executed=0, last_send_round=0, terminated_by="round_limit")
+        programs = self.programs
+        for rnd in range(1, max_rounds + 1):
+            # -- send phase: collect and validate this round's messages.
+            # outbox maps (sender, target) -> list of payloads (combined).
+            outbox: dict[tuple[int, int], list[tuple[Any, ...]]] = {}
+            any_send = False
+            for v, prog in enumerate(programs):
+                if prog.is_stopped():
+                    continue
+                sends = prog.compute_sends(rnd)
+                if not sends:
+                    continue
+                for target, payload in sends:
+                    if target == BROADCAST:
+                        targets = self.channel_neighbors[v]
+                    else:
+                        if target not in self._channel_sets[v]:
+                            raise NotAChannelError(
+                                f"vertex {v} has no channel to {target}"
+                            )
+                        targets = (target,)
+                    for t in targets:
+                        key = (v, int(t))
+                        bucket = outbox.setdefault(key, [])
+                        if len(bucket) >= MAX_COMBINED_VALUES:
+                            raise ChannelCapacityError(
+                                f"vertex {v} exceeded channel capacity to {t} "
+                                f"in round {rnd}"
+                            )
+                        bucket.append(payload)
+                        any_send = True
+
+            result.sends_per_round.append(len(outbox))
+            if any_send:
+                result.last_send_round = rnd
+                for payloads in outbox.values():
+                    result.stats.record_channel(payloads)
+
+            # -- delivery phase: receivers process during this round.
+            for (sender, target), payloads in outbox.items():
+                handler = programs[target].handle_message
+                for payload in payloads:
+                    handler(rnd, sender, payload)
+
+            for prog in programs:
+                prog.end_of_round(rnd)
+
+            result.rounds_executed = rnd
+
+            if detect_stopped and all(p.is_stopped() for p in programs):
+                result.terminated_by = "stopped"
+                break
+            if (
+                detect_quiescence
+                and not any_send
+                and not any(p.has_pending_work(rnd) for p in programs)
+            ):
+                result.terminated_by = "quiescence"
+                break
+        return result

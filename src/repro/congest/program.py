@@ -1,0 +1,83 @@
+"""Per-vertex algorithm protocol for the CONGEST simulator.
+
+A distributed algorithm is written as a :class:`VertexProgram` subclass;
+the network instantiates one program object per vertex.  The round
+structure mirrors the paper's Algorithm 3:
+
+1. ``compute_sends(r)`` — called at the beginning of round ``r`` with the
+   vertex's state ``L_v^r``; returns the messages to send this round.
+2. ``handle_message(r, sender, payload)`` — called once per received value
+   during round ``r``; state updates here become part of ``L_v^{r+1}``.
+3. ``end_of_round(r)`` — optional hook after all deliveries of round ``r``.
+
+Vertices communicate over the *undirected* communication network ``UG``;
+``ctx.channel_neighbors`` lists every vertex sharing a channel with this
+one, while ``ctx.out_neighbors`` / ``ctx.in_neighbors`` expose the directed
+graph structure the algorithm reasons about.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+#: Broadcast sentinel: send the payload on every incident channel.
+BROADCAST = -1
+
+
+@dataclass(frozen=True)
+class VertexContext:
+    """Static per-vertex information handed to a program at setup time."""
+
+    vid: int
+    num_vertices_hint: int | None
+    out_neighbors: np.ndarray
+    in_neighbors: np.ndarray
+    channel_neighbors: np.ndarray
+
+
+class VertexProgram(ABC):
+    """Base class for CONGEST vertex algorithms."""
+
+    ctx: VertexContext
+
+    def setup(self, ctx: VertexContext) -> None:
+        """Bind the vertex context; override to initialize state (call super)."""
+        self.ctx = ctx
+
+    @abstractmethod
+    def compute_sends(self, rnd: int) -> list[tuple[int, tuple[Any, ...]]]:
+        """Return ``(target, payload)`` pairs to send in round ``rnd``.
+
+        ``target`` is a channel neighbor's vertex id, or :data:`BROADCAST`
+        to send the payload on every incident channel.  Payloads are tagged
+        tuples (see :mod:`repro.congest.messages`).
+        """
+
+    @abstractmethod
+    def handle_message(self, rnd: int, sender: int, payload: tuple[Any, ...]) -> None:
+        """Process one received value during round ``rnd``."""
+
+    def end_of_round(self, rnd: int) -> None:
+        """Hook invoked after all of round ``rnd``'s deliveries (optional)."""
+
+    def has_pending_work(self, rnd: int) -> bool:
+        """Whether this vertex may still send in some round ``> rnd``.
+
+        The network's global-termination detector (paper Lemma 8: "the
+        distributed system can detect global termination") stops the run at
+        the end of a round in which no messages were sent and no vertex
+        reports pending work.  The default is conservative.
+        """
+        return True
+
+    def is_stopped(self) -> bool:
+        """Whether this vertex has executed a protocol-level "stop".
+
+        Algorithm 4 lets vertices stop once they learn the diameter; the
+        network halts when every vertex has stopped.
+        """
+        return False

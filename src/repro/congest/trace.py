@@ -1,0 +1,124 @@
+"""Round-by-round tracing for CONGEST runs.
+
+Wraps any :class:`~repro.congest.program.VertexProgram` factory so every
+send is recorded as a ``(round, sender, receiver, payload)`` event.  Used
+by tests to assert fine-grained schedule properties (e.g. MRBC's "vertex
+v sends for source s exactly in round d_sv + ℓ") and handy when debugging
+new CONGEST algorithms; :func:`render_schedule` pretty-prints who sent
+what when.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.congest.program import VertexProgram
+
+
+@dataclass(frozen=True)
+class SendEvent:
+    """One value sent on one channel in one round."""
+
+    round: int
+    sender: int
+    receiver: int
+    payload: tuple[Any, ...]
+
+    @property
+    def tag(self) -> str:
+        """The payload's type tag."""
+        return self.payload[0]
+
+
+@dataclass
+class Trace:
+    """Accumulated send events of one network run."""
+
+    events: list[SendEvent] = field(default_factory=list)
+
+    def by_round(self, rnd: int) -> list[SendEvent]:
+        """Events of one round."""
+        return [e for e in self.events if e.round == rnd]
+
+    def by_sender(self, vid: int) -> list[SendEvent]:
+        """Events originated by one vertex, in round order."""
+        return [e for e in self.events if e.sender == vid]
+
+    def with_tag(self, tag: str) -> list[SendEvent]:
+        """Events carrying a given payload tag."""
+        return [e for e in self.events if e.tag == tag]
+
+    def rounds_used(self) -> list[int]:
+        """Sorted list of rounds in which anything was sent."""
+        return sorted({e.round for e in self.events})
+
+
+class _TracedProgram(VertexProgram):
+    """Delegating wrapper that records every send."""
+
+    def __init__(self, inner: VertexProgram, trace: Trace) -> None:
+        self._inner = inner
+        self._trace = trace
+
+    def setup(self, ctx) -> None:  # type: ignore[override]
+        self._inner.setup(ctx)
+        self.ctx = ctx
+
+    def compute_sends(self, rnd: int):
+        sends = self._inner.compute_sends(rnd)
+        for target, payload in sends:
+            if target == -1:  # BROADCAST
+                for t in self.ctx.channel_neighbors:
+                    self._trace.events.append(
+                        SendEvent(rnd, self.ctx.vid, int(t), payload)
+                    )
+            else:
+                self._trace.events.append(
+                    SendEvent(rnd, self.ctx.vid, int(target), payload)
+                )
+        return sends
+
+    def handle_message(self, rnd, sender, payload):
+        self._inner.handle_message(rnd, sender, payload)
+
+    def end_of_round(self, rnd):
+        self._inner.end_of_round(rnd)
+
+    def has_pending_work(self, rnd):
+        return self._inner.has_pending_work(rnd)
+
+    def is_stopped(self):
+        return self._inner.is_stopped()
+
+    def __getattr__(self, name: str):
+        # Expose the wrapped program's algorithm state (e.g. ``.state``).
+        return getattr(self._inner, name)
+
+
+def traced_factory(
+    factory: Callable[[int], VertexProgram],
+) -> tuple[Callable[[int], VertexProgram], Trace]:
+    """Wrap a program factory; returns ``(wrapped_factory, trace)``."""
+    trace = Trace()
+
+    def wrapped(vid: int) -> VertexProgram:
+        return _TracedProgram(factory(vid), trace)
+
+    return wrapped, trace
+
+
+def render_schedule(trace: Trace, max_rounds: int | None = None) -> str:
+    """Human-readable per-round schedule (for debugging/teaching)."""
+    lines: list[str] = []
+    for rnd in trace.rounds_used():
+        if max_rounds is not None and rnd > max_rounds:
+            lines.append("  ...")
+            break
+        evs = trace.by_round(rnd)
+        parts = ", ".join(
+            f"{e.sender}->{e.receiver} {e.payload}" for e in evs[:8]
+        )
+        more = "" if len(evs) <= 8 else f" (+{len(evs) - 8} more)"
+        lines.append(f"round {rnd:>4}: {parts}{more}")
+    return "\n".join(lines)

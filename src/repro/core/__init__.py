@@ -1,0 +1,52 @@
+"""The paper's primary contribution: Min-Rounds BC and its building blocks.
+
+Two complete implementations are provided:
+
+- **CONGEST** (:mod:`repro.core.apsp`, :mod:`repro.core.finalizer`,
+  :mod:`repro.core.accumulation`, :mod:`repro.core.mrbc_congest`) — a
+  faithful per-vertex implementation of Algorithms 3/4/5 used to validate
+  Theorem 1's round and message bounds.
+- **Engine** (:mod:`repro.core.mrbc`) — the D-Galois-style implementation
+  of §4 with the batched ``k``-source execution, flat-map data structure
+  and delayed-synchronization optimization, running on
+  :mod:`repro.engine`.
+
+:mod:`repro.core.sampling` implements the source-sampling approximation
+(Bader et al.) that the paper's evaluation uses, and
+:mod:`repro.core.batching` splits sampled sources into size-``k`` batches.
+"""
+
+from repro.core.accumulation import AccumulationProgram
+from repro.core.approx import ApproxResult, adaptive_bc_of_vertex, approximate_bc
+from repro.core.apsp import APSPVertexState, DirectedAPSPProgram
+from repro.core.autotune import TuneResult, tune_batch_size
+from repro.core.batching import iter_batches
+from repro.core.kssp import KSSPResult, kssp
+from repro.core.lenzen_peleg import LPResult, lenzen_peleg_apsp
+from repro.core.mrbc import MRBCEngineResult, mrbc_engine
+from repro.core.mrbc_congest import MRBCResult, directed_apsp, mrbc_congest
+from repro.core.sampling import sample_sources
+from repro.core.undirected import undirected_bc
+
+__all__ = [
+    "APSPVertexState",
+    "AccumulationProgram",
+    "ApproxResult",
+    "DirectedAPSPProgram",
+    "MRBCEngineResult",
+    "MRBCResult",
+    "TuneResult",
+    "adaptive_bc_of_vertex",
+    "approximate_bc",
+    "directed_apsp",
+    "KSSPResult",
+    "LPResult",
+    "iter_batches",
+    "kssp",
+    "lenzen_peleg_apsp",
+    "mrbc_congest",
+    "mrbc_engine",
+    "sample_sources",
+    "tune_batch_size",
+    "undirected_bc",
+]

@@ -1,0 +1,89 @@
+"""Algorithm 5: distributed accumulation phase via timestamp reversal.
+
+After the forward phase (Algorithm 3) terminates at round ``R``, each
+vertex ``v`` knows, for every source ``s`` it reached, the round ``τ_sv``
+in which it sent its finalized ``(d_sv, s, σ_sv)`` message.  Algorithm 5
+runs the Brandes accumulation *backwards in time*: ``v`` sends its
+dependency message for source ``s`` exactly in round ``A_sv = R − τ_sv``,
+carrying ``m = (1 + δ_s•(v)) / σ_sv`` to each predecessor in ``P_s(v)``;
+a predecessor ``u`` accumulates ``δ_s•(u) += σ_su · m``.
+
+Lemma 7 guarantees each vertex has received *all* successor contributions
+by its own send round (``τ_sw > τ_sv`` for every successor ``w``, hence
+``A_sw < A_sv``), and that at most one source fires per vertex per round
+(send rounds ``τ`` are distinct per vertex).  Both facts are asserted.
+
+The simulator's rounds are 1-based while the paper lets ``A_sv`` range
+from 0, so this program fires in round ``A_sv + 1 = R − τ_sv + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.congest.program import VertexContext, VertexProgram
+from repro.core.apsp import APSPVertexState
+
+
+class AccumulationProgram(VertexProgram):
+    """CONGEST vertex program for the BC accumulation phase.
+
+    Parameters
+    ----------
+    forward_state:
+        The vertex's :class:`~repro.core.apsp.APSPVertexState` produced by
+        the forward phase (τ, σ, predecessor sets).
+    total_rounds:
+        ``R``, the round at which the forward phase terminated.
+    """
+
+    def __init__(self, forward_state: APSPVertexState, total_rounds: int) -> None:
+        self._fwd = forward_state
+        self._R = total_rounds
+
+    def setup(self, ctx: VertexContext) -> None:
+        super().setup(ctx)
+        fwd = self._fwd
+        #: δ_s•(v) accumulators, one per reached source.
+        self.delta: dict[int, float] = {s: 0.0 for s in fwd.dist}
+        # Fire schedule: round -> source.  τ values are distinct per vertex
+        # (one send per round in the forward phase), so this is injective.
+        self._fire: dict[int, int] = {}
+        for s, tau in fwd.tau.items():
+            rnd = self._R - tau + 1
+            assert rnd >= 1, f"accumulation round {rnd} < 1 (R={self._R}, tau={tau})"
+            assert rnd not in self._fire, "two sources scheduled in one round"
+            self._fire[rnd] = s
+        self._fired: set[int] = set()
+
+    def compute_sends(self, rnd: int) -> list[tuple[int, tuple[Any, ...]]]:
+        s = self._fire.get(rnd)
+        if s is None:
+            return []
+        self._fired.add(s)
+        fwd = self._fwd
+        preds = fwd.preds.get(s, ())
+        if not preds:
+            return []
+        m = (1.0 + self.delta[s]) / fwd.sigma[s]
+        return [(u, ("acc", s, m)) for u in preds]
+
+    def handle_message(self, rnd: int, sender: int, payload: tuple[Any, ...]) -> None:
+        tag, s, m = payload
+        assert tag == "acc", f"unexpected payload {payload!r}"
+        # Lemma 7: the contribution must arrive strictly before our own
+        # fire round for s (messages received in round r are usable from
+        # round r+1; our fire for s must therefore be > rnd).
+        my_fire = self._R - self._fwd.tau[s] + 1
+        assert my_fire > rnd, (
+            f"late dependency for source {s} at vertex {self.ctx.vid}: "
+            f"received in round {rnd}, fires in round {my_fire}"
+        )
+        self.delta[s] += self._fwd.sigma[s] * m
+
+    def has_pending_work(self, rnd: int) -> bool:
+        return len(self._fired) < len(self._fire)
+
+    def bc_contribution(self) -> float:
+        """This vertex's BC value: ``Σ_{s ≠ v} δ_s•(v)``."""
+        return sum(d for s, d in self.delta.items() if s != self.ctx.vid)

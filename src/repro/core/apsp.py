@@ -1,0 +1,202 @@
+"""Algorithm 3: pipelined directed APSP with shortest-path counts.
+
+Each vertex ``v`` maintains the lexicographically sorted list ``L_v`` of
+``(d_sv, s)`` pairs together with ``σ_sv`` (number of shortest paths from
+``s``) and ``P_s(v)`` (predecessors in ``s``'s SP DAG).  The pipelining
+rule: the entry at (1-based) position ``ℓ`` of ``L_v`` is sent to all
+*out*-neighbors exactly in round ``r = d_sv + ℓ``.
+
+Implementation notes
+--------------------
+The paper's lemmas give two structural facts this implementation exploits:
+
+- Send rounds ``d + ℓ`` are strictly increasing along the list, so entries
+  are sent in position order and the *sent entries always form a prefix* of
+  ``L_v``.
+- No insertion or replacement ever lands at or below the position of an
+  already-sent entry (the Lemma 2 argument), so the prefix is stable.
+
+Hence the send phase is O(1) per vertex per round: check whether the first
+unsent entry's ``d + position`` equals the current round.  Both facts are
+asserted at runtime; a violation would indicate a bug (or a graph mutation
+mid-run) rather than a recoverable condition.
+
+The ``k``-SSP variant (paper Lemma 8) is obtained by initializing ``L_v``
+only at the ``k`` source vertices and relying on the network's global
+termination detection instead of Algorithm 4.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Any
+
+from repro.congest.program import VertexContext, VertexProgram
+from repro.core.finalizer import FinalizerState
+
+
+class APSPVertexState:
+    """The forward-phase labels of one vertex (paper §4.2's proxy labels).
+
+    Attributes
+    ----------
+    entries:
+        ``L_v`` — lexicographically sorted list of ``(d_sv, s)`` pairs.
+    dist, sigma, preds, tau:
+        Per-source distance, SP count, predecessor set, and the round
+        ``τ_sv`` in which the finalized value was sent (Alg. 5 needs it).
+    sent_prefix:
+        Number of leading entries of ``L_v`` already sent.
+    """
+
+    __slots__ = ("entries", "dist", "sigma", "preds", "tau", "sent_prefix")
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[int, int]] = []
+        self.dist: dict[int, int] = {}
+        self.sigma: dict[int, float] = {}
+        self.preds: dict[int, set[int]] = {}
+        self.tau: dict[int, int] = {}
+        self.sent_prefix = 0
+
+    def initialize_source(self, s: int) -> None:
+        """Step 3 of Alg. 3: seed ``L_v`` with ``(0, v)`` at a source."""
+        self.entries.append((0, s))
+        self.dist[s] = 0
+        self.sigma[s] = 1.0
+        self.preds[s] = set()
+
+    def next_send(self, rnd: int) -> tuple[int, int] | None:
+        """Entry to send in round ``rnd``, or None.
+
+        The first unsent entry sits at 1-based position ``sent_prefix + 1``;
+        it is due exactly when ``d + sent_prefix + 1 == rnd``.
+        """
+        if self.sent_prefix >= len(self.entries):
+            return None
+        d, s = self.entries[self.sent_prefix]
+        if d + self.sent_prefix + 1 == rnd:
+            return d, s
+        # The schedule must never be missed: due round is always >= rnd.
+        assert d + self.sent_prefix + 1 > rnd, (
+            f"missed send: entry {(d, s)} at position {self.sent_prefix + 1} "
+            f"was due in round {d + self.sent_prefix + 1} < {rnd}"
+        )
+        return None
+
+    def all_sent(self) -> bool:
+        """True when every current entry has been sent."""
+        return self.sent_prefix == len(self.entries)
+
+    def max_finite_dist(self) -> int:
+        """``max_s d_sv`` over current entries (0 if empty)."""
+        return self.entries[-1][0] if self.entries else 0
+
+    def receive(self, d_su: int, s: int, sigma_su: float, u: int) -> None:
+        """Steps 11-17 of Alg. 3: merge a received ``(d_su, s, σ_su)``."""
+        d_new = d_su + 1
+        cur = self.dist.get(s)
+        if cur is None:
+            pos = bisect_left(self.entries, (d_new, s))
+            assert pos >= self.sent_prefix, "insertion below sent prefix"
+            self.entries.insert(pos, (d_new, s))
+            self.dist[s] = d_new
+            self.sigma[s] = sigma_su
+            self.preds[s] = {u}
+        elif cur == d_new:
+            self.sigma[s] += sigma_su
+            self.preds[s].add(u)
+        elif cur > d_new:
+            old_pos = bisect_left(self.entries, (cur, s))
+            assert old_pos >= self.sent_prefix, "replacing an already-sent entry"
+            del self.entries[old_pos]
+            pos = bisect_left(self.entries, (d_new, s))
+            assert pos >= self.sent_prefix, "replacement below sent prefix"
+            self.entries.insert(pos, (d_new, s))
+            self.dist[s] = d_new
+            self.sigma[s] = sigma_su
+            self.preds[s] = {u}
+        # else: stale (longer) path — ignore.
+
+
+class DirectedAPSPProgram(VertexProgram):
+    """Algorithm 3 (+ optional Algorithm 4) as a CONGEST vertex program.
+
+    Parameters
+    ----------
+    sources:
+        ``None`` for full APSP (every vertex a source) or the k-SSP source
+        set (paper Lemma 8).
+    use_finalizer:
+        Run Algorithm 4 (BFS tree + diameter broadcast) to terminate in
+        ``n + 5D`` rounds on strongly connected graphs.  Only meaningful
+        for full APSP.
+    known_n:
+        Whether ``n`` may be read from the context (Theorem 1 cases 1-2) or
+        must be computed by the tree protocol (case 3).
+    """
+
+    def __init__(
+        self,
+        sources: frozenset[int] | None = None,
+        use_finalizer: bool = False,
+        known_n: bool = True,
+    ) -> None:
+        self._sources = sources
+        self._use_finalizer = use_finalizer
+        self._known_n = known_n
+
+    def setup(self, ctx: VertexContext) -> None:
+        super().setup(ctx)
+        self.state = APSPVertexState()
+        if self._sources is None or ctx.vid in self._sources:
+            self.state.initialize_source(ctx.vid)
+        self.finalizer: FinalizerState | None = None
+        if self._use_finalizer:
+            n = ctx.num_vertices_hint if self._known_n else None
+            self.finalizer = FinalizerState(ctx, n)
+
+    # -- VertexProgram protocol -----------------------------------------------
+
+    def compute_sends(self, rnd: int) -> list[tuple[int, tuple[Any, ...]]]:
+        sends: list[tuple[int, tuple[Any, ...]]] = []
+        st = self.state
+        due = st.next_send(rnd)
+        if due is not None:
+            d, s = due
+            st.tau[s] = rnd
+            st.sent_prefix += 1
+            payload = ("apsp", d, s, st.sigma[s])
+            for t in self.ctx.out_neighbors:
+                sends.append((int(t), payload))
+        if self.finalizer is not None:
+            fin = self.finalizer
+            apsp_complete = (
+                fin.n is not None
+                and len(st.entries) == fin.n
+                and st.all_sent()
+            )
+            sends.extend(fin.compute_sends(rnd, apsp_complete, st.max_finite_dist()))
+            sends.extend(fin.pending_nval_sends())
+        return sends
+
+    def handle_message(self, rnd: int, sender: int, payload: tuple[Any, ...]) -> None:
+        if payload[0] == "apsp":
+            _, d_su, s, sigma_su = payload
+            self.state.receive(d_su, s, sigma_su, sender)
+            return
+        if self.finalizer is not None and self.finalizer.handle_message(
+            rnd, sender, payload
+        ):
+            return
+        raise ValueError(f"vertex {self.ctx.vid}: unknown payload {payload!r}")
+
+    def end_of_round(self, rnd: int) -> None:
+        if self.finalizer is not None:
+            self.finalizer.end_of_round(rnd)
+
+    def has_pending_work(self, rnd: int) -> bool:
+        return not self.state.all_sent()
+
+    def is_stopped(self) -> bool:
+        return self.finalizer is not None and self.finalizer.stopped

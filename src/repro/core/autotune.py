@@ -1,0 +1,87 @@
+"""Batch-size autotuning for MRBC (the paper's flagged future work).
+
+Paper §5.2: *"The tradeoff between increasing parallelism and data
+structure access time (i.e., finding the best batch size for a graph) can
+be explored using a method such as autotuning; this is not the focus of
+this work."*
+
+:func:`tune_batch_size` implements that exploration: it probes each
+candidate ``k`` on a small pilot subset of the sources, scores the
+simulated per-source execution time under the cluster model, and returns
+the best ``k``.  The probe cost is bounded (pilot sources, one batch per
+candidate), so tuning is cheap relative to a full run over thousands of
+sampled sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.model import ClusterModel
+from repro.core.mrbc import mrbc_engine
+from repro.engine.partition import PartitionedGraph, partition_graph
+from repro.graph.digraph import DiGraph
+
+#: Default candidate batch sizes (powers of two, as the paper sweeps).
+DEFAULT_CANDIDATES = (8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of a batch-size tuning sweep."""
+
+    best_batch_size: int
+    #: Per-candidate simulated seconds per source on the pilot.
+    scores: dict[int, float]
+    pilot_sources: np.ndarray
+
+    def ranking(self) -> list[tuple[int, float]]:
+        """Candidates sorted best-first."""
+        return sorted(self.scores.items(), key=lambda kv: kv[1])
+
+
+def tune_batch_size(
+    g: DiGraph,
+    sources: np.ndarray | list[int],
+    candidates: tuple[int, ...] = DEFAULT_CANDIDATES,
+    num_hosts: int = 8,
+    partition: PartitionedGraph | None = None,
+    model: ClusterModel | None = None,
+) -> TuneResult:
+    """Pick the batch size minimizing simulated time per source.
+
+    For each candidate ``k``, runs one pilot batch of ``min(k, len(sources))``
+    sources and scores ``simulated_time / pilot_size``.  Candidates larger
+    than the source set collapse to the same pilot and are deduplicated.
+    """
+    src = np.asarray(sources, dtype=np.int64).ravel()
+    if src.size == 0:
+        raise ValueError("need at least one source to tune on")
+    if not candidates:
+        raise ValueError("need at least one candidate batch size")
+    if any(k < 1 for k in candidates):
+        raise ValueError("batch sizes must be >= 1")
+    if partition is None:
+        partition = partition_graph(g, num_hosts, "cvc")
+    if model is None:
+        model = ClusterModel(partition.num_hosts)
+
+    scores: dict[int, float] = {}
+    seen_pilots: dict[int, float] = {}
+    for k in sorted(set(candidates)):
+        pilot_n = min(k, src.size)
+        if pilot_n in seen_pilots:
+            scores[k] = seen_pilots[pilot_n]
+            continue
+        pilot = src[:pilot_n]
+        res = mrbc_engine(
+            g, sources=pilot, batch_size=k, partition=partition
+        )
+        per_source = model.time_run(res.run).total / pilot_n
+        scores[k] = per_source
+        seen_pilots[pilot_n] = per_source
+
+    best = min(scores, key=lambda k: (scores[k], k))
+    return TuneResult(best_batch_size=best, scores=scores, pilot_sources=src)

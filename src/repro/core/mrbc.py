@@ -1,0 +1,606 @@
+"""Min-Rounds BC on the D-Galois-style engine (paper §4).
+
+This is the implementation the paper's evaluation measures: MRBC executed
+as a vertex program over a partitioned graph, computing betweenness scores
+for a batch of ``k`` sources simultaneously, with the §4.3 optimizations:
+
+- **Batched sources with dense per-source arrays** — every proxy holds
+  ``(dist, σ, δ)`` for all ``k`` sources of the batch in flat arrays
+  (O(1) access, spatial locality).
+- **Flat-map scheduling** — each master orders its ``(d, s)`` pairs
+  lexicographically and derives the send round of a pair from its distance
+  and list position (``r = d + position``), instead of storing explicit
+  per-source round numbers.
+- **Delayed synchronization** — a vertex's ``(d_sv, σ_sv)`` label is
+  broadcast to its mirrors exactly once, in the round the pipelining
+  schedule proves it final (the proxy synchronization rule of §4.3).
+
+Realization of the §4.3 proxy rule
+----------------------------------
+The paper evaluates the send condition per proxy; we realize the identical
+schedule with a *master-authoritative* variant: mirrors reduce their local
+``(d, σ)`` candidates to the master whenever they improve, the master
+maintains the authoritative list ``L_v`` and evaluates the CONGEST send
+rule ``r = d_sv + ℓ(d_sv, s)`` on it, and fires exactly one broadcast per
+``(v, s)`` pair.  Because Gluon's reduce and broadcast happen in the same
+communication step, a candidate created by a round-``r`` fire is on the
+master at the start of round ``r+1`` — exactly when the CONGEST message
+would be in ``L_v`` — so the engine executes the same round schedule as
+Algorithm 3 and Lemma 8's ``k + H`` forward-round bound carries over
+(validated in the tests against :mod:`repro.core.mrbc_congest`).
+
+The accumulation phase reverses the timestamps exactly as Algorithm 5:
+vertex ``v`` fires its dependency broadcast for source ``s`` in round
+``A_sv = R − τ_sv + 1``, targeted at the hosts owning in-edges of ``v``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.batching import iter_batches
+from repro.core.sampling import sample_sources
+from repro.engine.gluon import (
+    TARGET_ALL_PROXIES,
+    TARGET_IN_EDGES,
+    GluonSubstrate,
+)
+from repro.engine.partition import PartitionedGraph, partition_graph
+from repro.engine.stats import EngineRun, RoundStats
+from repro.graph.digraph import DiGraph
+
+#: "Infinite" distance sentinel in the dense candidate arrays.
+INF = np.iinfo(np.int32).max
+
+#: Forward payload: dist (4B) + sigma (8B); the source slot is charged as
+#: metadata by Gluon's batched-source model.
+FWD_PAYLOAD_BYTES = 12
+#: Backward payload: dependency coefficient (8B) + dist (4B).
+BWD_PAYLOAD_BYTES = 12
+
+
+class MasterVertexState:
+    """Authoritative ``L_v`` at a master, with per-host contributions.
+
+    Each contributing host ``h`` reports its best local candidate
+    ``(d_h, σ_h)`` where ``σ_h`` sums shortest paths arriving over
+    ``h``-local in-edges.  The authoritative value is
+    ``d* = min_h d_h`` and ``σ* = Σ_{h: d_h = d*} σ_h`` — every in-edge of
+    the vertex lives on exactly one host, so this counts each predecessor
+    contribution once.
+    """
+
+    __slots__ = ("entries", "best", "contrib", "tau", "sent_prefix")
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[int, int]] = []  # sorted (d, source_idx)
+        self.best: dict[int, tuple[int, float]] = {}
+        self.contrib: dict[int, dict[int, tuple[int, float]]] = {}
+        self.tau: dict[int, int] = {}
+        self.sent_prefix = 0
+
+    def initialize_source(self, si: int) -> None:
+        """Seed the list with ``(0, si)`` — this master is a batch source."""
+        self.entries.append((0, si))
+        self.best[si] = (0, 1.0)
+        # Recorded as a virtual contribution (host −1) so that later real
+        # contributions can never displace the source's own zero distance.
+        self.contrib[si] = {-1: (0, 1.0)}
+
+    def apply_contribution(self, si: int, host: int, d: int, sigma: float) -> None:
+        """Merge one reduced candidate into the authoritative state."""
+        per_host = self.contrib.setdefault(si, {})
+        old = per_host.get(host)
+        if old is not None and old[0] < d:
+            return  # stale (the host already reported something better)
+        per_host[host] = (d, sigma)
+        d_star = min(dh for dh, _ in per_host.values())
+        sigma_star = sum(sg for dh, sg in per_host.values() if dh == d_star)
+        cur = self.best.get(si)
+        if cur is None:
+            pos = bisect_left(self.entries, (d_star, si))
+            assert pos >= self.sent_prefix, "insertion below sent prefix"
+            self.entries.insert(pos, (d_star, si))
+        elif d_star < cur[0]:
+            old_pos = bisect_left(self.entries, (cur[0], si))
+            assert old_pos >= self.sent_prefix, "replacing a fired entry"
+            del self.entries[old_pos]
+            pos = bisect_left(self.entries, (d_star, si))
+            assert pos >= self.sent_prefix, "replacement below sent prefix"
+            self.entries.insert(pos, (d_star, si))
+        elif d_star == cur[0] and sigma_star != cur[1]:
+            pos = bisect_left(self.entries, (d_star, si))
+            assert pos >= self.sent_prefix, "sigma update after fire"
+        self.best[si] = (d_star, sigma_star)
+
+    def next_fire(self, rnd: int) -> tuple[int, int, float] | None:
+        """Entry due to fire in ``rnd``: ``(d, si, σ)``, or None.
+
+        Same prefix logic as the CONGEST implementation: send rounds are
+        strictly increasing along the list, so fired entries form a stable
+        prefix.
+        """
+        if self.sent_prefix >= len(self.entries):
+            return None
+        d, si = self.entries[self.sent_prefix]
+        due = d + self.sent_prefix + 1
+        if due == rnd:
+            self.sent_prefix += 1
+            self.tau[si] = rnd
+            return d, si, self.best[si][1]
+        assert due > rnd, f"missed fire: entry {(d, si)} was due in round {due}"
+        return None
+
+    def all_fired(self) -> bool:
+        """True when every current entry has fired."""
+        return self.sent_prefix == len(self.entries)
+
+
+@dataclass
+class HostState:
+    """Per-host dense arrays for one batch (the §4.3 label layout)."""
+
+    #: Local candidate distances / path counts (mirror-side accumulation).
+    cand_dist: np.ndarray
+    cand_sigma: np.ndarray
+    #: Finalized values received via broadcast (needed for relaxation and
+    #: for the backward phase's predecessor test).
+    fin_dist: np.ndarray
+    fin_sigma: np.ndarray
+    #: Dirty flags for candidates to reduce at the next sync.
+    dirty: np.ndarray
+    #: Backward-phase partial dependency accumulator (flushed every round).
+    partial_delta: np.ndarray
+    delta_dirty: np.ndarray
+    #: Delayed-sync bookkeeping: per local vertex, the lexicographically
+    #: sorted list of candidate ``(d, si)`` pairs (the proxy's local
+    #: ``L_v``), and per (lid, si) the distance at which the candidate was
+    #: last reduced to the master (−1 = never).
+    local_lists: dict[int, list[tuple[int, int]]] = None  # type: ignore[assignment]
+    sent_d: np.ndarray = None  # type: ignore[assignment]
+    #: Local vertices that still have unsent candidate pairs.
+    unsent: set[int] = None  # type: ignore[assignment]
+
+
+@dataclass
+class MRBCEngineResult:
+    """Output of :func:`mrbc_engine`."""
+
+    bc: np.ndarray
+    dist: np.ndarray
+    sigma: np.ndarray
+    sources: np.ndarray
+    batch_size: int
+    run: EngineRun
+    forward_rounds: int
+    backward_rounds: int
+    partition: PartitionedGraph
+
+    @property
+    def total_rounds(self) -> int:
+        """All BSP rounds across batches and phases."""
+        return self.forward_rounds + self.backward_rounds
+
+    def rounds_per_source(self) -> float:
+        """The paper's Table 1 metric."""
+        return self.total_rounds / self.sources.size
+
+
+class _BatchExecutor:
+    """Runs one k-source batch (forward + backward) on the engine."""
+
+    def __init__(
+        self,
+        pg: PartitionedGraph,
+        gluon: GluonSubstrate,
+        run: EngineRun,
+        batch: np.ndarray,
+        delayed_sync: bool,
+    ) -> None:
+        self.pg = pg
+        self.gluon = gluon
+        self.run = run
+        self.batch = batch
+        self.k = batch.size
+        self.delayed_sync = delayed_sync
+        self.H = pg.num_hosts
+
+        self.hosts: list[HostState] = []
+        for part in pg.parts:
+            L = part.num_local
+            shape = (L, self.k)
+            self.hosts.append(
+                HostState(
+                    cand_dist=np.full(shape, INF, dtype=np.int64),
+                    cand_sigma=np.zeros(shape, dtype=np.float64),
+                    fin_dist=np.full(shape, INF, dtype=np.int64),
+                    fin_sigma=np.zeros(shape, dtype=np.float64),
+                    dirty=np.zeros(shape, dtype=bool),
+                    partial_delta=np.zeros(shape, dtype=np.float64),
+                    delta_dirty=np.zeros(shape, dtype=bool),
+                    local_lists={},
+                    sent_d=np.full(shape, -1, dtype=np.int64),
+                    unsent=set(),
+                )
+            )
+
+        # Master states, keyed by gid, living on master_of[gid].
+        self.masters: dict[int, MasterVertexState] = {}
+        for si, s in enumerate(batch):
+            ms = self.masters.setdefault(int(s), MasterVertexState())
+            ms.initialize_source(si)
+        self.delta: dict[int, np.ndarray] = {}
+
+    def _master(self, gid: int) -> MasterVertexState:
+        ms = self.masters.get(gid)
+        if ms is None:
+            ms = MasterVertexState()
+            self.masters[gid] = ms
+        return ms
+
+    # -- forward phase ---------------------------------------------------------
+
+    def _update_local_list(
+        self, st: HostState, lid: int, si: int, old_d: int, new_d: int
+    ) -> None:
+        """Maintain the proxy's sorted local pair list on a candidate update."""
+        lst = st.local_lists.get(lid)
+        if lst is None:
+            lst = st.local_lists[lid] = []
+        if old_d != INF and old_d != new_d:
+            i = bisect_left(lst, (old_d, si))
+            if i < len(lst) and lst[i] == (old_d, si):
+                del lst[i]
+        if old_d != new_d:
+            lst.insert(bisect_left(lst, (new_d, si)), (new_d, si))
+        st.unsent.add(lid)
+
+    def _stage_delayed(
+        self, rnd: int, pending_reduce: list[list[tuple]], rs: RoundStats
+    ) -> bool:
+        """Delayed synchronization (§4.3): reduce a proxy's ``(d, σ)`` label
+        to the master only once its local pipelining condition
+        ``r >= d + position`` holds — one reduce per (vertex, source) per
+        host unless the value changes after it was sent.
+        Returns whether anything is staged or still unsent."""
+        any_work = False
+        for h, st in enumerate(self.hosts):
+            part = self.pg.parts[h]
+            items = pending_reduce[h]
+            oc = rs.compute[h]
+            done: list[int] = []
+            for lid in st.unsent:
+                lst = st.local_lists[lid]
+                gid = int(part.gids[lid])
+                all_sent = True
+                # Flat-map lookup: the per-round schedule evaluation is
+                # the data-structure overhead §4.3/Figure 2 attribute to
+                # MRBC (one map probe per pending vertex per round).
+                oc.struct_ops += 1
+                for pos, (d, si) in enumerate(lst):
+                    if d + pos + 1 > rnd + 1:
+                        # Due rounds are increasing along the list; the
+                        # rest is not due yet.
+                        if any(
+                            st.sent_d[lid, si2] != d2 for d2, si2 in lst[pos:]
+                        ):
+                            all_sent = False
+                        break
+                    if st.sent_d[lid, si] != d:
+                        items.append((gid, si, d, float(st.cand_sigma[lid, si])))
+                        st.sent_d[lid, si] = d
+                if all_sent:
+                    done.append(lid)
+            for lid in done:
+                st.unsent.discard(lid)
+            if items or st.unsent:
+                any_work = True
+        return any_work
+
+    def _stage_eager(self, pending_reduce: list[list[tuple]]) -> bool:
+        """Ablation path: reduce every updated candidate every round."""
+        any_dirty = False
+        for h, st in enumerate(self.hosts):
+            part = self.pg.parts[h]
+            rows, cols = np.nonzero(st.dirty)
+            if rows.size:
+                any_dirty = True
+                gids = part.gids[rows]
+                items = pending_reduce[h]
+                cd = st.cand_dist[rows, cols]
+                cs = st.cand_sigma[rows, cols]
+                for g, si, d, sg in zip(
+                    gids.tolist(), cols.tolist(), cd.tolist(), cs.tolist()
+                ):
+                    items.append((g, si, d, sg))
+                st.dirty[:] = False
+        return any_dirty
+
+    def run_forward(self) -> int:
+        pg, gluon = self.pg, self.gluon
+        pending_reduce: list[list[tuple]] = [[] for _ in range(self.H)]
+        rnd = 0
+        while True:
+            rnd += 1
+            rs = self.run.new_round("forward")
+
+            # -- sync: reduce candidates, then evaluate fires at masters.
+            inbox = gluon.reduce_to_masters(
+                pending_reduce, FWD_PAYLOAD_BYTES, self.k, rs
+            )
+            pending_reduce = [[] for _ in range(self.H)]
+            for h, items in enumerate(inbox):
+                oc = rs.compute[h]
+                for gid, sender, si, d, sigma in items:
+                    self._master(gid).apply_contribution(si, sender, d, sigma)
+                    oc.struct_ops += 2  # flat-map lookup + update
+
+            fires: list[list[tuple]] = [[] for _ in range(self.H)]
+            any_pending = False
+            for gid, ms in self.masters.items():
+                h = int(pg.master_of[gid])
+                due = ms.next_fire(rnd)
+                if due is not None:
+                    d, si, sigma = due
+                    fires[h].append((gid, si, d, sigma))
+                    rs.compute[h].struct_ops += 1
+                if not ms.all_fired():
+                    any_pending = True
+
+            # Finalized labels broadcast to every proxy, as Gluon does —
+            # out-edge hosts relax, candidate-holding hosts learn the
+            # final value (suppressing stale longer-path reductions).
+            deliveries = gluon.broadcast_from_masters(
+                fires, TARGET_ALL_PROXIES, FWD_PAYLOAD_BYTES, self.k, rs
+            )
+
+            # -- compute: relax local out-edges of fired vertices.
+            for h, items in enumerate(deliveries):
+                part = pg.parts[h]
+                st = self.hosts[h]
+                oc = rs.compute[h]
+                for gid, si, d, sigma in items:
+                    lid = int(np.searchsorted(part.gids, gid))
+                    st.fin_dist[lid, si] = d
+                    st.fin_sigma[lid, si] = sigma
+                    if self.delayed_sync:
+                        # The broadcast value supersedes this host's own
+                        # candidate: record it as already synchronized.  A
+                        # worse local candidate can never become a valid
+                        # min-distance contribution (every predecessor at
+                        # d-1 fired before v), so its σ is dropped.
+                        old = int(st.cand_dist[lid, si])
+                        if old != INF:
+                            self._update_local_list(st, lid, si, old, d)
+                            if old > d:
+                                st.cand_dist[lid, si] = d
+                                st.cand_sigma[lid, si] = 0.0
+                        st.sent_d[lid, si] = d
+                        oc.struct_ops += 1  # local-list reconciliation
+                    nbrs = part.out_neighbors_local(lid)
+                    oc.vertex_ops += 1
+                    oc.edge_ops += nbrs.size
+                    if nbrs.size == 0:
+                        continue
+                    nd = d + 1
+                    cd = st.cand_dist[nbrs, si]
+                    # Suppress relaxations the finalized value already beats.
+                    open_mask = st.fin_dist[nbrs, si] >= nd
+                    better = (nd < cd) & open_mask
+                    equal = (nd == cd) & open_mask
+                    if np.any(better):
+                        tgt = nbrs[better]
+                        old_ds = st.cand_dist[tgt, si].tolist()
+                        st.cand_dist[tgt, si] = nd
+                        st.cand_sigma[tgt, si] = sigma
+                        st.dirty[tgt, si] = True
+                        oc.struct_ops += int(better.sum())
+                        if self.delayed_sync:
+                            oc.struct_ops += int(better.sum())  # list upkeep
+                            for w, od in zip(tgt.tolist(), old_ds):
+                                self._update_local_list(st, w, si, od, nd)
+                    if np.any(equal):
+                        tgt = nbrs[equal]
+                        st.cand_sigma[tgt, si] += sigma
+                        st.dirty[tgt, si] = True
+                        oc.struct_ops += int(equal.sum())
+                        if self.delayed_sync:
+                            for w in tgt.tolist():
+                                # σ grew at the same distance: if the label
+                                # was already reduced, it must be re-sent
+                                # (rare; see module docstring).
+                                if st.sent_d[w, si] == nd:
+                                    st.sent_d[w, si] = -1
+                                st.unsent.add(w)
+
+            # -- stage reductions for the next round's sync.
+            if self.delayed_sync:
+                for st in self.hosts:
+                    st.dirty[:] = False
+                any_work = self._stage_delayed(rnd, pending_reduce, rs)
+            else:
+                any_work = self._stage_eager(pending_reduce)
+
+            if not any_work and not any_pending:
+                break
+        return rnd
+
+    # -- backward phase ----------------------------------------------------------
+
+    def run_backward(self) -> int:
+        pg, gluon = self.pg, self.gluon
+        R = max((max(ms.tau.values()) for ms in self.masters.values() if ms.tau), default=1)
+        # Fire schedule per master: round -> list of source idx.
+        schedule: dict[int, dict[int, int]] = {}
+        for gid, ms in self.masters.items():
+            for si, tau in ms.tau.items():
+                if int(self.batch[si]) == gid:
+                    continue  # the source itself has no predecessors
+                schedule.setdefault(gid, {})[R - tau + 1] = si
+            self.delta[gid] = np.zeros(self.k, dtype=np.float64)
+        # Sources with no schedule entry still need delta rows for output.
+        for gid in self.masters:
+            self.delta.setdefault(gid, np.zeros(self.k, dtype=np.float64))
+
+        pending_reduce: list[list[tuple]] = [[] for _ in range(self.H)]
+        rnd = 0
+        while True:
+            rnd += 1
+            rs = self.run.new_round("backward")
+
+            # -- sync: reduce partial dependencies, then fire broadcasts.
+            inbox = gluon.reduce_to_masters(
+                pending_reduce, BWD_PAYLOAD_BYTES, self.k, rs
+            )
+            pending_reduce = [[] for _ in range(self.H)]
+            for h, items in enumerate(inbox):
+                oc = rs.compute[h]
+                for gid, _sender, si, pd in items:
+                    self.delta[gid][si] += pd
+                    oc.struct_ops += 1
+
+            fires: list[list[tuple]] = [[] for _ in range(self.H)]
+            for gid, by_round in schedule.items():
+                si = by_round.get(rnd)
+                if si is None:
+                    continue
+                ms = self.masters[gid]
+                d, sigma = ms.best[si]
+                m = (1.0 + self.delta[gid][si]) / sigma
+                h = int(pg.master_of[gid])
+                fires[h].append((gid, si, m, d))
+                rs.compute[h].struct_ops += 1
+
+            deliveries = gluon.broadcast_from_masters(
+                fires, TARGET_IN_EDGES, BWD_PAYLOAD_BYTES, self.k, rs
+            )
+
+            # -- compute: credit local predecessors.
+            for h, items in enumerate(deliveries):
+                part = pg.parts[h]
+                st = self.hosts[h]
+                oc = rs.compute[h]
+                for gid, si, m, d in items:
+                    lid = int(np.searchsorted(part.gids, gid))
+                    preds = part.in_neighbors_local(lid)
+                    oc.vertex_ops += 1
+                    oc.edge_ops += preds.size
+                    if preds.size == 0:
+                        continue
+                    is_pred = st.fin_dist[preds, si] == d - 1
+                    if np.any(is_pred):
+                        tgt = preds[is_pred]
+                        st.partial_delta[tgt, si] += st.fin_sigma[tgt, si] * m
+                        st.delta_dirty[tgt, si] = True
+                        oc.struct_ops += int(is_pred.sum())
+
+            # -- stage dirty partials (flushed, delta-style).
+            any_dirty = False
+            for h, st in enumerate(self.hosts):
+                part = pg.parts[h]
+                rows, cols = np.nonzero(st.delta_dirty)
+                if rows.size:
+                    any_dirty = True
+                    gids = part.gids[rows]
+                    pd = st.partial_delta[rows, cols]
+                    items = pending_reduce[h]
+                    for g, si, v in zip(gids.tolist(), cols.tolist(), pd.tolist()):
+                        items.append((g, si, v))
+                    st.partial_delta[rows, cols] = 0.0
+                    st.delta_dirty[:] = False
+
+            if not any_dirty and rnd >= R:
+                break
+        return rnd
+
+
+def mrbc_engine(
+    g: DiGraph,
+    sources: np.ndarray | list[int] | None = None,
+    num_sources: int | None = None,
+    batch_size: int = 32,
+    num_hosts: int = 8,
+    policy: str = "cvc",
+    partition: PartitionedGraph | None = None,
+    delayed_sync: bool = True,
+    forward_only: bool = False,
+    seed: int | None = None,
+) -> MRBCEngineResult:
+    """Run Min-Rounds BC on the simulated D-Galois engine.
+
+    Parameters
+    ----------
+    sources:
+        Explicit source vertices; if ``None``, ``num_sources`` are sampled
+        (contiguous chunk, the paper's §5.1 protocol; default: all
+        vertices).
+    batch_size:
+        Sources per simultaneous batch (the paper's ``k``; Figure 1).
+    num_hosts, policy, partition:
+        Partitioning configuration; pass a prebuilt ``partition`` to share
+        it across algorithms (as the benchmarks do).
+    forward_only:
+        Run only the k-SSP forward phase (distances and σ; BC stays zero)
+        — used by :func:`repro.core.kssp.kssp`.
+    delayed_sync:
+        Disable only for the ablation benchmark — eagerly broadcasts
+        provisional values, inflating communication exactly as §4.3 says
+        the optimization avoids.
+
+    Returns per-vertex BC (summed over the sampled sources), per-source
+    distances and path counts, and the full engine statistics.
+    """
+    if partition is None:
+        partition = partition_graph(g, num_hosts, policy)
+    elif partition.graph is not g:
+        raise ValueError("partition was built for a different graph")
+    pg = partition
+    if sources is None:
+        if num_sources is None:
+            src = np.arange(g.num_vertices, dtype=np.int64)
+        else:
+            src = sample_sources(g, num_sources, seed=seed)
+    else:
+        src = np.asarray(sources, dtype=np.int64).ravel()
+    if src.size == 0:
+        raise ValueError("need at least one source")
+
+    gluon = GluonSubstrate(pg)
+    run = EngineRun(num_hosts=pg.num_hosts)
+    n = g.num_vertices
+    bc = np.zeros(n, dtype=np.float64)
+    dist = np.full((src.size, n), -1, dtype=np.int64)
+    sigma = np.zeros((src.size, n), dtype=np.float64)
+    fwd_rounds = 0
+    bwd_rounds = 0
+
+    for b0, batch in enumerate(iter_batches(src, batch_size)):
+        ex = _BatchExecutor(pg, gluon, run, batch, delayed_sync)
+        fwd_rounds += ex.run_forward()
+        if not forward_only:
+            bwd_rounds += ex.run_backward()
+        base = b0 * batch_size
+        for gid, ms in ex.masters.items():
+            for si, (d, sg) in ms.best.items():
+                dist[base + si, gid] = d
+                sigma[base + si, gid] = sg
+        if not forward_only:
+            for gid, dl in ex.delta.items():
+                for si in range(batch.size):
+                    if int(batch[si]) != gid:
+                        bc[gid] += dl[si]
+
+    return MRBCEngineResult(
+        bc=bc,
+        dist=dist,
+        sigma=sigma,
+        sources=src,
+        batch_size=batch_size,
+        run=run,
+        forward_rounds=fwd_rounds,
+        backward_rounds=bwd_rounds,
+        partition=pg,
+    )

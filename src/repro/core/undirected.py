@@ -1,0 +1,48 @@
+"""Undirected betweenness centrality (Theorem 1, part III).
+
+"If G is undirected the bounds for rounds and messages in parts (I) and
+(II) hold with D replaced by Du."  An undirected graph is handled by
+running the directed algorithm on the symmetric closure, whose CONGEST
+communication network coincides with the graph itself.
+
+Convention note: the directed definition counts the ordered pairs (s, t)
+and (t, s) separately, so on a symmetric closure every unordered pair is
+counted twice — directed-convention scores are exactly 2× the classical
+undirected BC (NetworkX's ``betweenness_centrality`` on an undirected
+graph).  :func:`undirected_bc` returns the classical (halved) values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mrbc import mrbc_engine
+from repro.core.mrbc_congest import mrbc_congest
+from repro.graph.digraph import DiGraph
+
+
+def undirected_bc(
+    g: DiGraph,
+    sources: np.ndarray | list[int] | None = None,
+    method: str = "engine",
+    **kwargs: object,
+) -> np.ndarray:
+    """Classical undirected BC of ``g`` (treated as undirected).
+
+    ``g`` may be any digraph; its symmetric closure is used.  ``method``
+    selects the MRBC implementation (``"engine"`` or ``"congest"``);
+    remaining keyword arguments are forwarded (``num_hosts``,
+    ``batch_size``, ``use_finalizer``, ...).
+
+    With sampled ``sources`` the result is the sampled betweenness-score
+    sum under the undirected convention: each sampled source contributes
+    its dependencies once, halved to undo the ordered-pair double count.
+    """
+    ug = g.to_undirected()
+    if method == "engine":
+        bc = mrbc_engine(ug, sources=sources, **kwargs).bc  # type: ignore[arg-type]
+    elif method == "congest":
+        bc = mrbc_congest(ug, sources=sources, **kwargs).bc  # type: ignore[arg-type]
+    else:
+        raise ValueError(f"unknown method {method!r} (engine|congest)")
+    return bc / 2.0

@@ -1,0 +1,70 @@
+"""D-Galois-style distributed graph engine (simulated).
+
+The paper implements MRBC in D-Galois, a BSP graph analytics system built
+on the Gluon communication substrate (§4.1): the input graph is partitioned
+across hosts, each endpoint of a host-local edge gets a *proxy* on that
+host, one proxy per vertex is the *master*, and each BSP round is local
+computation followed by Gluon reconciling proxy labels (reduce at the
+master, broadcast to mirrors).
+
+This subpackage simulates that stack faithfully at Python scale:
+
+- :mod:`repro.engine.partition` — partitioning policies (outgoing /
+  incoming edge-cuts, the Cartesian vertex-cut used in the paper's
+  evaluation, random) and the per-host CSR structures.
+- :mod:`repro.engine.gluon` — the communication substrate: reduce and
+  broadcast primitives with update tracking, metadata compression
+  modelling, and exact per-host-pair byte accounting.
+- :mod:`repro.engine.stats` — per-round computation and communication
+  statistics (the raw material for Figures 2-3 and the load-imbalance rows
+  of Table 1), consumed by :mod:`repro.cluster`.
+"""
+
+from repro.engine.partition import (
+    HostPartition,
+    PartitionedGraph,
+    cartesian_vertex_cut,
+    edge_cut_incoming,
+    edge_cut_outgoing,
+    partition_graph,
+    random_edge_cut,
+)
+from repro.engine.bsp import BSPAlgorithm, BSPRunResult, run_bsp, sssp_engine
+from repro.engine.gluon import GluonSubstrate
+from repro.engine.persist import load_run, save_run
+from repro.engine.serialize import decode_message, encode_message, encoded_size
+from repro.engine.programs import (
+    VertexProgramResult,
+    bfs_engine,
+    kcore_engine,
+    pagerank_engine,
+    wcc_engine,
+)
+from repro.engine.stats import EngineRun, RoundStats
+
+__all__ = [
+    "BSPAlgorithm",
+    "BSPRunResult",
+    "EngineRun",
+    "GluonSubstrate",
+    "HostPartition",
+    "PartitionedGraph",
+    "RoundStats",
+    "VertexProgramResult",
+    "bfs_engine",
+    "kcore_engine",
+    "cartesian_vertex_cut",
+    "edge_cut_incoming",
+    "edge_cut_outgoing",
+    "decode_message",
+    "encode_message",
+    "encoded_size",
+    "load_run",
+    "pagerank_engine",
+    "partition_graph",
+    "random_edge_cut",
+    "run_bsp",
+    "save_run",
+    "sssp_engine",
+    "wcc_engine",
+]

@@ -1,0 +1,212 @@
+"""A reusable BSP vertex-program driver for the simulated engine.
+
+The programs in :mod:`repro.engine.programs` and the BC algorithms all
+share one skeleton per round:
+
+1. masters **broadcast** the labels that changed (the "fires"),
+2. each host runs its **compute** operator over the deliveries, staging
+   per-host reduction items,
+3. staged items **reduce** to masters, which update authoritative state
+   and decide the next round's fires,
+4. the run ends at global quiescence (no fires, nothing staged).
+
+:func:`run_bsp` packages that skeleton so a new distributed algorithm only
+supplies the three callbacks — the way D-Galois users write an operator
+and a reduction and get BSP execution, synchronization, and statistics
+for free.  :func:`sssp_engine` (weighted SSSP by synchronous Bellman-Ford)
+is both a useful algorithm and the reference example of the API.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.gluon import TARGET_ALL_PROXIES, GluonSubstrate
+from repro.engine.partition import HostPartition, PartitionedGraph, partition_graph
+from repro.engine.stats import EngineRun
+from repro.graph.weighted import WeightedDiGraph
+from repro.utils.timing import OpCounter
+
+
+class BSPAlgorithm(ABC):
+    """Callbacks defining one BSP vertex program.
+
+    Attributes
+    ----------
+    phase:
+        Label for the round statistics.
+    payload_bytes, batch_width:
+        Per-item wire size and batching factor for Gluon's accounting.
+    broadcast_target:
+        Which proxies receive master broadcasts (a Gluon target selector).
+    """
+
+    phase: str = "bsp"
+    payload_bytes: int = 12
+    batch_width: int = 1
+    broadcast_target: str = TARGET_ALL_PROXIES
+
+    @abstractmethod
+    def initial_fires(self) -> list[tuple]:
+        """Master-side ``(gid, *values)`` items broadcast in round 1."""
+
+    @abstractmethod
+    def host_compute(
+        self,
+        host: int,
+        part: HostPartition,
+        deliveries: list[tuple],
+        oc: OpCounter,
+    ) -> list[tuple]:
+        """Apply the operator on one host; return staged reduce items."""
+
+    @abstractmethod
+    def master_update(
+        self, inbox: list[tuple], oc_by_host: list[OpCounter]
+    ) -> list[tuple]:
+        """Fold reduced items into master state; return next fires.
+
+        ``inbox`` items are ``(gid, sender_host, *values)``.
+        """
+
+
+@dataclass
+class BSPRunResult:
+    """Outcome of :func:`run_bsp`."""
+
+    rounds: int
+    run: EngineRun
+
+
+def run_bsp(
+    pg: PartitionedGraph,
+    algorithm: BSPAlgorithm,
+    max_rounds: int = 1_000_000,
+    run: EngineRun | None = None,
+) -> BSPRunResult:
+    """Drive ``algorithm`` to global quiescence on partition ``pg``."""
+    gluon = GluonSubstrate(pg)
+    if run is None:
+        run = EngineRun(num_hosts=pg.num_hosts)
+    H = pg.num_hosts
+    fires_flat = algorithm.initial_fires()
+    rounds = 0
+    while fires_flat and rounds < max_rounds:
+        rounds += 1
+        rs = run.new_round(algorithm.phase)
+        fires: list[list[tuple]] = [[] for _ in range(H)]
+        for item in fires_flat:
+            fires[int(pg.master_of[item[0]])].append(item)
+        deliveries = gluon.broadcast_from_masters(
+            fires,
+            algorithm.broadcast_target,
+            algorithm.payload_bytes,
+            algorithm.batch_width,
+            rs,
+        )
+        pending: list[list[tuple]] = [[] for _ in range(H)]
+        for h in range(H):
+            pending[h] = algorithm.host_compute(
+                h, pg.parts[h], deliveries[h], rs.compute[h]
+            )
+        inbox = gluon.reduce_to_masters(
+            pending, algorithm.payload_bytes, algorithm.batch_width, rs
+        )
+        merged: list[tuple] = []
+        for h in range(H):
+            merged.extend(inbox[h])
+        fires_flat = algorithm.master_update(merged, rs.compute)
+    return BSPRunResult(rounds=rounds, run=run)
+
+
+# -- reference algorithm: weighted SSSP -----------------------------------------
+
+
+class _SSSP(BSPAlgorithm):
+    """Synchronous Bellman-Ford over a weighted graph."""
+
+    phase = "sssp"
+    payload_bytes = 12  # f64 distance + metadata slack
+
+    def __init__(self, wg: WeightedDiGraph, pg: PartitionedGraph, source: int):
+        self.wg = wg
+        self.pg = pg
+        self.source = source
+        n = wg.num_vertices
+        self.master_dist = np.full(n, np.inf)
+        self.master_dist[source] = 0.0
+        # Per host: the distance at which each proxy's out-edges were last
+        # relaxed, and the best candidate staged per target (to suppress
+        # re-staging of dominated values).  Kept separate: a broadcast
+        # confirming this host's own candidate must still trigger
+        # relaxation exactly once.
+        self.relaxed = [np.full(p.num_local, np.inf) for p in pg.parts]
+        self.cand = [np.full(p.num_local, np.inf) for p in pg.parts]
+        # Local out-edge weights aligned with each part's CSR.
+        self.local_w = []
+        for p in pg.parts:
+            w = np.empty(p.out_targets.size)
+            for lid in range(p.num_local):
+                u = int(p.gids[lid])
+                sl = slice(p.out_offsets[lid], p.out_offsets[lid + 1])
+                targets = p.gids[p.out_targets[sl]]
+                for j, v in enumerate(targets.tolist()):
+                    w[sl.start + j] = wg.edge_weight(u, int(v))
+            self.local_w.append(w)
+
+    def initial_fires(self) -> list[tuple]:
+        return [(self.source, 0.0)]
+
+    def host_compute(self, host, part, deliveries, oc):
+        relaxed = self.relaxed[host]
+        cand = self.cand[host]
+        w = self.local_w[host]
+        staged: dict[int, float] = {}
+        for gid, d in deliveries:
+            lid = int(np.searchsorted(part.gids, gid))
+            if d >= relaxed[lid]:
+                continue  # out-edges already relaxed at this distance
+            relaxed[lid] = d
+            sl = slice(part.out_offsets[lid], part.out_offsets[lid + 1])
+            nbrs = part.out_targets[sl]
+            oc.vertex_ops += 1
+            oc.edge_ops += nbrs.size
+            nd = d + w[sl]
+            better = nd < cand[nbrs]
+            for t, c in zip(nbrs[better].tolist(), nd[better].tolist()):
+                cand[t] = c
+                g = int(part.gids[t])
+                if c < staged.get(g, np.inf):
+                    staged[g] = c
+        return [(g, d) for g, d in staged.items()]
+
+    def master_update(self, inbox, oc_by_host):
+        fires: list[tuple] = []
+        for gid, sender, d in inbox:
+            oc_by_host[int(self.pg.master_of[gid])].struct_ops += 1
+            if d < self.master_dist[gid]:
+                self.master_dist[gid] = d
+                fires.append((gid, d))
+        return fires
+
+
+def sssp_engine(
+    wg: WeightedDiGraph,
+    source: int,
+    num_hosts: int = 8,
+    partition: PartitionedGraph | None = None,
+) -> tuple[np.ndarray, BSPRunResult]:
+    """Weighted single-source shortest paths on the engine.
+
+    Returns ``(distances, run_result)``; unreachable vertices get ``inf``.
+    """
+    if not 0 <= source < wg.num_vertices:
+        raise ValueError("source out of range")
+    if partition is None:
+        partition = partition_graph(wg.graph, num_hosts, "cvc")
+    algo = _SSSP(wg, partition, source)
+    result = run_bsp(partition, algo)
+    return algo.master_dist.copy(), result

@@ -1,0 +1,98 @@
+"""Persistence for engine statistics: save/load an EngineRun as ``.npz``.
+
+The benchmark harness compares many (algorithm × graph × hosts × batch)
+configurations; persisting the per-round statistics lets expensive runs be
+collected once and re-analyzed under different cluster-model constants
+without re-simulating (the artifact-appendix workflow: collect on the
+cluster, post-process locally).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.engine.stats import EngineRun, RoundStats
+from repro.utils.timing import OpCounter
+
+_FORMAT_VERSION = 1
+
+#: Phase names are stored as small integers for compactness.
+_PHASES = ("forward", "backward", "bfs", "wcc", "pagerank", "other")
+
+
+def _phase_code(phase: str) -> int:
+    try:
+        return _PHASES.index(phase)
+    except ValueError:
+        return _PHASES.index("other")
+
+
+def save_run(run: EngineRun, path: str | os.PathLike) -> None:
+    """Serialize ``run`` to a compressed NumPy archive."""
+    R = run.num_rounds
+    H = run.num_hosts
+    compute = np.zeros((R, H, 3), dtype=np.int64)
+    bytes_io = np.zeros((R, H, 2), dtype=np.int64)
+    msgs_io = np.zeros((R, H, 2), dtype=np.int64)
+    scalars = np.zeros((R, 4), dtype=np.int64)
+    phases = np.zeros(R, dtype=np.int64)
+    for i, rs in enumerate(run.rounds):
+        for h, oc in enumerate(rs.compute):
+            compute[i, h] = (oc.vertex_ops, oc.edge_ops, oc.struct_ops)
+        bytes_io[i, :, 0] = rs.bytes_out
+        bytes_io[i, :, 1] = rs.bytes_in
+        msgs_io[i, :, 0] = rs.msgs_out
+        msgs_io[i, :, 1] = rs.msgs_in
+        scalars[i] = (
+            rs.pair_messages,
+            rs.items_synced,
+            rs.proxies_synced,
+            rs.round_index,
+        )
+        phases[i] = _phase_code(rs.phase)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        num_hosts=np.int64(H),
+        compute=compute,
+        bytes_io=bytes_io,
+        msgs_io=msgs_io,
+        scalars=scalars,
+        phases=phases,
+    )
+
+
+def load_run(path: str | os.PathLike) -> EngineRun:
+    """Load an :class:`EngineRun` written by :func:`save_run`."""
+    with np.load(path) as data:
+        if int(data["version"]) != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported run-file version {int(data['version'])}"
+            )
+        H = int(data["num_hosts"])
+        run = EngineRun(num_hosts=H)
+        compute = data["compute"]
+        bytes_io = data["bytes_io"]
+        msgs_io = data["msgs_io"]
+        scalars = data["scalars"]
+        phases = data["phases"]
+        for i in range(compute.shape[0]):
+            rs = RoundStats(
+                round_index=int(scalars[i, 3]),
+                phase=_PHASES[int(phases[i])],
+                compute=[
+                    OpCounter(*(int(x) for x in compute[i, h]))
+                    for h in range(H)
+                ],
+                bytes_out=bytes_io[i, :, 0].copy(),
+                bytes_in=bytes_io[i, :, 1].copy(),
+                msgs_out=msgs_io[i, :, 0].copy(),
+                msgs_in=msgs_io[i, :, 1].copy(),
+                pair_messages=int(scalars[i, 0]),
+                items_synced=int(scalars[i, 1]),
+                proxies_synced=int(scalars[i, 2]),
+            )
+            run.rounds.append(rs)
+        return run

@@ -1,0 +1,332 @@
+"""General vertex programs on the simulated D-Galois engine.
+
+D-Galois is a general graph analytics system, not a BC appliance (§4.1:
+"D-Galois supports vertex programs: each vertex in the graph has one or
+more labels ... updated by applying a computation rule called an operator
+to the active vertices ... until a global quiescence condition is
+reached").  This module implements three classic vertex programs on the
+same partitioned substrate MRBC and SBBC run on, demonstrating (and
+testing) the engine beyond betweenness centrality:
+
+- :func:`bfs_engine` — level-synchronous single-source BFS (min reduce);
+- :func:`wcc_engine` — weakly connected components by label propagation
+  (min reduce over the undirected closure);
+- :func:`pagerank_engine` — topology-driven PageRank (sum reduce of
+  residual contributions per iteration).
+
+Each returns per-vertex results plus an :class:`~repro.engine.stats.
+EngineRun` so the communication behaviour of these workloads can be
+studied with the same cluster model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.gluon import TARGET_ALL_PROXIES, GluonSubstrate
+from repro.engine.partition import PartitionedGraph, partition_graph
+from repro.engine.stats import EngineRun
+from repro.graph.digraph import DiGraph
+
+INF = np.iinfo(np.int64).max
+
+
+@dataclass
+class VertexProgramResult:
+    """Per-vertex values plus the engine statistics of the run."""
+
+    values: np.ndarray
+    run: EngineRun
+    rounds: int
+
+
+def bfs_engine(
+    g: DiGraph,
+    source: int,
+    num_hosts: int = 8,
+    partition: PartitionedGraph | None = None,
+) -> VertexProgramResult:
+    """Level-synchronous BFS distances from ``source`` on the engine."""
+    if not 0 <= source < g.num_vertices:
+        raise ValueError("source out of range")
+    if partition is None:
+        partition = partition_graph(g, num_hosts, "cvc")
+    pg = partition
+    gluon = GluonSubstrate(pg)
+    run = EngineRun(num_hosts=pg.num_hosts)
+
+    H = pg.num_hosts
+    local_dist = [np.full(p.num_local, INF, dtype=np.int64) for p in pg.parts]
+    master_dist: dict[int, int] = {source: 0}
+    newly_settled = [(source, 0)]
+    rounds = 0
+    while True:
+        rounds += 1
+        rs = run.new_round("bfs")
+        fires: list[list[tuple]] = [[] for _ in range(H)]
+        for gid, d in newly_settled:
+            fires[int(pg.master_of[gid])].append((gid, d))
+        deliveries = gluon.broadcast_from_masters(
+            fires, TARGET_ALL_PROXIES, 4, 1, rs
+        )
+        newly_settled = []
+        pending: list[list[tuple]] = [[] for _ in range(H)]
+        for h, items in enumerate(deliveries):
+            part = pg.parts[h]
+            ld = local_dist[h]
+            oc = rs.compute[h]
+            for gid, d in items:
+                lid = int(np.searchsorted(part.gids, gid))
+                ld[lid] = min(ld[lid], d)
+                nbrs = part.out_neighbors_local(lid)
+                oc.vertex_ops += 1
+                oc.edge_ops += nbrs.size
+                if nbrs.size == 0:
+                    continue
+                fresh = ld[nbrs] == INF
+                tgt = nbrs[fresh]
+                if tgt.size:
+                    ld[tgt] = d + 1
+                    for w in part.gids[tgt].tolist():
+                        pending[h].append((w, d + 1))
+        inbox = gluon.reduce_to_masters(pending, 4, 1, rs)
+        for h, items in enumerate(inbox):
+            oc = rs.compute[h]
+            for gid, _sender, d in items:
+                oc.struct_ops += 1
+                cur = master_dist.get(gid)
+                if cur is None:
+                    master_dist[gid] = d
+                    newly_settled.append((gid, d))
+                # Level synchrony: later candidates can only be >= cur.
+        if not newly_settled:
+            break
+
+    values = np.full(g.num_vertices, -1, dtype=np.int64)
+    for gid, d in master_dist.items():
+        values[gid] = d
+    return VertexProgramResult(values=values, run=run, rounds=rounds)
+
+
+def wcc_engine(
+    g: DiGraph,
+    num_hosts: int = 8,
+    partition: PartitionedGraph | None = None,
+) -> VertexProgramResult:
+    """Weakly connected components by min-label propagation.
+
+    Every vertex starts with its own id; labels flow along the undirected
+    closure of the edges until quiescence.  The returned value per vertex
+    is the smallest vertex id in its weak component.
+    """
+    if partition is None:
+        partition = partition_graph(g, num_hosts, "cvc")
+    pg = partition
+    gluon = GluonSubstrate(pg)
+    run = EngineRun(num_hosts=pg.num_hosts)
+    H = pg.num_hosts
+    n = g.num_vertices
+
+    master_label = np.arange(n, dtype=np.int64)
+    changed = np.arange(n, dtype=np.int64)  # gids whose label changed
+    local_label = [p.gids.copy() for p in pg.parts]
+    rounds = 0
+    while changed.size:
+        rounds += 1
+        rs = run.new_round("wcc")
+        fires: list[list[tuple]] = [[] for _ in range(H)]
+        for gid in changed.tolist():
+            fires[int(pg.master_of[gid])].append((gid, int(master_label[gid])))
+        deliveries = gluon.broadcast_from_masters(
+            fires, TARGET_ALL_PROXIES, 8, 1, rs
+        )
+        pending: list[list[tuple]] = [[] for _ in range(H)]
+        for h, items in enumerate(deliveries):
+            part = pg.parts[h]
+            ll = local_label[h]
+            oc = rs.compute[h]
+            staged: dict[int, int] = {}
+            for gid, lab in items:
+                lid = int(np.searchsorted(part.gids, gid))
+                ll[lid] = min(ll[lid], lab)
+                # Undirected propagation: push along out- AND in-edges.
+                for nbrs in (
+                    part.out_neighbors_local(lid),
+                    part.in_neighbors_local(lid),
+                ):
+                    oc.edge_ops += nbrs.size
+                    if nbrs.size == 0:
+                        continue
+                    better = ll[nbrs] > lab
+                    tgt = nbrs[better]
+                    if tgt.size:
+                        ll[tgt] = lab
+                        for w in part.gids[tgt].tolist():
+                            cur = staged.get(w)
+                            if cur is None or lab < cur:
+                                staged[w] = lab
+                oc.vertex_ops += 1
+            pending[h] = [(w, lab) for w, lab in staged.items()]
+        inbox = gluon.reduce_to_masters(pending, 8, 1, rs)
+        changed_set: set[int] = set()
+        for h, items in enumerate(inbox):
+            oc = rs.compute[h]
+            for gid, _sender, lab in items:
+                oc.struct_ops += 1
+                if lab < master_label[gid]:
+                    master_label[gid] = lab
+                    changed_set.add(gid)
+        changed = np.fromiter(changed_set, dtype=np.int64, count=len(changed_set))
+
+    return VertexProgramResult(values=master_label, run=run, rounds=rounds)
+
+
+def pagerank_engine(
+    g: DiGraph,
+    damping: float = 0.85,
+    tol: float = 1e-8,
+    max_iters: int = 200,
+    num_hosts: int = 8,
+    partition: PartitionedGraph | None = None,
+) -> VertexProgramResult:
+    """Topology-driven PageRank with per-iteration sum reduction.
+
+    Dangling mass is redistributed uniformly each iteration (the standard
+    stochastic fix), so ranks sum to 1.  Iterates to an L1 residual below
+    ``tol`` or ``max_iters``.
+    """
+    if not 0 < damping < 1:
+        raise ValueError("damping must be in (0, 1)")
+    if partition is None:
+        partition = partition_graph(g, num_hosts, "cvc")
+    pg = partition
+    gluon = GluonSubstrate(pg)
+    run = EngineRun(num_hosts=pg.num_hosts)
+    H = pg.num_hosts
+    n = g.num_vertices
+    out_deg = g.out_degrees().astype(np.float64)
+    dangling = out_deg == 0
+
+    rank = np.full(n, 1.0 / n)
+    rounds = 0
+    for _ in range(max_iters):
+        rounds += 1
+        rs = run.new_round("pagerank")
+        # Masters broadcast each vertex's current contribution r/outdeg.
+        fires: list[list[tuple]] = [[] for _ in range(H)]
+        contrib = np.where(dangling, 0.0, rank / np.maximum(out_deg, 1.0))
+        for gid in range(n):
+            if contrib[gid] > 0.0:
+                fires[int(pg.master_of[gid])].append((gid, float(contrib[gid])))
+        deliveries = gluon.broadcast_from_masters(
+            fires, TARGET_ALL_PROXIES, 8, 1, rs
+        )
+        partial = [np.zeros(p.num_local) for p in pg.parts]
+        pending: list[list[tuple]] = [[] for _ in range(H)]
+        for h, items in enumerate(deliveries):
+            part = pg.parts[h]
+            acc = partial[h]
+            oc = rs.compute[h]
+            for gid, c in items:
+                lid = int(np.searchsorted(part.gids, gid))
+                nbrs = part.out_neighbors_local(lid)
+                oc.vertex_ops += 1
+                oc.edge_ops += nbrs.size
+                if nbrs.size:
+                    acc[nbrs] += c
+            rows = np.nonzero(acc)[0]
+            pending[h] = [
+                (int(part.gids[r]), float(acc[r])) for r in rows.tolist()
+            ]
+        inbox = gluon.reduce_to_masters(pending, 8, 1, rs)
+        new_rank = np.zeros(n)
+        for h, items in enumerate(inbox):
+            oc = rs.compute[h]
+            for gid, _sender, val in items:
+                new_rank[gid] += val
+                oc.struct_ops += 1
+        dangling_mass = float(rank[dangling].sum())
+        new_rank = (1 - damping) / n + damping * (new_rank + dangling_mass / n)
+        residual = float(np.abs(new_rank - rank).sum())
+        rank = new_rank
+        if residual < tol:
+            break
+
+    return VertexProgramResult(values=rank, run=run, rounds=rounds)
+
+
+def kcore_engine(
+    g: DiGraph,
+    k: int,
+    num_hosts: int = 8,
+    partition: PartitionedGraph | None = None,
+) -> VertexProgramResult:
+    """k-core decomposition by synchronous peeling (undirected degrees).
+
+    Each round, every live vertex whose undirected degree among live
+    vertices has dropped below ``k`` dies; its neighbors' degrees are
+    decremented through a sum-reduce of per-host decrement counts.  The
+    returned values are 1 for vertices in the k-core, 0 otherwise —
+    matching ``networkx.k_core`` on the undirected closure.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if partition is None:
+        partition = partition_graph(g, num_hosts, "cvc")
+    pg = partition
+    gluon = GluonSubstrate(pg)
+    run = EngineRun(num_hosts=pg.num_hosts)
+    H = pg.num_hosts
+    n = g.num_vertices
+
+    # Undirected degree = |out ∪ in| neighbors; compute from the closure.
+    ug = g.to_undirected()
+    degree = ug.out_degrees().astype(np.int64)
+    alive = np.ones(n, dtype=bool)
+    newly_dead = np.nonzero(degree < k)[0]
+    alive[newly_dead] = False
+    rounds = 0
+    while newly_dead.size:
+        rounds += 1
+        rs = run.new_round("kcore")
+        fires: list[list[tuple]] = [[] for _ in range(H)]
+        for gid in newly_dead.tolist():
+            fires[int(pg.master_of[gid])].append((gid, 1))
+        deliveries = gluon.broadcast_from_masters(
+            fires, TARGET_ALL_PROXIES, 4, 1, rs
+        )
+        # Hosts count, per live neighbor, how many of its neighbors died.
+        pending: list[list[tuple]] = [[] for _ in range(H)]
+        for h, items in enumerate(deliveries):
+            part = pg.parts[h]
+            oc = rs.compute[h]
+            decr: dict[int, int] = {}
+            for gid, _one in items:
+                lid = int(np.searchsorted(part.gids, gid))
+                for nbrs in (
+                    part.out_neighbors_local(lid),
+                    part.in_neighbors_local(lid),
+                ):
+                    oc.edge_ops += nbrs.size
+                    for w in part.gids[nbrs].tolist():
+                        decr[w] = decr.get(w, 0) + 1
+                oc.vertex_ops += 1
+            pending[h] = [(w, c) for w, c in decr.items()]
+        inbox = gluon.reduce_to_masters(pending, 4, 1, rs)
+        decremented: set[int] = set()
+        for h, items in enumerate(inbox):
+            oc = rs.compute[h]
+            for gid, _sender, c in items:
+                if alive[gid]:
+                    degree[gid] -= c
+                    decremented.add(gid)
+                    oc.struct_ops += 1
+        newly = [v for v in decremented if alive[v] and degree[v] < k]
+        alive[newly] = False
+        newly_dead = np.asarray(newly, dtype=np.int64)
+
+    return VertexProgramResult(
+        values=alive.astype(np.int64), run=run, rounds=rounds
+    )

@@ -1,0 +1,138 @@
+"""Per-round and per-run statistics for the simulated engine.
+
+These records are the raw material for the paper's measurements:
+
+- **rounds** (Table 1): length of :attr:`EngineRun.rounds`;
+- **communication volume** (Figure 2 bar labels): :attr:`EngineRun.total_bytes`;
+- **load imbalance** (Table 1): ratio of max to mean per-host compute,
+  averaged across rounds (:meth:`EngineRun.load_imbalance`);
+- **computation / communication time breakdown** (Figures 2-3): produced
+  by feeding an :class:`EngineRun` to :class:`repro.cluster.model.ClusterModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.timing import OpCounter
+
+
+@dataclass
+class RoundStats:
+    """Statistics for a single BSP round."""
+
+    round_index: int
+    phase: str  # "forward" | "backward"
+    #: Abstract work units per host for this round's compute phase.
+    compute: list[OpCounter]
+    #: Bytes leaving each host during this round's communication phase.
+    bytes_out: np.ndarray
+    #: Bytes arriving at each host.
+    bytes_in: np.ndarray
+    #: Aggregated pair messages leaving each host this round.
+    msgs_out: np.ndarray = None  # type: ignore[assignment]
+    #: Aggregated pair messages arriving at each host this round.
+    msgs_in: np.ndarray = None  # type: ignore[assignment]
+    #: Host-pair messages exchanged (Gluon sends one aggregated message
+    #: per pair per round when there is data).
+    pair_messages: int = 0
+    #: Individual (vertex, source) label values synchronized.
+    items_synced: int = 0
+    #: Distinct vertex proxies touched by synchronization.
+    proxies_synced: int = 0
+
+    def max_compute_ops(self) -> int:
+        """Work units of the busiest host (the BSP straggler)."""
+        return max(c.total() for c in self.compute)
+
+    def mean_compute_ops(self) -> float:
+        """Average work units across hosts."""
+        return float(np.mean([c.total() for c in self.compute]))
+
+    def total_bytes(self) -> int:
+        """Total bytes crossing the network this round."""
+        return int(self.bytes_out.sum())
+
+
+@dataclass
+class EngineRun:
+    """Accumulated statistics for one algorithm execution on the engine."""
+
+    num_hosts: int
+    rounds: list[RoundStats] = field(default_factory=list)
+
+    def new_round(self, phase: str) -> RoundStats:
+        """Open a fresh round record (appended and returned)."""
+        rs = RoundStats(
+            round_index=len(self.rounds) + 1,
+            phase=phase,
+            compute=[OpCounter() for _ in range(self.num_hosts)],
+            bytes_out=np.zeros(self.num_hosts, dtype=np.int64),
+            bytes_in=np.zeros(self.num_hosts, dtype=np.int64),
+            msgs_out=np.zeros(self.num_hosts, dtype=np.int64),
+            msgs_in=np.zeros(self.num_hosts, dtype=np.int64),
+        )
+        self.rounds.append(rs)
+        return rs
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def num_rounds(self) -> int:
+        """Total BSP rounds executed."""
+        return len(self.rounds)
+
+    def rounds_in_phase(self, phase: str) -> int:
+        """Rounds belonging to one phase ("forward"/"backward")."""
+        return sum(1 for r in self.rounds if r.phase == phase)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total communication volume in bytes."""
+        return sum(r.total_bytes() for r in self.rounds)
+
+    @property
+    def total_pair_messages(self) -> int:
+        """Total aggregated host-pair messages."""
+        return sum(r.pair_messages for r in self.rounds)
+
+    @property
+    def total_items_synced(self) -> int:
+        """Total label values synchronized."""
+        return sum(r.items_synced for r in self.rounds)
+
+    @property
+    def total_proxies_synced(self) -> int:
+        """Total proxy synchronizations (the quantity §5.3 says is similar
+        between SBBC and MRBC)."""
+        return sum(r.proxies_synced for r in self.rounds)
+
+    def per_host_compute(self) -> np.ndarray:
+        """Total work units per host across all rounds."""
+        totals = np.zeros(self.num_hosts, dtype=np.int64)
+        for r in self.rounds:
+            for h, c in enumerate(r.compute):
+                totals[h] += c.total()
+        return totals
+
+    def load_imbalance(self) -> float:
+        """Table 1's metric: mean over rounds of (max host ops / mean host ops).
+
+        Rounds with no computation anywhere are skipped.
+        """
+        ratios = []
+        for r in self.rounds:
+            mean = r.mean_compute_ops()
+            if mean > 0:
+                ratios.append(r.max_compute_ops() / mean)
+        return float(np.mean(ratios)) if ratios else 1.0
+
+    def merge(self, other: "EngineRun") -> None:
+        """Append another run's rounds (e.g. successive source batches)."""
+        if other.num_hosts != self.num_hosts:
+            raise ValueError("cannot merge runs with different host counts")
+        for rs in other.rounds:
+            rs.round_index = len(self.rounds) + 1
+            self.rounds.append(rs)

@@ -1,0 +1,95 @@
+"""Directed-graph substrate: CSR storage, generators, IO, and properties.
+
+The paper evaluates on unweighted directed graphs (social networks,
+web-crawls, road networks, synthetic power-law graphs).  This subpackage
+provides:
+
+- :class:`repro.graph.digraph.DiGraph` — immutable CSR adjacency (out- and
+  in-neighbor views) used by every simulator and algorithm in the library.
+- :mod:`repro.graph.generators` — seeded generators for RMAT, Kronecker,
+  Erdős–Rényi, grid/road, web-crawl-like (power-law core with long tails)
+  and small-world graphs.
+- :mod:`repro.graph.suite` — the scaled-down stand-ins for the paper's
+  Table 1 inputs.
+- :mod:`repro.graph.properties` — degrees, connectivity, diameter
+  estimation (the paper's "estimated diameter" is the max finite shortest
+  path distance from the sampled sources).
+- :mod:`repro.graph.io` — edge-list and compact binary round-trip IO.
+"""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.builders import (
+    from_edge_array,
+    from_edges,
+    from_networkx,
+    to_networkx,
+)
+from repro.graph.generators import (
+    erdos_renyi,
+    forest_fire,
+    grid_road,
+    kronecker,
+    path_graph,
+    preferential_attachment,
+    rmat,
+    small_world,
+    star_graph,
+    web_crawl_like,
+)
+from repro.graph.properties import (
+    GraphProperties,
+    estimate_diameter,
+    graph_properties,
+    is_strongly_connected,
+    is_weakly_connected,
+)
+from repro.graph.suite import SUITE, SuiteEntry, load_suite_graph, suite_names
+from repro.graph.transform import (
+    condensation,
+    largest_scc,
+    largest_wcc,
+    reachable_subgraph,
+    relabel_by_degree,
+)
+from repro.graph.weighted import (
+    WeightedDiGraph,
+    from_weighted_edges,
+    with_random_weights,
+    with_unit_weights,
+)
+
+__all__ = [
+    "DiGraph",
+    "GraphProperties",
+    "SUITE",
+    "SuiteEntry",
+    "erdos_renyi",
+    "estimate_diameter",
+    "forest_fire",
+    "from_edge_array",
+    "from_edges",
+    "from_networkx",
+    "graph_properties",
+    "grid_road",
+    "is_strongly_connected",
+    "is_weakly_connected",
+    "kronecker",
+    "load_suite_graph",
+    "path_graph",
+    "preferential_attachment",
+    "rmat",
+    "small_world",
+    "star_graph",
+    "suite_names",
+    "to_networkx",
+    "web_crawl_like",
+    "WeightedDiGraph",
+    "condensation",
+    "from_weighted_edges",
+    "largest_scc",
+    "largest_wcc",
+    "reachable_subgraph",
+    "relabel_by_degree",
+    "with_random_weights",
+    "with_unit_weights",
+]

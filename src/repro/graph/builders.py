@@ -1,0 +1,65 @@
+"""Constructors bridging :class:`~repro.graph.digraph.DiGraph` and other forms."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.digraph import DiGraph
+
+
+def from_edges(num_vertices: int, edges: Iterable[tuple[int, int]]) -> DiGraph:
+    """Build a graph from an iterable of ``(u, v)`` pairs."""
+    pairs = list(edges)
+    if not pairs:
+        return DiGraph(num_vertices, np.empty(0, np.int64), np.empty(0, np.int64))
+    arr = np.asarray(pairs, dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError("edges must be (u, v) pairs")
+    return DiGraph(num_vertices, arr[:, 0], arr[:, 1])
+
+
+def from_edge_array(num_vertices: int, src: np.ndarray, dst: np.ndarray) -> DiGraph:
+    """Build a graph from parallel endpoint arrays (thin DiGraph wrapper)."""
+    return DiGraph(num_vertices, src, dst)
+
+
+def from_networkx(g: "nx.DiGraph | nx.Graph") -> DiGraph:
+    """Convert a NetworkX (di)graph with integer nodes ``0..n-1``.
+
+    Undirected NetworkX graphs become symmetric digraphs.  Self-loops are
+    dropped (the paper's model has none).
+    """
+    n = g.number_of_nodes()
+    nodes = sorted(g.nodes())
+    if nodes != list(range(n)):
+        raise ValueError("nodes must be exactly 0..n-1; relabel first")
+    pairs = [(u, v) for u, v in g.edges() if u != v]
+    if not g.is_directed():
+        pairs += [(v, u) for u, v in pairs]
+    return from_edges(n, pairs)
+
+
+def to_networkx(g: DiGraph) -> "nx.DiGraph":
+    """Convert to a NetworkX ``DiGraph`` (for validation against nx)."""
+    out = nx.DiGraph()
+    out.add_nodes_from(range(g.num_vertices))
+    src, dst = g.edges()
+    out.add_edges_from(zip(src.tolist(), dst.tolist()))
+    return out
+
+
+def to_scipy_csr(g: DiGraph) -> sp.csr_matrix:
+    """Adjacency matrix as a SciPy CSR matrix with unit weights.
+
+    Used by the MFBC baseline (sparse-matrix BC) and by validation code that
+    calls :func:`scipy.sparse.csgraph.shortest_path`.
+    """
+    src, dst = g.edges()
+    data = np.ones(src.size, dtype=np.float64)
+    return sp.csr_matrix(
+        (data, (src, dst)), shape=(g.num_vertices, g.num_vertices)
+    )

@@ -1,0 +1,184 @@
+"""Immutable CSR directed graph.
+
+Vertices are integers ``0 .. n-1``.  Edges are stored twice, in CSR
+(out-neighbors) and CSC (in-neighbors) form, because MRBC's forward phase
+pushes along outgoing edges while the accumulation phase pushes along
+incoming edges (paper Algorithms 3 and 5).  Both directions are exposed as
+zero-copy NumPy slices.
+
+Parallel edges are collapsed at construction — the paper's model is a simple
+directed graph — and self-loops are rejected (they never lie on a shortest
+path and the CONGEST network has no self-channels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class DiGraph:
+    """Compressed-sparse-row directed graph.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``n``.
+    src, dst:
+        Parallel integer arrays of edge endpoints.  Duplicates are removed;
+        self-loops raise ``ValueError``.
+
+    Notes
+    -----
+    The CSR arrays are made read-only so that simulators can hand out views
+    without defensive copies (the hpc guides' "views, not copies" rule).
+    """
+
+    __slots__ = (
+        "num_vertices",
+        "num_edges",
+        "out_offsets",
+        "out_targets",
+        "in_offsets",
+        "in_sources",
+        "_edge_src",
+        "_edge_dst",
+    )
+
+    def __init__(self, num_vertices: int, src: np.ndarray, dst: np.ndarray) -> None:
+        n = int(num_vertices)
+        if n < 0:
+            raise ValueError(f"num_vertices must be non-negative, got {n}")
+        src = np.asarray(src, dtype=np.int64).ravel()
+        dst = np.asarray(dst, dtype=np.int64).ravel()
+        if src.shape != dst.shape:
+            raise ValueError("src and dst must have the same length")
+        if src.size:
+            lo = min(src.min(), dst.min())
+            hi = max(src.max(), dst.max())
+            if lo < 0 or hi >= n:
+                raise ValueError(
+                    f"edge endpoint out of range [0, {n}): found [{lo}, {hi}]"
+                )
+            if np.any(src == dst):
+                raise ValueError("self-loops are not allowed")
+            # Deduplicate parallel edges via a lexicographic sort on (src, dst).
+            order = np.lexsort((dst, src))
+            src = src[order]
+            dst = dst[order]
+            keep = np.ones(src.size, dtype=bool)
+            keep[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+            src = src[keep]
+            dst = dst[keep]
+
+        m = int(src.size)
+        self.num_vertices = n
+        self.num_edges = m
+        self._edge_src = src
+        self._edge_dst = dst
+
+        self.out_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(self.out_offsets, src + 1, 1)
+        np.cumsum(self.out_offsets, out=self.out_offsets)
+        self.out_targets = dst.copy()
+
+        # CSC: sort edges by destination (stable, so in-sources stay sorted
+        # by source within each destination bucket).
+        order_in = np.argsort(dst, kind="stable")
+        self.in_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(self.in_offsets, dst + 1, 1)
+        np.cumsum(self.in_offsets, out=self.in_offsets)
+        self.in_sources = src[order_in]
+
+        for arr in (
+            self.out_offsets,
+            self.out_targets,
+            self.in_offsets,
+            self.in_sources,
+            self._edge_src,
+            self._edge_dst,
+        ):
+            arr.setflags(write=False)
+
+    # -- adjacency views ----------------------------------------------------
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """Sorted array of out-neighbors of ``v`` (zero-copy view)."""
+        return self.out_targets[self.out_offsets[v] : self.out_offsets[v + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """Sorted array of in-neighbors of ``v`` (zero-copy view)."""
+        return self.in_sources[self.in_offsets[v] : self.in_offsets[v + 1]]
+
+    def out_degree(self, v: int) -> int:
+        """Number of outgoing edges of ``v``."""
+        return int(self.out_offsets[v + 1] - self.out_offsets[v])
+
+    def in_degree(self, v: int) -> int:
+        """Number of incoming edges of ``v``."""
+        return int(self.in_offsets[v + 1] - self.in_offsets[v])
+
+    def out_degrees(self) -> np.ndarray:
+        """Array of all out-degrees."""
+        return np.diff(self.out_offsets)
+
+    def in_degrees(self) -> np.ndarray:
+        """Array of all in-degrees."""
+        return np.diff(self.in_offsets)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return whether edge ``(u, v)`` exists (binary search)."""
+        nbrs = self.out_neighbors(u)
+        i = int(np.searchsorted(nbrs, v))
+        return i < nbrs.size and nbrs[i] == v
+
+    def edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """The deduplicated ``(src, dst)`` edge arrays, sorted by source."""
+        return self._edge_src, self._edge_dst
+
+    # -- derived graphs ------------------------------------------------------
+
+    def reverse(self) -> "DiGraph":
+        """Graph with every edge direction flipped."""
+        return DiGraph(self.num_vertices, self._edge_dst, self._edge_src)
+
+    def to_undirected(self) -> "DiGraph":
+        """The symmetric closure ``UG`` (each edge plus its reverse)."""
+        src = np.concatenate([self._edge_src, self._edge_dst])
+        dst = np.concatenate([self._edge_dst, self._edge_src])
+        return DiGraph(self.num_vertices, src, dst)
+
+    def subgraph(self, vertices: np.ndarray) -> tuple["DiGraph", np.ndarray]:
+        """Induced subgraph on ``vertices``.
+
+        Returns the subgraph (with vertices relabelled ``0..len-1`` in the
+        order given) and the old-id array such that ``old_ids[new] = old``.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if np.unique(vertices).size != vertices.size:
+            raise ValueError("vertex list contains duplicates")
+        remap = np.full(self.num_vertices, -1, dtype=np.int64)
+        remap[vertices] = np.arange(vertices.size)
+        src, dst = self._edge_src, self._edge_dst
+        keep = (remap[src] >= 0) & (remap[dst] >= 0)
+        return (
+            DiGraph(vertices.size, remap[src[keep]], remap[dst[keep]]),
+            vertices.copy(),
+        )
+
+    # -- misc -----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            self.num_vertices == other.num_vertices
+            and self.num_edges == other.num_edges
+            and bool(np.array_equal(self._edge_src, other._edge_src))
+            and bool(np.array_equal(self._edge_dst, other._edge_dst))
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover
+        raise TypeError("DiGraph is unhashable")
+
+    def __repr__(self) -> str:
+        return f"DiGraph(n={self.num_vertices}, m={self.num_edges})"

@@ -1,0 +1,329 @@
+"""Seeded graph generators standing in for the paper's inputs.
+
+The paper's test suite (Table 1) mixes social networks, web-crawls, random
+power-law graphs, and a road network.  At library scale we reproduce each
+*shape* with a generator:
+
+- :func:`rmat` — R-MAT recursive power-law generator (stands in for rmat24
+  and the social networks).
+- :func:`kronecker` — stochastic Kronecker graphs (stands in for kron30).
+- :func:`web_crawl_like` — power-law core with attached long chains, giving
+  a scale-free graph with *non-trivial diameter* — the defining feature of
+  gsh15/clueweb12 that makes MRBC win (paper §5.3: "real world web-crawls
+  ... have non-trivial diameters (due to long tails)").
+- :func:`grid_road` — 2-D lattice with sparse shortcuts (stands in for
+  road-europe: bounded degree, very large diameter).
+- :func:`erdos_renyi`, :func:`small_world`, :func:`path_graph`,
+  :func:`star_graph` — generic shapes for tests.
+
+All generators take an integer seed and are deterministic given it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.utils.prng import make_rng
+
+
+def _finish(n: int, src: np.ndarray, dst: np.ndarray) -> DiGraph:
+    """Drop self-loops and build the (deduplicating) DiGraph."""
+    keep = src != dst
+    return DiGraph(n, src[keep], dst[keep])
+
+
+def erdos_renyi(
+    n: int, avg_degree: float, seed: int | None = None, symmetric: bool = False
+) -> DiGraph:
+    """G(n, m)-style random digraph with ``round(n * avg_degree)`` edge draws."""
+    rng = make_rng(seed)
+    m = int(round(n * avg_degree))
+    src = rng.integers(0, n, size=m, dtype=np.int64)
+    dst = rng.integers(0, n, size=m, dtype=np.int64)
+    if symmetric:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    return _finish(n, src, dst)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int | None = None,
+) -> DiGraph:
+    """R-MAT generator (Chakrabarti et al.): ``n = 2**scale`` vertices.
+
+    Each edge picks one quadrant per bit level with probabilities
+    ``(a, b, c, d)`` where ``d = 1 - a - b - c``.  The defaults are the
+    Graph500 parameters, producing a skewed power-law degree distribution
+    like the paper's rmat24 input.
+    """
+    if not 0 < a + b + c < 1:
+        raise ValueError("require 0 < a+b+c < 1")
+    rng = make_rng(seed)
+    n = 1 << scale
+    m = n * edge_factor
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    ab = a + b
+    abc = a + b + c
+    for _ in range(scale):
+        src <<= 1
+        dst <<= 1
+        r = rng.random(m)
+        # quadrant: 0 -> (0,0), 1 -> (0,1), 2 -> (1,0), 3 -> (1,1)
+        right = ((r >= a) & (r < ab)) | (r >= abc)
+        down = r >= ab
+        dst += right
+        src += down
+    return _finish(n, src, dst)
+
+
+def kronecker(
+    scale: int,
+    edge_factor: int = 16,
+    initiator: np.ndarray | None = None,
+    seed: int | None = None,
+) -> DiGraph:
+    """Stochastic Kronecker graph in the style of the paper's kron30 input.
+
+    Sampling a stochastic Kronecker edge is equivalent to R-MAT sampling
+    with per-level probabilities given by the (normalized) 2x2 initiator
+    matrix; the default initiator is the Graph500/Leskovec one.
+    """
+    if initiator is None:
+        initiator = np.array([[0.57, 0.19], [0.19, 0.05]])
+    initiator = np.asarray(initiator, dtype=np.float64)
+    if initiator.shape != (2, 2) or np.any(initiator < 0):
+        raise ValueError("initiator must be a non-negative 2x2 matrix")
+    p = initiator / initiator.sum()
+    return rmat(
+        scale,
+        edge_factor,
+        a=float(p[0, 0]),
+        b=float(p[0, 1]),
+        c=float(p[1, 0]),
+        seed=seed,
+    )
+
+
+def web_crawl_like(
+    core_n: int,
+    tail_total: int,
+    avg_tail_len: int = 20,
+    edge_factor: int = 8,
+    seed: int | None = None,
+) -> DiGraph:
+    """Power-law core plus long directed chains ("tails").
+
+    ``core_n`` vertices form an R-MAT-like scale-free core; ``tail_total``
+    additional vertices are arranged into bidirectional chains of geometric
+    length (mean ``avg_tail_len``) hanging off random core vertices.  The
+    result has a power-law core *and* an estimated diameter on the order of
+    the longest tail — reproducing the gsh15/clueweb12 structure where
+    long tails give web-crawls their non-trivial diameter.
+    """
+    if core_n < 2 or tail_total < 0:
+        raise ValueError("need core_n >= 2 and tail_total >= 0")
+    rng = make_rng(seed)
+    scale = max(1, int(np.ceil(np.log2(core_n))))
+    core = rmat(scale, edge_factor, seed=int(rng.integers(2**31)))
+    # Keep only the first core_n vertex ids of the RMAT graph, then append
+    # tail vertices after them.
+    csrc, cdst = core.edges()
+    keep = (csrc < core_n) & (cdst < core_n)
+    src_parts = [csrc[keep]]
+    dst_parts = [cdst[keep]]
+
+    next_id = core_n
+    remaining = tail_total
+    while remaining > 0:
+        length = int(min(remaining, max(1, rng.geometric(1.0 / avg_tail_len))))
+        anchor = int(rng.integers(0, core_n))
+        chain = np.arange(next_id, next_id + length, dtype=np.int64)
+        prev = np.concatenate([[anchor], chain[:-1]])
+        # Bidirectional chain so tail vertices can reach the core and vice
+        # versa; this is what stretches shortest-path distances.
+        src_parts += [prev, chain]
+        dst_parts += [chain, prev]
+        next_id += length
+        remaining -= length
+
+    n = core_n + tail_total
+    return _finish(n, np.concatenate(src_parts), np.concatenate(dst_parts))
+
+
+def grid_road(
+    rows: int,
+    cols: int,
+    diagonal_prob: float = 0.05,
+    seed: int | None = None,
+) -> DiGraph:
+    """Road-network stand-in: a ``rows x cols`` bidirectional lattice.
+
+    Every lattice edge appears in both directions (roads are mostly
+    two-way); a fraction ``diagonal_prob`` of cells additionally get a
+    diagonal shortcut.  Degree is bounded by 8 and the diameter is
+    ``Θ(rows + cols)`` — the high-diameter, low-degree regime where the
+    paper's road-europe input lives.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid must be at least 1x1")
+    rng = make_rng(seed)
+    n = rows * cols
+    idx = np.arange(n, dtype=np.int64).reshape(rows, cols)
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+
+    def _bidir(u: np.ndarray, v: np.ndarray) -> None:
+        src_parts.append(u.ravel())
+        dst_parts.append(v.ravel())
+        src_parts.append(v.ravel())
+        dst_parts.append(u.ravel())
+
+    if cols > 1:
+        _bidir(idx[:, :-1], idx[:, 1:])
+    if rows > 1:
+        _bidir(idx[:-1, :], idx[1:, :])
+    if rows > 1 and cols > 1 and diagonal_prob > 0:
+        mask = rng.random((rows - 1, cols - 1)) < diagonal_prob
+        _bidir(idx[:-1, :-1][mask], idx[1:, 1:][mask])
+    if not src_parts:
+        return DiGraph(n, np.empty(0, np.int64), np.empty(0, np.int64))
+    return _finish(n, np.concatenate(src_parts), np.concatenate(dst_parts))
+
+
+def small_world(
+    n: int, k: int = 4, rewire_prob: float = 0.1, seed: int | None = None
+) -> DiGraph:
+    """Watts–Strogatz-style ring lattice with random rewiring (symmetric)."""
+    if k < 1 or k >= n:
+        raise ValueError("require 1 <= k < n")
+    rng = make_rng(seed)
+    base = np.arange(n, dtype=np.int64)
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    for off in range(1, k + 1):
+        dst = (base + off) % n
+        rewired = rng.random(n) < rewire_prob
+        dst = dst.copy()
+        dst[rewired] = rng.integers(0, n, size=int(rewired.sum()))
+        src_parts += [base, dst]
+        dst_parts += [dst, base]
+    return _finish(n, np.concatenate(src_parts), np.concatenate(dst_parts))
+
+
+def path_graph(n: int, bidirectional: bool = True) -> DiGraph:
+    """Simple path ``0 -> 1 -> ... -> n-1`` (optionally bidirectional)."""
+    if n < 1:
+        raise ValueError("need n >= 1")
+    src = np.arange(n - 1, dtype=np.int64)
+    dst = src + 1
+    if bidirectional:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    return DiGraph(n, src, dst)
+
+
+def star_graph(n: int, out: bool = True) -> DiGraph:
+    """Star with hub 0; edges point outward if ``out`` else inward."""
+    if n < 1:
+        raise ValueError("need n >= 1")
+    hub = np.zeros(n - 1, dtype=np.int64)
+    leaves = np.arange(1, n, dtype=np.int64)
+    if out:
+        return DiGraph(n, hub, leaves)
+    return DiGraph(n, leaves, hub)
+
+
+def cycle_graph(n: int) -> DiGraph:
+    """Directed cycle ``0 -> 1 -> ... -> n-1 -> 0`` (strongly connected)."""
+    if n < 2:
+        raise ValueError("need n >= 2")
+    src = np.arange(n, dtype=np.int64)
+    dst = (src + 1) % n
+    return DiGraph(n, src, dst)
+
+
+def preferential_attachment(
+    n: int, m_per_vertex: int = 3, seed: int | None = None
+) -> DiGraph:
+    """Barabási-Albert-style directed preferential attachment.
+
+    Each new vertex attaches ``m_per_vertex`` out-edges to existing
+    vertices chosen proportionally to their current total degree (plus
+    one, so isolated seeds remain reachable).  Produces the heavy-tailed
+    in-degree distribution of citation/web graphs with a guaranteed
+    weakly-connected core.
+    """
+    if n < 2 or m_per_vertex < 1:
+        raise ValueError("need n >= 2 and m_per_vertex >= 1")
+    rng = make_rng(seed)
+    # Repeated-vertex list trick: sampling from it is degree-proportional.
+    pool: list[int] = [0]
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    for v in range(1, n):
+        k = min(m_per_vertex, v)
+        targets = set()
+        while len(targets) < k:
+            targets.add(int(pool[rng.integers(0, len(pool))]))
+        for t in targets:
+            src_list.append(v)
+            dst_list.append(t)
+            pool.append(t)
+        pool.append(v)
+    return _finish(
+        n,
+        np.asarray(src_list, dtype=np.int64),
+        np.asarray(dst_list, dtype=np.int64),
+    )
+
+
+def forest_fire(
+    n: int,
+    forward_prob: float = 0.35,
+    seed: int | None = None,
+) -> DiGraph:
+    """Forest-fire model (Leskovec et al.): web-like graphs with
+    community structure and densification.
+
+    Each new vertex picks an ambassador and "burns" outward: it links to
+    the ambassador, then recursively to a geometric number of the burned
+    vertices' out-neighbors.  ``forward_prob`` controls the burn spread;
+    values below ~0.4 keep the graph sparse.
+    """
+    if n < 2:
+        raise ValueError("need n >= 2")
+    if not 0 <= forward_prob < 1:
+        raise ValueError("forward_prob must be in [0, 1)")
+    rng = make_rng(seed)
+    out_adj: list[list[int]] = [[] for _ in range(n)]
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    for v in range(1, n):
+        ambassador = int(rng.integers(0, v))
+        burned = {ambassador}
+        frontier = [ambassador]
+        while frontier:
+            u = frontier.pop()
+            # Geometric number of forward links from each burned vertex.
+            x = int(rng.geometric(1 - forward_prob)) - 1
+            if x <= 0:
+                continue
+            candidates = [w for w in out_adj[u] if w not in burned]
+            rng.shuffle(candidates)
+            for w in candidates[:x]:
+                burned.add(w)
+                frontier.append(w)
+        for u in burned:
+            src_list.append(v)
+            dst_list.append(u)
+            out_adj[v].append(u)
+    return _finish(
+        n,
+        np.asarray(src_list, dtype=np.int64),
+        np.asarray(dst_list, dtype=np.int64),
+    )

@@ -1,0 +1,129 @@
+"""The scaled-down evaluation suite mirroring the paper's Table 1 inputs.
+
+Each :class:`SuiteEntry` names a paper input, records the generator and
+parameters of its stand-in, and whether the paper classifies it as *small*
+(evaluated on 1 and 32 hosts) or *large* (64/128/256 hosts), and as
+low-diameter (estimated diameter <= 25) or not.  Graphs are built lazily and
+cached per process so benchmarks do not regenerate them.
+
+Scale substitution (see DESIGN.md §2): the paper's graphs have 10⁶–10⁹
+vertices; ours have 10²–10⁴.  Every qualitative result in the paper is
+driven by graph *shape* (power-law vs road, trivial vs non-trivial
+diameter), which the stand-ins preserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graph.digraph import DiGraph
+from repro.graph import generators as gen
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One paper input and its scaled stand-in."""
+
+    name: str
+    paper_name: str
+    build: Callable[[], DiGraph]
+    size_class: str  # "small" | "large"
+    num_sources: int
+    low_diameter: bool
+    description: str = ""
+
+
+def _livejournal() -> DiGraph:
+    return gen.rmat(scale=10, edge_factor=14, seed=101)
+
+
+def _indochina04() -> DiGraph:
+    # Web graph with moderate diameter: power-law core + short tails.
+    return gen.web_crawl_like(core_n=900, tail_total=300, avg_tail_len=8, seed=102)
+
+
+def _rmat24() -> DiGraph:
+    return gen.rmat(scale=10, edge_factor=16, seed=103)
+
+
+def _road_europe() -> DiGraph:
+    return gen.grid_road(rows=45, cols=45, diagonal_prob=0.05, seed=104)
+
+
+def _friendster() -> DiGraph:
+    return gen.rmat(scale=11, edge_factor=24, a=0.45, b=0.22, c=0.22, seed=105)
+
+
+def _kron30() -> DiGraph:
+    return gen.kronecker(scale=11, edge_factor=16, seed=106)
+
+
+def _gsh15() -> DiGraph:
+    # Web-crawl with non-trivial diameter (~100 in the paper).
+    return gen.web_crawl_like(core_n=1200, tail_total=900, avg_tail_len=30, seed=107)
+
+
+def _clueweb12() -> DiGraph:
+    # Web-crawl with large diameter (~500 in the paper): long tails.
+    return gen.web_crawl_like(core_n=1200, tail_total=1600, avg_tail_len=90, seed=108)
+
+
+#: Ordered suite matching Table 1's columns.
+SUITE: dict[str, SuiteEntry] = {
+    e.name: e
+    for e in [
+        SuiteEntry(
+            "livejournal", "livejournal", _livejournal, "small", 64, True,
+            "social network (power-law, low diameter)",
+        ),
+        SuiteEntry(
+            "indochina04", "indochina04", _indochina04, "small", 64, False,
+            "web-crawl (moderate diameter)",
+        ),
+        SuiteEntry(
+            "rmat24", "rmat24", _rmat24, "small", 64, True,
+            "RMAT random power-law (very low diameter)",
+        ),
+        SuiteEntry(
+            "road-europe", "road-europe", _road_europe, "small", 8, False,
+            "road network (bounded degree, huge diameter)",
+        ),
+        SuiteEntry(
+            "friendster", "friendster", _friendster, "small", 64, True,
+            "social network (power-law, low diameter)",
+        ),
+        SuiteEntry(
+            "kron30", "kron30", _kron30, "large", 64, True,
+            "Kronecker power-law (very low diameter)",
+        ),
+        SuiteEntry(
+            "gsh15", "gsh15", _gsh15, "large", 32, False,
+            "web-crawl (non-trivial diameter ~1e2 in paper)",
+        ),
+        SuiteEntry(
+            "clueweb12", "clueweb12", _clueweb12, "large", 16, False,
+            "web-crawl (large diameter ~5e2 in paper)",
+        ),
+    ]
+}
+
+_CACHE: dict[str, DiGraph] = {}
+
+
+def suite_names(size_class: str | None = None) -> list[str]:
+    """Names of suite graphs, optionally filtered by ``"small"``/``"large"``."""
+    return [
+        name
+        for name, e in SUITE.items()
+        if size_class is None or e.size_class == size_class
+    ]
+
+
+def load_suite_graph(name: str) -> DiGraph:
+    """Build (or fetch from the per-process cache) a suite graph by name."""
+    if name not in SUITE:
+        raise KeyError(f"unknown suite graph {name!r}; options: {sorted(SUITE)}")
+    if name not in _CACHE:
+        _CACHE[name] = SUITE[name].build()
+    return _CACHE[name]

@@ -1,0 +1,135 @@
+"""Weighted directed graphs: CSR adjacency with positive edge weights.
+
+The paper's algorithm targets unweighted graphs, but two of its baselines
+"can also handle weighted graphs" (§5: ABBC and MFBC), and Brandes'
+Algorithm 1 runs Dijkstra in the weighted case.  This module provides the
+weighted substrate those code paths build on:
+:class:`WeightedDiGraph` wraps a :class:`~repro.graph.digraph.DiGraph`
+with per-edge positive weights aligned to the CSR edge order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.utils.prng import make_rng
+
+
+class WeightedDiGraph:
+    """A directed graph with positive edge weights.
+
+    Parameters
+    ----------
+    graph:
+        The underlying unweighted structure (dedup already applied).
+    weights:
+        One positive weight per edge, aligned with ``graph.edges()`` order
+        (i.e. sorted by source then destination).
+    """
+
+    __slots__ = ("graph", "weights", "_out_weights", "_in_weights")
+
+    def __init__(self, graph: DiGraph, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        if weights.shape != (graph.num_edges,):
+            raise ValueError(
+                f"need one weight per edge: {weights.size} != {graph.num_edges}"
+            )
+        if weights.size and weights.min() <= 0:
+            raise ValueError("edge weights must be strictly positive")
+        self.graph = graph
+        self.weights = weights
+        self.weights.setflags(write=False)
+        # Weights in out-CSR order are exactly `weights` (edges() is CSR
+        # order); build the in-CSR permutation for reverse traversal.
+        src, dst = graph.edges()
+        order_in = np.argsort(dst, kind="stable")
+        self._out_weights = weights
+        self._in_weights = weights[order_in]
+        self._in_weights.setflags(write=False)
+
+    # -- delegation -----------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return self.graph.num_edges
+
+    def out_edges(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(neighbors, weights)`` of v's outgoing edges (views)."""
+        g = self.graph
+        sl = slice(g.out_offsets[v], g.out_offsets[v + 1])
+        return g.out_targets[sl], self._out_weights[sl]
+
+    def in_edges(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(sources, weights)`` of v's incoming edges (views)."""
+        g = self.graph
+        sl = slice(g.in_offsets[v], g.in_offsets[v + 1])
+        return g.in_sources[sl], self._in_weights[sl]
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge ``(u, v)``; raises ``KeyError`` if absent."""
+        nbrs, w = self.out_edges(u)
+        i = int(np.searchsorted(nbrs, v))
+        if i >= nbrs.size or nbrs[i] != v:
+            raise KeyError(f"no edge ({u}, {v})")
+        return float(w[i])
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedDiGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"w∈[{self.weights.min(initial=0):.3g}, "
+            f"{self.weights.max(initial=0):.3g}])"
+        )
+
+
+def with_unit_weights(graph: DiGraph) -> WeightedDiGraph:
+    """Wrap an unweighted graph with all-ones weights."""
+    return WeightedDiGraph(graph, np.ones(graph.num_edges))
+
+
+def with_random_weights(
+    graph: DiGraph,
+    low: float = 1.0,
+    high: float = 10.0,
+    integer: bool = True,
+    seed: int | None = None,
+) -> WeightedDiGraph:
+    """Wrap a graph with random weights drawn uniformly from [low, high]."""
+    if not 0 < low <= high:
+        raise ValueError("need 0 < low <= high")
+    rng = make_rng(seed)
+    if integer:
+        w = rng.integers(int(low), int(high) + 1, size=graph.num_edges)
+        w = w.astype(np.float64)
+    else:
+        w = rng.uniform(low, high, size=graph.num_edges)
+    return WeightedDiGraph(graph, w)
+
+
+def from_weighted_edges(
+    num_vertices: int, edges: list[tuple[int, int, float]]
+) -> WeightedDiGraph:
+    """Build from ``(u, v, w)`` triples; duplicate edges keep the minimum
+    weight (a parallel edge never shortens a path otherwise)."""
+    if not edges:
+        return with_unit_weights(
+            DiGraph(num_vertices, np.empty(0, np.int64), np.empty(0, np.int64))
+        )
+    best: dict[tuple[int, int], float] = {}
+    for u, v, w in edges:
+        key = (int(u), int(v))
+        if key not in best or w < best[key]:
+            best[key] = float(w)
+    src = np.array([k[0] for k in best], dtype=np.int64)
+    dst = np.array([k[1] for k in best], dtype=np.int64)
+    g = DiGraph(num_vertices, src, dst)
+    gsrc, gdst = g.edges()
+    weights = np.array([best[(int(a), int(b))] for a, b in zip(gsrc, gdst)])
+    return WeightedDiGraph(g, weights)

@@ -1,0 +1,20 @@
+"""``python -m repro.report`` — check exported benchmark artifacts
+against the paper's expectations (see repro.analysis.expectations)."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.expectations import check_results, render_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    results_dir = args[0] if args else "benchmarks/results"
+    results = check_results(results_dir)
+    print(render_report(results))
+    return 1 if any(r.status == "FAIL" for r in results) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

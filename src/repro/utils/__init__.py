@@ -1,0 +1,29 @@
+"""Low-level utilities shared across the MRBC reproduction.
+
+This subpackage hosts the data structures that the paper's Section 4.3
+singles out as performance-critical in the D-Galois implementation:
+
+- :class:`repro.utils.flatmap.FlatMap` — a sorted-vector map mirroring the
+  Boost ``flat_map`` that MRBC uses to map distances to source bitvectors.
+- :class:`repro.utils.bitset.Bitset` — a dense, fixed-width bitvector used
+  to record which of the ``k`` batched sources currently sit at a given
+  distance.
+
+It also provides seeded random-number helpers (:mod:`repro.utils.prng`) and
+deterministic operation counters (:mod:`repro.utils.timing`) used by the
+engine's performance model.
+"""
+
+from repro.utils.bitset import Bitset
+from repro.utils.flatmap import FlatMap
+from repro.utils.prng import make_rng, spawn_rngs
+from repro.utils.timing import OpCounter, Stopwatch
+
+__all__ = [
+    "Bitset",
+    "FlatMap",
+    "OpCounter",
+    "Stopwatch",
+    "make_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,89 @@
+"""Deterministic operation counters and wall-clock stopwatches.
+
+The cluster performance model (:mod:`repro.cluster.model`) converts *operation
+counts* — not wall-clock samples — into simulated time, so that benchmark
+output is identical across runs and machines.  Wall-clock stopwatches are
+still provided for the pytest-benchmark harness, which reports real local
+compute time alongside the simulated cluster time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OpCounter:
+    """Accumulates abstract work units for one simulated host.
+
+    Attributes
+    ----------
+    vertex_ops:
+        Operator applications (one per active vertex per round).
+    edge_ops:
+        Edge relaxations / messages pushed along local edges.
+    struct_ops:
+        Data-structure maintenance work (flat-map insertions, bitvector
+        scans); MRBC pays more of these than SBBC, which is exactly the
+        computation-time overhead Figure 2 of the paper shows.
+    """
+
+    vertex_ops: int = 0
+    edge_ops: int = 0
+    struct_ops: int = 0
+
+    def add(self, other: "OpCounter") -> None:
+        """Accumulate another counter into this one in place."""
+        self.vertex_ops += other.vertex_ops
+        self.edge_ops += other.edge_ops
+        self.struct_ops += other.struct_ops
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.vertex_ops = 0
+        self.edge_ops = 0
+        self.struct_ops = 0
+
+    def total(self) -> int:
+        """Sum of all work units."""
+        return self.vertex_ops + self.edge_ops + self.struct_ops
+
+    def copy(self) -> "OpCounter":
+        """Return an independent copy."""
+        return OpCounter(self.vertex_ops, self.edge_ops, self.struct_ops)
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating wall-clock timer with ``start``/``stop`` semantics."""
+
+    elapsed: float = 0.0
+    _t0: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Stopwatch":
+        """Begin (or resume) timing; returns self for chaining."""
+        if self._t0 is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._t0 = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop timing and return total elapsed seconds so far."""
+        if self._t0 is None:
+            raise RuntimeError("Stopwatch is not running")
+        self.elapsed += time.perf_counter() - self._t0
+        self._t0 = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        """Discard accumulated time; stopwatch must not be running."""
+        if self._t0 is not None:
+            raise RuntimeError("Stopwatch is running; stop it before reset")
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

@@ -1,0 +1,91 @@
+"""Shared fixtures: small graphs covering every shape the paper evaluates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.digraph import DiGraph
+
+
+def _build(edges: list[tuple[int, int]], n: int) -> DiGraph:
+    arr = np.asarray(edges, dtype=np.int64)
+    return DiGraph(n, arr[:, 0], arr[:, 1])
+
+
+@pytest.fixture
+def tiny_dag() -> DiGraph:
+    """A 5-vertex DAG with two equal-length s→t paths (easy hand-check).
+
+    Edges: 0→1, 0→2, 1→3, 2→3, 3→4.  From source 0 there are two shortest
+    paths to 3 (via 1 and via 2), so BC(1) = BC(2) for sampled source 0.
+    """
+    return _build([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)], 5)
+
+
+@pytest.fixture
+def diamond() -> DiGraph:
+    """The classic diamond: 0→{1,2}→3."""
+    return _build([(0, 1), (0, 2), (1, 3), (2, 3)], 4)
+
+
+@pytest.fixture
+def bipath() -> DiGraph:
+    """Bidirectional path of 8 vertices (strongly connected, diameter 7)."""
+    return gen.path_graph(8, bidirectional=True)
+
+
+@pytest.fixture
+def dicycle() -> DiGraph:
+    """Directed 9-cycle (strongly connected, diameter 8)."""
+    return gen.cycle_graph(9)
+
+
+@pytest.fixture
+def er_graph() -> DiGraph:
+    """Random sparse digraph, 40 vertices."""
+    return gen.erdos_renyi(40, 3.0, seed=11)
+
+
+@pytest.fixture
+def er_dense_sc() -> DiGraph:
+    """Denser random digraph: strongly connected with 5·D < n (the regime
+    where Algorithm 4's early termination applies)."""
+    g = gen.erdos_renyi(60, 6.0, seed=7)
+    from repro.graph.properties import directed_diameter, is_strongly_connected
+
+    assert is_strongly_connected(g)
+    assert 5 * directed_diameter(g) < g.num_vertices
+    return g
+
+
+@pytest.fixture
+def powerlaw_graph() -> DiGraph:
+    """Small RMAT power-law graph."""
+    return gen.rmat(6, 4, seed=13)
+
+
+@pytest.fixture
+def road_graph() -> DiGraph:
+    """Small grid/road graph (high diameter, bounded degree)."""
+    return gen.grid_road(7, 7, seed=17)
+
+
+@pytest.fixture
+def webcrawl_graph() -> DiGraph:
+    """Web-crawl-like graph: power-law core + long tails."""
+    return gen.web_crawl_like(core_n=60, tail_total=40, avg_tail_len=10, seed=19)
+
+
+@pytest.fixture
+def disconnected_graph() -> DiGraph:
+    """Two weakly-connected components."""
+    return _build([(0, 1), (1, 2), (3, 4), (4, 5), (5, 3)], 6)
+
+
+def some_sources(g: DiGraph, k: int = 6) -> list[int]:
+    """Deterministic spread-out source subset for a graph."""
+    n = g.num_vertices
+    step = max(1, n // k)
+    return list(range(0, n, step))[:k]

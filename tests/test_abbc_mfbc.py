@@ -1,0 +1,115 @@
+"""Tests for the ABBC (async) and MFBC (sparse-matrix) baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.abbc import abbc, abbc_simulated_time
+from repro.baselines.brandes import brandes_bc
+from repro.baselines.mfbc import mfbc
+from repro.graph import generators as gen
+from repro.graph.properties import bfs_distances
+from tests.conftest import some_sources
+
+
+class TestABBC:
+    @pytest.mark.parametrize(
+        "fixture", ["diamond", "er_graph", "powerlaw_graph", "road_graph"]
+    )
+    def test_matches_brandes(self, fixture, request):
+        g = request.getfixturevalue(fixture)
+        srcs = some_sources(g)
+        res = abbc(g, sources=srcs)
+        assert np.allclose(res.bc, brandes_bc(g, sources=srcs))
+
+    def test_exact_all_sources(self, er_graph):
+        res = abbc(er_graph)
+        assert np.allclose(res.bc, brandes_bc(er_graph))
+
+    def test_counts_wasted_work(self, powerlaw_graph):
+        res = abbc(powerlaw_graph, sources=some_sources(powerlaw_graph))
+        assert res.useful_ops > 0
+        assert res.total_ops == res.useful_ops + res.wasted_ops
+
+    def test_oom_model(self, er_graph):
+        res = abbc(er_graph, sources=[0], memory_limit_words=10)
+        assert res.out_of_memory
+        assert np.isnan(res.bc).all()
+        assert abbc_simulated_time(res, er_graph) == float("inf")
+
+    def test_fits_when_limit_generous(self, er_graph):
+        res = abbc(er_graph, sources=[0], memory_limit_words=10**9)
+        assert not res.out_of_memory
+
+    def test_contention_model_prefers_road(self):
+        """§5.3: ABBC's parallel efficiency is worse on power-law graphs."""
+        road = gen.grid_road(10, 10, seed=1)
+        plaw = gen.rmat(7, 8, seed=1)
+        r_road = abbc(road, sources=[0])
+        r_plaw = abbc(plaw, sources=[0])
+        t_road = abbc_simulated_time(r_road, road)
+        t_plaw = abbc_simulated_time(r_plaw, plaw)
+        # Per useful op, the road graph is cheaper (less contention).
+        assert t_road / max(1, r_road.total_ops) < t_plaw / max(
+            1, r_plaw.total_ops
+        )
+
+    def test_empty_sources_rejected(self, er_graph):
+        with pytest.raises(ValueError):
+            abbc(er_graph, sources=[])
+
+    def test_distances_exact(self, er_graph):
+        srcs = some_sources(er_graph, 3)
+        res = abbc(er_graph, sources=srcs)
+        for i, s in enumerate(srcs):
+            assert np.array_equal(res.dist[i], bfs_distances(er_graph, s))
+
+
+class TestMFBC:
+    @pytest.mark.parametrize(
+        "fixture", ["diamond", "er_graph", "powerlaw_graph", "road_graph", "webcrawl_graph"]
+    )
+    def test_matches_brandes(self, fixture, request):
+        g = request.getfixturevalue(fixture)
+        srcs = some_sources(g)
+        res = mfbc(g, sources=srcs, batch_size=4, num_hosts=4)
+        assert np.allclose(res.bc, brandes_bc(g, sources=srcs))
+
+    def test_exact_all_sources(self, er_graph):
+        res = mfbc(er_graph, batch_size=16, num_hosts=1)
+        assert np.allclose(res.bc, brandes_bc(er_graph))
+
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_batch_size_invariant(self, er_graph, k):
+        srcs = some_sources(er_graph, 6)
+        res = mfbc(er_graph, sources=srcs, batch_size=k)
+        assert np.allclose(res.bc, brandes_bc(er_graph, sources=srcs))
+
+    def test_iterations_track_levels(self, road_graph):
+        """One SpMM per level, forward and backward, per batch."""
+        srcs = [0]
+        res = mfbc(road_graph, sources=srcs, batch_size=1)
+        ecc = int(bfs_distances(road_graph, 0).max())
+        assert ecc <= res.iterations <= 2 * ecc + 2
+
+    def test_distances_and_sigma(self, er_graph):
+        srcs = some_sources(er_graph, 4)
+        res = mfbc(er_graph, sources=srcs, batch_size=4)
+        from repro.baselines.brandes import brandes_sssp
+
+        for i, s in enumerate(srcs):
+            dist, sigma, _, _ = brandes_sssp(er_graph, s)
+            assert np.array_equal(res.dist[i], dist)
+            assert np.allclose(res.sigma[i], sigma)
+
+    def test_run_statistics_populated(self, er_graph):
+        res = mfbc(er_graph, sources=some_sources(er_graph), batch_size=4, num_hosts=4)
+        assert res.run.num_rounds == res.iterations
+        assert res.run.total_bytes > 0
+
+    def test_empty_sources_rejected(self, er_graph):
+        with pytest.raises(ValueError):
+            mfbc(er_graph, sources=[])
+
+    def test_disconnected(self, disconnected_graph):
+        res = mfbc(disconnected_graph, sources=[0], batch_size=1)
+        assert np.allclose(res.bc, brandes_bc(disconnected_graph, sources=[0]))

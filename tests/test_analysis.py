@@ -1,0 +1,88 @@
+"""Tests for repro.analysis: metrics, reporting, validation helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import summarize_engine_result
+from repro.analysis.reporting import (
+    format_table,
+    geometric_mean,
+    ratio,
+    rows_from_dicts,
+)
+from repro.analysis.validation import compare_bc, max_abs_error
+from repro.cluster.model import ClusterModel
+from repro.core.mrbc import mrbc_engine
+from repro.graph import generators as gen
+from tests.conftest import some_sources
+
+
+class TestMetrics:
+    def test_summary_from_real_run(self):
+        g = gen.erdos_renyi(40, 3.0, seed=71)
+        srcs = some_sources(g)
+        res = mrbc_engine(g, sources=srcs, batch_size=6, num_hosts=4)
+        s = summarize_engine_result("mrbc", "er40", res.run, len(srcs))
+        assert s.algorithm == "mrbc"
+        assert s.num_hosts == 4
+        assert s.total_rounds == res.run.num_rounds
+        assert s.execution_time == pytest.approx(
+            s.computation_time + s.communication_time
+        )
+        assert s.rounds_per_source == pytest.approx(s.total_rounds / len(srcs))
+        assert s.time_per_source > 0
+        row = s.as_row()
+        assert row["hosts"] == 4
+
+    def test_explicit_rounds_and_model(self):
+        g = gen.erdos_renyi(30, 3.0, seed=72)
+        res = mrbc_engine(g, sources=[0, 1], batch_size=2, num_hosts=2)
+        s = summarize_engine_result(
+            "x", "g", res.run, 2, total_rounds=999, model=ClusterModel(2)
+        )
+        assert s.total_rounds == 999
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        txt = format_table(["a", "bb"], [[1, 2], [333, 4]], title="T")
+        lines = txt.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert lines[-1].startswith("333")
+
+    def test_format_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_rows_from_dicts(self):
+        headers, rows = rows_from_dicts([{"x": 1, "y": 2}, {"x": 3, "y": 4}])
+        assert headers == ["x", "y"]
+        assert rows == [[1, 2], [3, 4]]
+        assert rows_from_dicts([]) == ([], [])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([5]) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_ratio(self):
+        assert ratio(6, 3) == 2
+        assert math.isinf(ratio(1, 0))
+
+
+class TestValidationHelpers:
+    def test_max_abs_error(self):
+        assert max_abs_error(np.array([1.0, 2.0]), np.array([1.0, 2.5])) == 0.5
+        with pytest.raises(ValueError):
+            max_abs_error(np.zeros(2), np.zeros(3))
+
+    def test_compare_bc_tolerance(self):
+        a = np.array([1.0, 2.0])
+        assert compare_bc(a, a + 1e-12)
+        assert not compare_bc(a, a + 1.0)

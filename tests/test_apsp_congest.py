@@ -1,0 +1,171 @@
+"""Tests for Algorithm 3 (directed APSP with σ and predecessors) in CONGEST.
+
+Covers the paper's Theorem 1 and Lemma 8 bounds plus the structural lemmas
+(prefix-stable send schedule, one message per source per vertex).
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse.csgraph as csgraph
+
+from repro.baselines.brandes import brandes_sssp
+from repro.core.apsp import APSPVertexState
+from repro.core.mrbc_congest import UNREACHABLE, directed_apsp
+from repro.graph import generators as gen
+from repro.graph.builders import to_scipy_csr
+from tests.conftest import some_sources
+
+
+def scipy_apsp(g):
+    d = csgraph.shortest_path(to_scipy_csr(g), method="D", unweighted=True)
+    d[np.isinf(d)] = UNREACHABLE
+    return d.astype(np.int64)
+
+
+class TestDistances:
+    @pytest.mark.parametrize(
+        "fixture",
+        ["er_graph", "powerlaw_graph", "road_graph", "dicycle", "diamond"],
+    )
+    def test_full_apsp_matches_scipy(self, fixture, request):
+        g = request.getfixturevalue(fixture)
+        res = directed_apsp(g)
+        assert np.array_equal(res.dist, scipy_apsp(g))
+
+    def test_kssp_matches_scipy_rows(self, er_graph):
+        srcs = some_sources(er_graph)
+        res = directed_apsp(er_graph, sources=srcs)
+        ref = scipy_apsp(er_graph)[srcs]
+        assert np.array_equal(res.dist, ref)
+
+    def test_unreachable_marked(self, disconnected_graph):
+        res = directed_apsp(disconnected_graph, sources=[0])
+        assert res.dist[0, 3] == UNREACHABLE
+        assert res.dist[0, 2] == 2
+
+
+class TestSigmaAndPreds:
+    @pytest.mark.parametrize("fixture", ["er_graph", "powerlaw_graph", "diamond"])
+    def test_sigma_matches_brandes(self, fixture, request):
+        g = request.getfixturevalue(fixture)
+        srcs = some_sources(g)
+        res = directed_apsp(g, sources=srcs)
+        for i, s in enumerate(srcs):
+            _, sigma, _, _ = brandes_sssp(g, s)
+            assert np.allclose(res.sigma[i], sigma), f"source {s}"
+
+    def test_preds_match_brandes(self, er_graph):
+        srcs = some_sources(er_graph, 4)
+        res = directed_apsp(er_graph, sources=srcs)
+        for s in srcs:
+            _, _, preds, _ = brandes_sssp(er_graph, s)
+            for v, st in enumerate(res.states):
+                got = st.preds.get(s, set())
+                assert got == set(preds[v]), f"s={s} v={v}"
+
+    def test_diamond_sigma(self, diamond):
+        res = directed_apsp(diamond, sources=[0])
+        assert res.sigma[0].tolist() == [1.0, 1.0, 1.0, 2.0]
+
+
+class TestRoundAndMessageBounds:
+    def test_full_apsp_within_2n_rounds(self, er_graph):
+        res = directed_apsp(er_graph, detect_termination=False, use_finalizer=False)
+        assert res.rounds <= 2 * er_graph.num_vertices
+
+    def test_full_apsp_message_bound(self, er_graph):
+        """Theorem 1 part I.2: at most mn forward messages (no finalizer)."""
+        res = directed_apsp(er_graph, detect_termination=False, use_finalizer=False)
+        m, n = er_graph.num_edges, er_graph.num_vertices
+        assert res.stats.count_for_tag("apsp") <= m * n
+
+    def test_one_message_per_vertex_per_source(self, er_graph):
+        """Lemma 5: each vertex sends exactly one message per reaching source."""
+        res = directed_apsp(er_graph)
+        expected = sum(len(st.tau) for st in res.states)
+        reachable_pairs = int((res.dist != UNREACHABLE).sum())
+        assert expected == reachable_pairs
+        # Every reachable (s, v) pair produced exactly one timestamp.
+        for v, st in enumerate(res.states):
+            assert set(st.tau) == set(st.dist)
+
+    def test_kssp_round_bound(self, er_graph):
+        """Lemma 8: k-SSP completes in at most k + H rounds (+1 detector)."""
+        srcs = some_sources(er_graph, 5)
+        res = directed_apsp(er_graph, sources=srcs)
+        H = int(res.dist.max())
+        assert res.last_send_round <= len(srcs) + H
+        assert res.rounds <= len(srcs) + H + 1
+
+    def test_kssp_message_bound(self, road_graph):
+        """Lemma 8: at most m·k messages."""
+        srcs = some_sources(road_graph, 4)
+        res = directed_apsp(road_graph, sources=srcs)
+        assert res.stats.count_for_tag("apsp") <= road_graph.num_edges * len(srcs)
+
+    def test_send_rounds_respect_pipelining_rule(self, er_graph):
+        """τ_sv is distinct per vertex and τ_sv >= d_sv + 1."""
+        res = directed_apsp(er_graph, sources=some_sources(er_graph, 5))
+        for st in res.states:
+            taus = list(st.tau.values())
+            assert len(taus) == len(set(taus))
+            for s, tau in st.tau.items():
+                assert tau >= st.dist[s] + 1
+
+
+class TestVertexState:
+    def test_source_initialization(self):
+        st = APSPVertexState()
+        st.initialize_source(7)
+        assert st.entries == [(0, 7)]
+        assert st.sigma[7] == 1.0
+        assert st.next_send(1) == (0, 7)
+
+    def test_receive_insert_update_replace(self):
+        st = APSPVertexState()
+        st.receive(1, 5, 2.0, u=9)  # insert (2, 5)
+        assert st.dist[5] == 2
+        st.receive(1, 5, 3.0, u=8)  # same distance: accumulate
+        assert st.sigma[5] == 5.0
+        assert st.preds[5] == {9, 8}
+        st.receive(0, 5, 1.0, u=7)  # shorter: replace
+        assert st.dist[5] == 1
+        assert st.sigma[5] == 1.0
+        assert st.preds[5] == {7}
+        st.receive(4, 5, 9.0, u=6)  # longer: ignore
+        assert st.dist[5] == 1
+
+    def test_next_send_respects_position(self):
+        st = APSPVertexState()
+        st.receive(0, 3, 1.0, u=1)  # (1, 3) at position 1 → round 2
+        st.receive(0, 8, 1.0, u=1)  # (1, 8) at position 2 → round 3
+        assert st.next_send(1) is None
+        assert st.next_send(2) == (1, 3)
+        st.sent_prefix += 1
+        assert st.next_send(3) == (1, 8)
+
+    def test_all_sent_and_max_dist(self):
+        st = APSPVertexState()
+        assert st.all_sent()
+        assert st.max_finite_dist() == 0
+        st.receive(2, 1, 1.0, u=0)
+        assert not st.all_sent()
+        assert st.max_finite_dist() == 3
+
+
+class TestSourceValidation:
+    def test_duplicate_sources_rejected(self, er_graph):
+        with pytest.raises(ValueError):
+            directed_apsp(er_graph, sources=[1, 1])
+
+    def test_out_of_range_rejected(self, er_graph):
+        with pytest.raises(ValueError):
+            directed_apsp(er_graph, sources=[10_000])
+
+    def test_empty_rejected(self, er_graph):
+        with pytest.raises(ValueError):
+            directed_apsp(er_graph, sources=[])
+
+    def test_finalizer_with_kssp_rejected(self, er_graph):
+        with pytest.raises(ValueError):
+            directed_apsp(er_graph, sources=[0], use_finalizer=True)

@@ -1,0 +1,133 @@
+"""Tests for the extension features: batch-size autotuning and scaled
+BC approximation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brandes import brandes_bc
+from repro.cluster.model import ClusterModel
+from repro.core.approx import adaptive_bc_of_vertex, approximate_bc
+from repro.core.autotune import DEFAULT_CANDIDATES, tune_batch_size
+from repro.core.mrbc import mrbc_engine
+from repro.engine.partition import partition_graph
+from repro.graph import generators as gen
+
+
+class TestAutotune:
+    def test_returns_a_candidate(self, webcrawl_graph):
+        srcs = np.arange(16)
+        res = tune_batch_size(
+            webcrawl_graph, srcs, candidates=(2, 4, 8), num_hosts=4
+        )
+        assert res.best_batch_size in (2, 4, 8)
+        assert set(res.scores) == {2, 4, 8}
+        assert all(v > 0 for v in res.scores.values())
+
+    def test_ranking_sorted(self, er_graph):
+        res = tune_batch_size(er_graph, np.arange(8), candidates=(2, 8), num_hosts=2)
+        ranking = res.ranking()
+        assert ranking[0][1] <= ranking[-1][1]
+        assert ranking[0][0] == res.best_batch_size
+
+    def test_prefers_larger_batches_on_high_diameter(self):
+        """On a long path, batching amortizes the huge distance range."""
+        g = gen.path_graph(120)
+        srcs = np.arange(16)
+        res = tune_batch_size(g, srcs, candidates=(1, 16), num_hosts=4)
+        assert res.best_batch_size == 16
+        assert res.scores[16] < res.scores[1]
+
+    def test_candidates_beyond_sources_deduplicated(self, er_graph):
+        res = tune_batch_size(
+            er_graph, np.arange(4), candidates=(4, 8, 16), num_hosts=2
+        )
+        # Pilots collapse to the 4 available sources: identical scores.
+        assert res.scores[8] == res.scores[16] == res.scores[4]
+
+    def test_shared_partition_and_model(self, er_graph):
+        pg = partition_graph(er_graph, 4, "cvc")
+        res = tune_batch_size(
+            er_graph,
+            np.arange(6),
+            candidates=(2, 3),
+            partition=pg,
+            model=ClusterModel(4),
+        )
+        assert res.best_batch_size in (2, 3)
+
+    def test_validation(self, er_graph):
+        with pytest.raises(ValueError):
+            tune_batch_size(er_graph, [], candidates=(2,))
+        with pytest.raises(ValueError):
+            tune_batch_size(er_graph, [0], candidates=())
+        with pytest.raises(ValueError):
+            tune_batch_size(er_graph, [0], candidates=(0,))
+
+    def test_default_candidates_are_powers_of_two(self):
+        assert all(k & (k - 1) == 0 for k in DEFAULT_CANDIDATES)
+
+
+class TestApproximateBC:
+    def test_full_sample_recovers_exact(self, er_graph):
+        n = er_graph.num_vertices
+        res = approximate_bc(er_graph, n, mode="first")
+        assert res.scale == 1.0
+        assert np.allclose(res.bc_estimate, brandes_bc(er_graph))
+
+    def test_scale_factor(self, er_graph):
+        res = approximate_bc(er_graph, 10, seed=3)
+        assert res.scale == pytest.approx(er_graph.num_vertices / 10)
+        assert res.sources.size == 10
+
+    def test_estimates_converge(self, powerlaw_graph):
+        """More samples → estimates closer to exact (on average)."""
+        g = powerlaw_graph
+        exact = brandes_bc(g)
+        norm = np.linalg.norm(exact) + 1e-12
+
+        def err(k: int) -> float:
+            errs = []
+            for seed in range(5):
+                est = approximate_bc(g, k, mode="uniform", seed=seed)
+                errs.append(np.linalg.norm(est.bc_estimate - exact) / norm)
+            return float(np.mean(errs))
+
+        assert err(g.num_vertices // 2) < err(4)
+
+    def test_mrbc_backend(self, er_graph):
+        res = approximate_bc(
+            er_graph,
+            8,
+            backend=lambda g, s: mrbc_engine(
+                g, sources=s, batch_size=8, num_hosts=2
+            ).bc,
+            seed=11,
+        )
+        ref = approximate_bc(er_graph, 8, seed=11)
+        assert np.allclose(res.bc_estimate, ref.bc_estimate)
+
+    def test_validation(self, er_graph):
+        with pytest.raises(ValueError):
+            approximate_bc(er_graph, 0)
+        with pytest.raises(ValueError):
+            approximate_bc(er_graph, er_graph.num_vertices + 1)
+
+
+class TestAdaptiveEstimator:
+    def test_full_walk_is_exact(self, er_graph):
+        exact = brandes_bc(er_graph)
+        v = int(np.argmax(exact))
+        est, used = adaptive_bc_of_vertex(er_graph, v, c=np.inf, seed=1)
+        assert used == er_graph.num_vertices
+        assert est == pytest.approx(exact[v])
+
+    def test_central_vertex_stops_early(self):
+        """The hub of a star intercepts every pair: tiny sample suffices."""
+        g = gen.star_graph(60, out=True).to_undirected()
+        est, used = adaptive_bc_of_vertex(g, 0, c=2.0, seed=2)
+        assert used < g.num_vertices
+        assert est > 0
+
+    def test_vertex_validation(self, er_graph):
+        with pytest.raises(ValueError):
+            adaptive_bc_of_vertex(er_graph, -1)

@@ -1,0 +1,130 @@
+"""Unit tests for repro.utils.bitset."""
+
+import numpy as np
+import pytest
+
+from repro.utils.bitset import Bitset
+
+
+class TestConstruction:
+    def test_empty(self):
+        bs = Bitset(10)
+        assert bs.capacity == 10
+        assert bs.count() == 0
+        assert not bs.any()
+
+    def test_zero_capacity(self):
+        bs = Bitset(0)
+        assert bs.count() == 0
+        assert list(bs) == []
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Bitset(-1)
+
+    def test_from_indices(self):
+        bs = Bitset.from_indices(100, [3, 64, 99])
+        assert bs.count() == 3
+        assert bs.test(64)
+
+    def test_copy_is_independent(self):
+        a = Bitset.from_indices(70, [0, 65])
+        b = a.copy()
+        b.clear(0)
+        assert a.test(0)
+        assert not b.test(0)
+
+
+class TestElementOps:
+    def test_set_test_clear(self):
+        bs = Bitset(130)
+        for i in (0, 63, 64, 127, 129):
+            assert not bs.test(i)
+            bs.set(i)
+            assert bs.test(i)
+        bs.clear(64)
+        assert not bs.test(64)
+        assert bs.count() == 4
+
+    def test_set_idempotent(self):
+        bs = Bitset(8)
+        bs.set(3)
+        bs.set(3)
+        assert bs.count() == 1
+
+    def test_out_of_range(self):
+        bs = Bitset(8)
+        with pytest.raises(IndexError):
+            bs.set(8)
+        with pytest.raises(IndexError):
+            bs.test(-1)
+        with pytest.raises(IndexError):
+            bs.clear(100)
+
+    def test_contains(self):
+        bs = Bitset.from_indices(10, [2])
+        assert 2 in bs
+        assert 3 not in bs
+        assert "x" not in bs
+        assert 100 not in bs
+
+
+class TestBulkOps:
+    def test_indices_sorted_across_words(self):
+        idx = [1, 5, 63, 64, 65, 190]
+        bs = Bitset.from_indices(200, idx)
+        assert bs.indices().tolist() == idx
+        assert list(bs) == idx
+
+    def test_clear_all(self):
+        bs = Bitset.from_indices(128, range(0, 128, 3))
+        bs.clear_all()
+        assert bs.count() == 0
+
+    def test_len_matches_count(self):
+        bs = Bitset.from_indices(90, [1, 2, 3, 70])
+        assert len(bs) == 4
+
+    def test_empty_indices_dtype(self):
+        assert Bitset(10).indices().dtype == np.int64
+
+
+class TestAlgebra:
+    def test_ior(self):
+        a = Bitset.from_indices(70, [1, 65])
+        b = Bitset.from_indices(70, [2, 65])
+        a.ior(b)
+        assert sorted(a) == [1, 2, 65]
+
+    def test_iand(self):
+        a = Bitset.from_indices(70, [1, 2, 65])
+        b = Bitset.from_indices(70, [2, 65, 69])
+        a.iand(b)
+        assert sorted(a) == [2, 65]
+
+    def test_isub(self):
+        a = Bitset.from_indices(70, [1, 2, 65])
+        b = Bitset.from_indices(70, [2])
+        a.isub(b)
+        assert sorted(a) == [1, 65]
+
+    def test_capacity_mismatch(self):
+        with pytest.raises(ValueError):
+            Bitset(10).ior(Bitset(11))
+
+    def test_equality(self):
+        a = Bitset.from_indices(66, [65])
+        b = Bitset.from_indices(66, [65])
+        assert a == b
+        b.set(0)
+        assert a != b
+        assert (a == "nope") is False or True  # NotImplemented path
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Bitset(4))
+
+    def test_repr_truncates(self):
+        bs = Bitset.from_indices(64, range(32))
+        r = repr(bs)
+        assert "..." in r

@@ -1,0 +1,77 @@
+"""Tests for the Brandes reference against NetworkX (independent oracle)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis.validation import bc_networkx
+from repro.baselines.brandes import brandes_bc, brandes_dependencies, brandes_sssp
+from repro.graph import generators as gen
+from repro.graph.builders import from_edges, to_networkx
+from tests.conftest import some_sources
+
+
+class TestAgainstNetworkX:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: gen.erdos_renyi(50, 3.0, seed=51),
+            lambda: gen.rmat(6, 4, seed=52),
+            lambda: gen.grid_road(6, 6, seed=53),
+            lambda: gen.cycle_graph(12),
+            lambda: gen.path_graph(10),
+        ],
+    )
+    def test_exact_bc(self, make):
+        g = make()
+        ours = brandes_bc(g)
+        theirs = bc_networkx(g)
+        assert np.allclose(ours, theirs)
+
+    def test_sampled_bc(self):
+        g = gen.erdos_renyi(40, 3.0, seed=54)
+        srcs = some_sources(g)
+        assert np.allclose(brandes_bc(g, sources=srcs), bc_networkx(g, sources=srcs))
+
+    def test_nx_builtin_agrees_on_directed(self):
+        g = gen.erdos_renyi(30, 2.5, seed=55)
+        nxg = to_networkx(g)
+        scores = nx.betweenness_centrality(nxg, normalized=False)
+        ref = np.array([scores[v] for v in range(g.num_vertices)])
+        assert np.allclose(brandes_bc(g), ref)
+
+
+class TestSSSP:
+    def test_sssp_structure(self):
+        g = from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        dist, sigma, preds, order = brandes_sssp(g, 0)
+        assert dist.tolist() == [0, 1, 1, 2]
+        assert sigma.tolist() == [1, 1, 1, 2]
+        assert set(preds[3]) == {1, 2}
+        assert order[0] == 0 and order[-1] == 3
+
+    def test_order_nondecreasing_distance(self):
+        g = gen.erdos_renyi(40, 3.0, seed=56)
+        dist, _, _, order = brandes_sssp(g, 0)
+        ds = [dist[v] for v in order]
+        assert ds == sorted(ds)
+
+    def test_dependencies_zero_for_leaves(self):
+        g = from_edges(3, [(0, 1), (1, 2)])
+        _, _, delta = brandes_dependencies(g, 0)
+        assert delta[2] == 0.0
+        assert delta[1] == 1.0  # on the only 0→2 path
+
+
+class TestValidationInput:
+    def test_out_of_range_source_rejected(self):
+        g = from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            brandes_bc(g, sources=[5])
+
+    def test_bc_zero_on_edgeless(self):
+        assert np.allclose(brandes_bc(from_edges(4, [])), 0.0)
+
+    def test_bc_nonnegative(self):
+        g = gen.rmat(6, 6, seed=57)
+        assert (brandes_bc(g) >= 0).all()

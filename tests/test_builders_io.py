@@ -1,0 +1,136 @@
+"""Unit tests for repro.graph.builders and repro.graph.io."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.builders import (
+    from_edge_array,
+    from_edges,
+    from_networkx,
+    to_networkx,
+    to_scipy_csr,
+)
+from repro.graph.generators import erdos_renyi
+from repro.graph.io import load_npz, read_edge_list, save_npz, write_edge_list
+
+
+class TestBuilders:
+    def test_from_edges(self):
+        g = from_edges(3, [(0, 1), (1, 2)])
+        assert g.num_edges == 2
+
+    def test_from_edges_empty(self):
+        assert from_edges(4, []).num_edges == 0
+
+    def test_from_edges_bad_shape(self):
+        with pytest.raises(ValueError):
+            from_edges(3, [(0, 1, 2)])  # type: ignore[list-item]
+
+    def test_from_edge_array(self):
+        g = from_edge_array(3, np.array([0, 1]), np.array([1, 2]))
+        assert g.has_edge(0, 1)
+
+    def test_networkx_roundtrip(self):
+        g = erdos_renyi(30, 2.5, seed=3)
+        back = from_networkx(to_networkx(g))
+        assert back == g
+
+    def test_from_networkx_undirected_symmetrizes(self):
+        nxg = nx.Graph([(0, 1), (1, 2)])
+        g = from_networkx(nxg)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.num_edges == 4
+
+    def test_from_networkx_drops_self_loops(self):
+        nxg = nx.DiGraph([(0, 0), (0, 1)])
+        assert from_networkx(nxg).num_edges == 1
+
+    def test_from_networkx_requires_contiguous_labels(self):
+        nxg = nx.DiGraph([(0, 5)])
+        with pytest.raises(ValueError):
+            from_networkx(nxg)
+
+    def test_to_scipy_csr(self):
+        g = from_edges(3, [(0, 1), (2, 1)])
+        A = to_scipy_csr(g)
+        assert A.shape == (3, 3)
+        assert A[0, 1] == 1.0
+        assert A[1, 0] == 0.0
+        assert A.nnz == 2
+
+
+class TestIO:
+    def test_edge_list_roundtrip(self, tmp_path):
+        g = erdos_renyi(25, 2.0, seed=5)
+        p = tmp_path / "g.txt"
+        write_edge_list(g, p)
+        assert read_edge_list(p) == g
+
+    def test_edge_list_header_overridden(self, tmp_path):
+        g = from_edges(3, [(0, 1)])
+        p = tmp_path / "g.txt"
+        write_edge_list(g, p)
+        g2 = read_edge_list(p, num_vertices=10)
+        assert g2.num_vertices == 10
+
+    def test_edge_list_no_header_infers_n(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n4 2\n")
+        g = read_edge_list(p)
+        assert g.num_vertices == 5
+        assert g.num_edges == 2
+
+    def test_edge_list_ignores_comments_and_blanks(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# a comment\n\n0 1\n")
+        assert read_edge_list(p).num_edges == 1
+
+    def test_edge_list_malformed_rejected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0\n")
+        with pytest.raises(ValueError):
+            read_edge_list(p)
+
+    def test_empty_edge_list(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# nodes: 7\n")
+        g = read_edge_list(p)
+        assert g.num_vertices == 7
+        assert g.num_edges == 0
+
+    def test_npz_roundtrip(self, tmp_path):
+        g = erdos_renyi(40, 3.0, seed=6)
+        p = tmp_path / "g.npz"
+        save_npz(g, p)
+        assert load_npz(p) == g
+
+
+class TestWeightedIO:
+    def test_roundtrip(self, tmp_path):
+        from repro.graph.io import read_weighted_edge_list, write_weighted_edge_list
+        from repro.graph.weighted import with_random_weights
+
+        wg = with_random_weights(erdos_renyi(25, 2.0, seed=8), 1, 9, seed=9)
+        p = tmp_path / "wg.txt"
+        write_weighted_edge_list(wg, p)
+        back = read_weighted_edge_list(p)
+        assert back.graph == wg.graph
+        assert np.allclose(back.weights, wg.weights)
+
+    def test_two_column_lines_default_unit(self, tmp_path):
+        from repro.graph.io import read_weighted_edge_list
+
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n1 2 3.5\n")
+        wg = read_weighted_edge_list(p)
+        assert wg.edge_weight(0, 1) == 1.0
+        assert wg.edge_weight(1, 2) == 3.5
+
+    def test_malformed_rejected(self, tmp_path):
+        from repro.graph.io import read_weighted_edge_list
+
+        p = tmp_path / "g.txt"
+        p.write_text("7\n")
+        with pytest.raises(ValueError):
+            read_weighted_edge_list(p)

@@ -1,0 +1,153 @@
+"""Unit tests for the CONGEST network simulator."""
+
+import numpy as np
+import pytest
+
+from repro.congest.messages import MAX_COMBINED_VALUES, MessageStats, payload_words
+from repro.congest.network import (
+    ChannelCapacityError,
+    CongestNetwork,
+    NotAChannelError,
+)
+from repro.congest.program import BROADCAST, VertexProgram
+from repro.graph.builders import from_edges
+from repro.graph.generators import cycle_graph, path_graph
+
+
+class Flood(VertexProgram):
+    """Simple flooding: vertex 0 starts a token; everyone forwards once."""
+
+    def setup(self, ctx):
+        super().setup(ctx)
+        self.have = ctx.vid == 0
+        self.forwarded = ctx.vid != 0 and False
+        self.sent = False
+
+    def compute_sends(self, rnd):
+        if self.have and not self.sent:
+            self.sent = True
+            return [(BROADCAST, ("tok",))]
+        return []
+
+    def handle_message(self, rnd, sender, payload):
+        self.have = True
+
+    def has_pending_work(self, rnd):
+        return self.have and not self.sent
+
+
+class TestDelivery:
+    def test_flood_reaches_everyone_in_diameter_rounds(self):
+        g = path_graph(6, bidirectional=False)  # channels follow UG anyway
+        net = CongestNetwork(g, lambda v: Flood())
+        res = net.run(20, detect_quiescence=True)
+        assert all(p.have for p in net.programs)  # type: ignore[attr-defined]
+        assert res.terminated_by == "quiescence"
+        # Path of 6: farthest vertex at distance 5 → ~6 rounds + 1 quiet.
+        assert res.rounds_executed <= 8
+
+    def test_channels_are_bidirectional(self):
+        """A directed edge still gives a two-way channel (CONGEST on UG)."""
+        g = from_edges(2, [(0, 1)])
+
+        class SendBack(VertexProgram):
+            def setup(self, ctx):
+                super().setup(ctx)
+                self.got = False
+
+            def compute_sends(self, rnd):
+                if self.ctx.vid == 1 and rnd == 1:
+                    return [(0, ("x",))]
+                return []
+
+            def handle_message(self, rnd, sender, payload):
+                self.got = True
+
+            def has_pending_work(self, rnd):
+                return False
+
+        net = CongestNetwork(g, lambda v: SendBack())
+        net.run(2)
+        assert net.programs[0].got  # type: ignore[attr-defined]
+
+    def test_send_to_non_neighbor_rejected(self):
+        g = path_graph(3, bidirectional=False)
+
+        class Bad(VertexProgram):
+            def compute_sends(self, rnd):
+                return [(2, ("x",))] if self.ctx.vid == 0 else []
+
+            def handle_message(self, rnd, sender, payload):
+                pass
+
+        net = CongestNetwork(g, lambda v: Bad())
+        with pytest.raises(NotAChannelError):
+            net.run(1)
+
+    def test_channel_capacity_enforced(self):
+        g = from_edges(2, [(0, 1)])
+
+        class Chatty(VertexProgram):
+            def compute_sends(self, rnd):
+                if self.ctx.vid == 0:
+                    return [(1, ("x", i)) for i in range(MAX_COMBINED_VALUES + 1)]
+                return []
+
+            def handle_message(self, rnd, sender, payload):
+                pass
+
+        net = CongestNetwork(g, lambda v: Chatty())
+        with pytest.raises(ChannelCapacityError):
+            net.run(1)
+
+
+class TestAccounting:
+    def test_message_vs_value_counts(self):
+        g = from_edges(2, [(0, 1)])
+
+        class TwoValues(VertexProgram):
+            def compute_sends(self, rnd):
+                if self.ctx.vid == 0 and rnd == 1:
+                    return [(1, ("a", 1)), (1, ("b", 1, 2))]
+                return []
+
+            def handle_message(self, rnd, sender, payload):
+                pass
+
+            def has_pending_work(self, rnd):
+                return False
+
+        net = CongestNetwork(g, lambda v: TwoValues())
+        res = net.run(3, detect_quiescence=True)
+        assert res.stats.messages == 1  # combined into one channel message
+        assert res.stats.values == 2
+        assert res.stats.count_for_tag("a") == 1
+        assert res.stats.count_for_tag("b") == 1
+        assert res.last_send_round == 1
+
+    def test_sends_per_round_recorded(self):
+        g = cycle_graph(4)
+        net = CongestNetwork(g, lambda v: Flood())
+        res = net.run(10, detect_quiescence=True)
+        assert res.sends_per_round[0] >= 1
+        assert res.sends_per_round[-1] == 0  # quiescent final round
+
+    def test_round_limit_termination(self):
+        g = cycle_graph(3)
+        net = CongestNetwork(g, lambda v: Flood())
+        res = net.run(1)
+        assert res.terminated_by == "round_limit"
+        assert res.rounds_executed == 1
+
+
+class TestPayloadWords:
+    def test_sizes(self):
+        assert payload_words(("tag",)) == 1
+        assert payload_words(("tag", 1)) == 1
+        assert payload_words(("tag", 1, 2, 3)) == 3
+
+    def test_stats_words(self):
+        ms = MessageStats()
+        ms.record_channel([("a", 1), ("b", 1, 2)])
+        assert ms.words == 3
+        assert ms.messages == 1

@@ -1,0 +1,93 @@
+"""Determinism tests: the property every benchmark assertion rests on.
+
+The harness claims bit-reproducibility — same seed, same graph, same
+configuration ⇒ identical statistics and simulated times on any machine.
+These tests run each pipeline twice and require exact equality (not
+allclose) on every recorded quantity.
+"""
+
+import numpy as np
+
+from repro.baselines.sbbc import sbbc_engine
+from repro.cluster.model import ClusterModel
+from repro.core.mrbc import mrbc_engine
+from repro.core.mrbc_congest import mrbc_congest
+from repro.engine.partition import partition_graph
+from repro.graph import generators as gen
+
+
+def runs_equal(a, b) -> bool:
+    """Exact equality of two EngineRun statistics."""
+    if a.num_rounds != b.num_rounds or a.num_hosts != b.num_hosts:
+        return False
+    for ra, rb in zip(a.rounds, b.rounds):
+        if ra.phase != rb.phase:
+            return False
+        if not (
+            np.array_equal(ra.bytes_out, rb.bytes_out)
+            and np.array_equal(ra.bytes_in, rb.bytes_in)
+            and np.array_equal(ra.msgs_out, rb.msgs_out)
+        ):
+            return False
+        if (ra.pair_messages, ra.items_synced, ra.proxies_synced) != (
+            rb.pair_messages,
+            rb.items_synced,
+            rb.proxies_synced,
+        ):
+            return False
+        for ca, cb in zip(ra.compute, rb.compute):
+            if (ca.vertex_ops, ca.edge_ops, ca.struct_ops) != (
+                cb.vertex_ops,
+                cb.edge_ops,
+                cb.struct_ops,
+            ):
+                return False
+    return True
+
+
+class TestDeterminism:
+    def test_generators_bitwise_stable(self):
+        for make in (
+            lambda: gen.rmat(8, 8, seed=99),
+            lambda: gen.web_crawl_like(100, 80, seed=99),
+            lambda: gen.forest_fire(100, 0.3, seed=99),
+        ):
+            assert make() == make()
+
+    def test_congest_mrbc_identical_twice(self):
+        g = gen.erdos_renyi(50, 3.0, seed=98)
+        a = mrbc_congest(g, sources=[0, 5, 9])
+        b = mrbc_congest(g, sources=[0, 5, 9])
+        assert np.array_equal(a.bc, b.bc)  # exact, not allclose
+        assert a.total_rounds == b.total_rounds
+        assert a.total_messages == b.total_messages
+        assert a.stats_forward.by_tag == b.stats_forward.by_tag
+
+    def test_engine_run_statistics_identical_twice(self):
+        g = gen.web_crawl_like(150, 100, avg_tail_len=12, seed=97)
+        srcs = list(range(0, 250, 30))
+        pg = partition_graph(g, 4, "cvc")
+        a = mrbc_engine(g, sources=srcs, batch_size=4, partition=pg)
+        b = mrbc_engine(g, sources=srcs, batch_size=4, partition=pg)
+        assert np.array_equal(a.bc, b.bc)
+        assert runs_equal(a.run, b.run)
+
+    def test_simulated_time_exactly_reproducible(self):
+        g = gen.rmat(7, 6, seed=96)
+        srcs = [0, 3, 7]
+        pg = partition_graph(g, 4, "cvc")
+        model = ClusterModel(4)
+        t1 = model.time_run(sbbc_engine(g, sources=srcs, partition=pg).run)
+        t2 = model.time_run(sbbc_engine(g, sources=srcs, partition=pg).run)
+        assert t1.total == t2.total  # bitwise equal floats
+        assert t1.communication == t2.communication
+
+    def test_partitions_identical_twice(self):
+        g = gen.erdos_renyi(80, 4.0, seed=95)
+        a = partition_graph(g, 6, "cvc")
+        b = partition_graph(g, 6, "cvc")
+        assert np.array_equal(a.master_of, b.master_of)
+        for pa, pb in zip(a.parts, b.parts):
+            assert np.array_equal(pa.gids, pb.gids)
+            assert np.array_equal(pa.out_targets, pb.out_targets)
+        assert np.array_equal(a.shared_proxies, b.shared_proxies)

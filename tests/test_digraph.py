@@ -1,0 +1,147 @@
+"""Unit tests for repro.graph.digraph."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+
+
+def g_from(edges, n):
+    arr = np.asarray(edges, dtype=np.int64)
+    if arr.size == 0:
+        return DiGraph(n, np.empty(0, np.int64), np.empty(0, np.int64))
+    return DiGraph(n, arr[:, 0], arr[:, 1])
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = g_from([], 5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.out_neighbors(0).size == 0
+
+    def test_zero_vertices(self):
+        g = g_from([], 0)
+        assert g.num_vertices == 0
+
+    def test_dedup_parallel_edges(self):
+        g = g_from([(0, 1), (0, 1), (1, 2)], 3)
+        assert g.num_edges == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            g_from([(1, 1)], 3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            g_from([(0, 5)], 3)
+        with pytest.raises(ValueError):
+            DiGraph(3, np.array([-1]), np.array([0]))
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph(3, np.array([0, 1]), np.array([2]))
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph(-1, np.empty(0, np.int64), np.empty(0, np.int64))
+
+
+class TestAdjacency:
+    def test_out_in_neighbors(self):
+        g = g_from([(0, 1), (0, 2), (2, 1)], 3)
+        assert g.out_neighbors(0).tolist() == [1, 2]
+        assert g.out_neighbors(1).tolist() == []
+        assert g.in_neighbors(1).tolist() == [0, 2]
+        assert g.in_neighbors(0).tolist() == []
+
+    def test_neighbors_sorted(self):
+        g = g_from([(0, 3), (0, 1), (0, 2)], 4)
+        assert g.out_neighbors(0).tolist() == [1, 2, 3]
+
+    def test_degrees(self):
+        g = g_from([(0, 1), (0, 2), (2, 1)], 3)
+        assert g.out_degree(0) == 2
+        assert g.in_degree(1) == 2
+        assert g.out_degrees().tolist() == [2, 0, 1]
+        assert g.in_degrees().tolist() == [0, 2, 1]
+
+    def test_has_edge(self):
+        g = g_from([(0, 1), (2, 1)], 3)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_edges_sorted_by_source(self):
+        g = g_from([(2, 0), (0, 1), (1, 2)], 3)
+        src, dst = g.edges()
+        assert src.tolist() == [0, 1, 2]
+        assert dst.tolist() == [1, 2, 0]
+
+    def test_csr_views_read_only(self):
+        g = g_from([(0, 1)], 2)
+        with pytest.raises(ValueError):
+            g.out_targets[0] = 0
+
+    def test_in_out_edge_sets_agree(self):
+        rng = np.random.default_rng(3)
+        src = rng.integers(0, 20, 100)
+        dst = rng.integers(0, 20, 100)
+        keep = src != dst
+        g = DiGraph(20, src[keep], dst[keep])
+        out_edges = {(u, int(v)) for u in range(20) for v in g.out_neighbors(u)}
+        in_edges = {(int(u), v) for v in range(20) for u in g.in_neighbors(v)}
+        assert out_edges == in_edges
+        assert len(out_edges) == g.num_edges
+
+
+class TestDerivedGraphs:
+    def test_reverse(self):
+        g = g_from([(0, 1), (1, 2)], 3)
+        r = g.reverse()
+        assert r.has_edge(1, 0)
+        assert r.has_edge(2, 1)
+        assert r.num_edges == 2
+        assert r.reverse() == g
+
+    def test_to_undirected(self):
+        g = g_from([(0, 1)], 2)
+        u = g.to_undirected()
+        assert u.has_edge(0, 1) and u.has_edge(1, 0)
+        assert u.num_edges == 2
+
+    def test_to_undirected_no_double(self):
+        g = g_from([(0, 1), (1, 0)], 2)
+        u = g.to_undirected()
+        assert u.num_edges == 2
+
+    def test_subgraph(self):
+        g = g_from([(0, 1), (1, 2), (2, 3), (3, 0)], 4)
+        sub, old = g.subgraph(np.array([1, 2, 3]))
+        assert sub.num_vertices == 3
+        assert old.tolist() == [1, 2, 3]
+        # Edges 1->2, 2->3 survive as 0->1, 1->2.
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+        assert sub.num_edges == 2
+
+    def test_subgraph_duplicate_rejected(self):
+        g = g_from([(0, 1)], 2)
+        with pytest.raises(ValueError):
+            g.subgraph(np.array([0, 0]))
+
+
+class TestEquality:
+    def test_eq(self):
+        a = g_from([(0, 1), (1, 2)], 3)
+        b = g_from([(1, 2), (0, 1)], 3)
+        assert a == b
+
+    def test_neq_different_edges(self):
+        assert g_from([(0, 1)], 3) != g_from([(0, 2)], 3)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(g_from([], 1))
+
+    def test_repr(self):
+        assert repr(g_from([(0, 1)], 2)) == "DiGraph(n=2, m=1)"

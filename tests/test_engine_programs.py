@@ -1,0 +1,141 @@
+"""Tests for the general vertex programs (BFS, WCC, PageRank) on the
+simulated D-Galois engine."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.engine.partition import partition_graph
+from repro.engine.programs import bfs_engine, pagerank_engine, wcc_engine
+from repro.graph import generators as gen
+from repro.graph.builders import from_edges, to_networkx
+from repro.graph.properties import bfs_distances
+
+
+class TestBFSEngine:
+    @pytest.mark.parametrize("H", [1, 4])
+    @pytest.mark.parametrize(
+        "fixture", ["er_graph", "powerlaw_graph", "road_graph"]
+    )
+    def test_matches_reference_bfs(self, fixture, H, request):
+        g = request.getfixturevalue(fixture)
+        res = bfs_engine(g, source=0, num_hosts=H)
+        assert np.array_equal(res.values, bfs_distances(g, 0))
+
+    def test_rounds_track_eccentricity(self, road_graph):
+        res = bfs_engine(road_graph, source=0, num_hosts=2)
+        ecc = int(bfs_distances(road_graph, 0).max())
+        assert ecc <= res.rounds <= ecc + 3
+
+    def test_unreachable_vertices(self, disconnected_graph):
+        res = bfs_engine(disconnected_graph, source=0, num_hosts=2)
+        assert res.values[3] == -1
+        assert res.values[0] == 0
+
+    def test_source_validation(self, er_graph):
+        with pytest.raises(ValueError):
+            bfs_engine(er_graph, source=-1)
+
+    def test_stats_collected(self, er_graph):
+        res = bfs_engine(er_graph, source=0, num_hosts=4)
+        assert res.run.num_rounds == res.rounds
+        assert res.run.total_bytes > 0
+
+
+class TestWCCEngine:
+    @pytest.mark.parametrize("H", [1, 4])
+    def test_matches_networkx_components(self, H, disconnected_graph):
+        g = disconnected_graph
+        res = wcc_engine(g, num_hosts=H)
+        nxg = to_networkx(g).to_undirected()
+        for comp in nx.connected_components(nxg):
+            labels = {int(res.values[v]) for v in comp}
+            assert len(labels) == 1
+            assert labels.pop() == min(comp)
+
+    def test_connected_graph_single_label(self, road_graph):
+        res = wcc_engine(road_graph, num_hosts=4)
+        assert (res.values == 0).all()
+
+    def test_many_components(self):
+        g = from_edges(9, [(0, 1), (2, 3), (3, 4), (6, 5), (7, 8)])
+        res = wcc_engine(g, num_hosts=3)
+        assert res.values.tolist() == [0, 0, 2, 2, 2, 5, 5, 7, 7]
+
+    def test_random_graph_vs_networkx(self, er_graph):
+        res = wcc_engine(er_graph, num_hosts=4)
+        nxg = to_networkx(er_graph).to_undirected()
+        for comp in nx.connected_components(nxg):
+            assert len({int(res.values[v]) for v in comp}) == 1
+
+
+class TestPageRankEngine:
+    @pytest.mark.parametrize("H", [1, 4])
+    def test_matches_networkx(self, H, er_graph):
+        res = pagerank_engine(er_graph, tol=1e-12, num_hosts=H)
+        ref = nx.pagerank(to_networkx(er_graph), alpha=0.85, tol=1e-14)
+        refv = np.array([ref[v] for v in range(er_graph.num_vertices)])
+        assert np.allclose(res.values, refv, atol=1e-6)
+
+    def test_ranks_sum_to_one(self, powerlaw_graph):
+        res = pagerank_engine(powerlaw_graph, num_hosts=4)
+        assert res.values.sum() == pytest.approx(1.0)
+        assert (res.values > 0).all()
+
+    def test_dangling_vertices_handled(self):
+        g = from_edges(4, [(0, 1), (0, 2), (1, 3)])  # 2, 3 are dangling
+        res = pagerank_engine(g, tol=1e-12, num_hosts=2)
+        ref = nx.pagerank(to_networkx(g), alpha=0.85, tol=1e-14)
+        assert np.allclose(
+            res.values, [ref[v] for v in range(4)], atol=1e-8
+        )
+
+    def test_convergence_bounded(self, er_graph):
+        res = pagerank_engine(er_graph, tol=1e-6, max_iters=100, num_hosts=2)
+        assert res.rounds < 100
+
+    def test_damping_validation(self, er_graph):
+        with pytest.raises(ValueError):
+            pagerank_engine(er_graph, damping=1.5)
+
+    def test_shared_partition(self, er_graph):
+        pg = partition_graph(er_graph, 4, "oec")
+        a = pagerank_engine(er_graph, partition=pg)
+        b = pagerank_engine(er_graph, num_hosts=4, partition=None)
+        assert np.allclose(a.values, b.values, atol=1e-9)
+
+
+class TestKCoreEngine:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    @pytest.mark.parametrize("H", [1, 4])
+    def test_matches_networkx(self, k, H, er_graph):
+        from repro.engine.programs import kcore_engine
+
+        res = kcore_engine(er_graph, k=k, num_hosts=H)
+        nx_core = set(
+            nx.k_core(to_networkx(er_graph).to_undirected(), k=k).nodes()
+        )
+        got = {v for v in range(er_graph.num_vertices) if res.values[v]}
+        assert got == nx_core
+
+    def test_k1_drops_isolated_only(self):
+        from repro.engine.programs import kcore_engine
+
+        g = from_edges(4, [(0, 1)])
+        res = kcore_engine(g, k=1, num_hosts=2)
+        assert res.values.tolist() == [1, 1, 0, 0]
+
+    def test_deep_peeling_cascade(self):
+        """A path peels from both ends one layer per round under k=2."""
+        from repro.engine.programs import kcore_engine
+
+        g = gen.path_graph(10, bidirectional=True)
+        res = kcore_engine(g, k=2, num_hosts=2)
+        assert res.values.sum() == 0  # a path has no 2-core
+        assert res.rounds >= 5  # cascades inward
+
+    def test_k_validation(self, er_graph):
+        from repro.engine.programs import kcore_engine
+
+        with pytest.raises(ValueError):
+            kcore_engine(er_graph, k=0)

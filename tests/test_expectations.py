@@ -1,0 +1,145 @@
+"""Tests for the artifact-evaluation checker (analysis/expectations.py)."""
+
+import pytest
+
+from repro.analysis.expectations import (
+    EXPECTATIONS,
+    CheckResult,
+    check_results,
+    render_report,
+)
+from repro.analysis.export import write_csv
+
+
+def _write(tmp_path, artifact, headers, rows):
+    write_csv(tmp_path / f"{artifact}.csv", headers, rows)
+
+
+@pytest.fixture
+def good_results(tmp_path):
+    """A minimal results directory satisfying every expectation."""
+    _write(
+        tmp_path,
+        "table_1_rounds_per_source_and_load_imbalance",
+        ["graph", "est.diam", "SBBC rounds/src", "MRBC rounds/src", "reduction"],
+        [
+            ["rmat24", "5", "10.0", "3.0", "3.3x"],
+            ["gsh15", "150", "240.0", "20.0", "12.0x"],
+        ],
+    )
+    _write(
+        tmp_path,
+        "table_2_execution_time_per_source_best_host_count",
+        ["graph", "winner"],
+        [
+            ["road-europe", "ABBC"],
+            ["gsh15", "MRBC"],
+            ["clueweb12", "MRBC"],
+            ["livejournal", "SBBC"],
+            ["rmat24", "SBBC"],
+        ],
+    )
+    _write(
+        tmp_path,
+        "figure_1_mrbc_execution_time_and_rounds_vs_batch_size",
+        ["graph", "k (batch)", "rounds"],
+        [["g", "8", "100"], ["g", "16", "60"], ["g", "32", "40"]],
+    )
+    _write(
+        tmp_path,
+        "figure_2_computation_vs_communication_breakdown",
+        ["graph", "algo", "comp (s)", "comm (s)"],
+        [
+            ["g1", "SBBC", "1.0", "2.0"],
+            ["g1", "MRBC", "1.5", "0.5"],
+        ],
+    )
+    _write(
+        tmp_path,
+        "figure_3_strong_scaling_on_large_graphs",
+        ["graph", "algo", "hosts", "exec (s)"],
+        [
+            ["g1", "SBBC", "4", "1.0"],
+            ["g1", "SBBC", "16", "0.8"],
+            ["g1", "MRBC", "4", "1.0"],
+            ["g1", "MRBC", "16", "0.4"],
+        ],
+    )
+    _write(
+        tmp_path,
+        "ablation_delayed_synchronization_4_3",
+        ["graph", "mode", "volume (B)"],
+        [["g1", "delayed", "100"], ["g1", "eager", "150"]],
+    )
+    _write(
+        tmp_path,
+        "ablation_pipelining_schedule_mrbc_vs_lenzen_peleg",
+        ["graph", "algorithm", "messages"],
+        [["g1", "Lenzen-Peleg", "120"], ["g1", "MRBC (Alg. 3)", "100"]],
+    )
+    return tmp_path
+
+
+class TestChecker:
+    def test_all_pass_on_good_results(self, good_results):
+        results = check_results(good_results)
+        assert all(r.status == "PASS" for r in results), [
+            (r.expectation.claim, r.status) for r in results
+        ]
+
+    def test_missing_artifacts_are_skipped(self, tmp_path):
+        results = check_results(tmp_path)
+        assert all(r.status == "SKIPPED" for r in results)
+
+    def test_violation_detected(self, good_results):
+        # Flip a Table 2 winner: MFBC must never win.
+        _write(
+            good_results,
+            "table_2_execution_time_per_source_best_host_count",
+            ["graph", "winner"],
+            [["livejournal", "MFBC"]],
+        )
+        results = check_results(good_results)
+        failing = [
+            r for r in results
+            if r.expectation.artifact.startswith("table_2")
+        ]
+        assert failing[0].status == "FAIL"
+
+    def test_malformed_artifact_fails_gracefully(self, good_results):
+        _write(
+            good_results,
+            "figure_1_mrbc_execution_time_and_rounds_vs_batch_size",
+            ["unexpected"],
+            [["x"]],
+        )
+        results = check_results(good_results)
+        fig1 = [
+            r for r in results if r.expectation.artifact.startswith("figure_1")
+        ][0]
+        assert fig1.status == "FAIL"
+
+    def test_render_report(self, good_results):
+        text = render_report(check_results(good_results))
+        assert "PASS" in text
+        assert "passed" in text
+
+    def test_real_results_if_present(self):
+        """When the benchmark suite has been run, its artifacts must pass."""
+        import os
+
+        results_dir = os.path.join("benchmarks", "results")
+        if not os.path.isdir(results_dir):
+            pytest.skip("benchmarks not yet run")
+        results = check_results(results_dir)
+        ran = [r for r in results if r.status != "SKIPPED"]
+        if not ran:
+            pytest.skip("no artifacts exported yet")
+        assert all(r.status == "PASS" for r in ran), [
+            (r.expectation.claim, r.status) for r in ran
+        ]
+
+    def test_expectation_artifact_names_are_slugs(self):
+        for exp in EXPECTATIONS:
+            assert exp.artifact == exp.artifact.lower()
+            assert " " not in exp.artifact

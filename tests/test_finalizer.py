@@ -1,0 +1,89 @@
+"""Tests for Algorithm 4 (APSP-Finalizer): BFS tree, n-computation,
+diameter convergecast, and the min{2n, n+5D} round bound."""
+
+import pytest
+
+from repro.core.mrbc_congest import directed_apsp
+from repro.graph import generators as gen
+from repro.graph.properties import directed_diameter, is_strongly_connected
+
+
+class TestDiameterComputation:
+    def test_diameter_exact(self, er_dense_sc):
+        """5·D < n, so Algorithm 4 completes and reports the exact diameter."""
+        g = er_dense_sc
+        assert is_strongly_connected(g)
+        res = directed_apsp(g, use_finalizer=True, detect_termination=False)
+        assert res.diameter == directed_diameter(g)
+
+    def test_diameter_on_small_world(self):
+        g = gen.small_world(64, k=4, rewire_prob=0.15, seed=33)
+        if not is_strongly_connected(g):  # pragma: no cover - seed-dependent
+            pytest.skip("generated small-world not strongly connected")
+        D = directed_diameter(g)
+        res = directed_apsp(g, use_finalizer=True, detect_termination=False)
+        if 5 * D < g.num_vertices:
+            assert res.diameter == D
+
+    def test_diameter_with_unknown_n(self, er_dense_sc):
+        res = directed_apsp(
+            er_dense_sc, use_finalizer=True, known_n=False, detect_termination=False
+        )
+        assert res.diameter == directed_diameter(er_dense_sc)
+
+    def test_single_vertex(self):
+        g = gen.DiGraph if False else gen.path_graph(1)
+        res = directed_apsp(g, use_finalizer=True, detect_termination=False)
+        assert res.rounds <= 2
+
+
+class TestRoundBound:
+    def test_early_termination_when_5d_small(self, er_dense_sc):
+        """D << n/5 ⇒ the finalizer stops the run before 2n rounds."""
+        g = er_dense_sc
+        n = g.num_vertices
+        D = directed_diameter(g)
+        assert 5 * D < n  # precondition for the interesting case
+        res = directed_apsp(g, use_finalizer=True, detect_termination=False)
+        assert res.terminated_by == "stopped"
+        assert res.rounds <= n + 5 * D
+        assert res.rounds < 2 * n
+
+    def test_2n_fallback_when_diameter_large(self, dicycle):
+        """On a cycle 5D >= n, so the run ends at the 2n limit instead."""
+        g = dicycle
+        res = directed_apsp(g, use_finalizer=True, detect_termination=False)
+        assert res.rounds <= 2 * g.num_vertices
+
+    def test_not_strongly_connected_falls_back_to_2n(self):
+        g = gen.path_graph(10, bidirectional=False)
+        res = directed_apsp(g, use_finalizer=True, detect_termination=False)
+        # |L_v| = n never holds at unreachable vertices: no early stop,
+        # but correctness is unaffected.
+        assert res.rounds <= 2 * g.num_vertices
+        assert res.dist[0, 9] == 9
+
+    def test_results_identical_with_and_without_finalizer(self, er_dense_sc):
+        import numpy as np
+
+        a = directed_apsp(er_dense_sc, use_finalizer=True, detect_termination=False)
+        b = directed_apsp(er_dense_sc, use_finalizer=False, detect_termination=False)
+        assert np.array_equal(a.dist, b.dist)
+        assert np.allclose(a.sigma, b.sigma)
+
+
+class TestControlMessageOverhead:
+    def test_control_traffic_is_linear_not_quadratic(self, er_dense_sc):
+        """BFS + finalizer traffic is O(m + n), far below the mn APSP term."""
+        res = directed_apsp(
+            er_dense_sc, use_finalizer=True, known_n=False, detect_termination=False
+        )
+        g = er_dense_sc
+        control = sum(
+            res.stats.count_for_tag(t)
+            for t in ("bfs", "bfs_child", "cnt", "nval", "dstar", "diam")
+        )
+        # BFS floods both channel directions once (≤ 2·2m values) plus tree
+        # convergecasts/broadcasts (≤ 4n values).
+        assert control <= 4 * g.num_edges + 4 * g.num_vertices
+        assert control > 0

@@ -1,0 +1,156 @@
+"""Unit tests for repro.utils.flatmap."""
+
+import pytest
+
+from repro.utils.flatmap import FlatMap, insort_unique
+
+
+class TestBasicMapping:
+    def test_empty(self):
+        fm = FlatMap()
+        assert len(fm) == 0
+        assert not fm
+        assert 1 not in fm
+
+    def test_init_from_dict(self):
+        fm = FlatMap({3: "c", 1: "a", 2: "b"})
+        assert fm.keys() == [1, 2, 3]
+        assert fm.values() == ["a", "b", "c"]
+
+    def test_set_get(self):
+        fm = FlatMap()
+        fm[5] = "x"
+        fm[1] = "y"
+        assert fm[5] == "x"
+        assert fm[1] == "y"
+        assert len(fm) == 2
+
+    def test_overwrite(self):
+        fm = FlatMap()
+        fm[5] = "x"
+        fm[5] = "z"
+        assert fm[5] == "z"
+        assert len(fm) == 1
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            FlatMap()[0]
+
+    def test_get_default(self):
+        fm = FlatMap({1: "a"})
+        assert fm.get(1) == "a"
+        assert fm.get(2) is None
+        assert fm.get(2, "d") == "d"
+
+    def test_setdefault(self):
+        fm = FlatMap()
+        assert fm.setdefault(1, "a") == "a"
+        assert fm.setdefault(1, "b") == "a"
+
+    def test_delete(self):
+        fm = FlatMap({1: "a", 2: "b"})
+        del fm[1]
+        assert 1 not in fm
+        assert len(fm) == 1
+        with pytest.raises(KeyError):
+            del fm[1]
+
+    def test_pop(self):
+        fm = FlatMap({1: "a"})
+        assert fm.pop(1) == "a"
+        assert fm.pop(1, "dflt") == "dflt"
+        with pytest.raises(KeyError):
+            fm.pop(1)
+
+    def test_clear(self):
+        fm = FlatMap({1: "a", 2: "b"})
+        fm.clear()
+        assert len(fm) == 0
+
+
+class TestOrderedAccess:
+    def test_items_sorted(self):
+        fm = FlatMap()
+        for k in [9, 2, 7, 4]:
+            fm[k] = k * 10
+        assert list(fm.items()) == [(2, 20), (4, 40), (7, 70), (9, 90)]
+        assert list(iter(fm)) == [2, 4, 7, 9]
+
+    def test_positional(self):
+        fm = FlatMap({5: "e", 3: "c"})
+        assert fm.key_at(0) == 3
+        assert fm.value_at(1) == "e"
+        assert fm.index_of(5) == 1
+        with pytest.raises(KeyError):
+            fm.index_of(4)
+
+    def test_rank(self):
+        fm = FlatMap({2: "b", 4: "d", 6: "f"})
+        assert fm.rank(1) == 0
+        assert fm.rank(2) == 0
+        assert fm.rank(3) == 1
+        assert fm.rank(7) == 3
+
+    def test_min_max(self):
+        fm = FlatMap({5: "e", 3: "c", 9: "i"})
+        assert fm.min_key() == 3
+        assert fm.max_key() == 9
+        with pytest.raises(IndexError):
+            FlatMap().min_key()
+
+    def test_tuple_keys_lexicographic(self):
+        """MRBC keys (d, s) pairs; lexicographic order is load-bearing."""
+        fm = FlatMap()
+        for k in [(2, 0), (1, 5), (1, 2), (3, 0)]:
+            fm[k] = True
+        assert fm.keys() == [(1, 2), (1, 5), (2, 0), (3, 0)]
+
+    def test_equality(self):
+        assert FlatMap({1: "a"}) == FlatMap({1: "a"})
+        assert FlatMap({1: "a"}) != FlatMap({1: "b"})
+
+    def test_repr_truncates(self):
+        fm = FlatMap({i: i for i in range(20)})
+        assert "..." in repr(fm)
+
+
+class TestAgainstDictModel:
+    def test_randomized_against_dict(self):
+        """Model-based check: FlatMap behaves like dict + sorted()."""
+        import random
+
+        rng = random.Random(42)
+        fm = FlatMap()
+        model: dict[int, int] = {}
+        for step in range(500):
+            op = rng.randrange(4)
+            k = rng.randrange(30)
+            if op == 0:
+                fm[k] = step
+                model[k] = step
+            elif op == 1 and k in model:
+                del fm[k]
+                del model[k]
+            elif op == 2:
+                assert fm.get(k, -1) == model.get(k, -1)
+            else:
+                assert (k in fm) == (k in model)
+            assert fm.keys() == sorted(model)
+            assert list(fm.items()) == [(kk, model[kk]) for kk in sorted(model)]
+
+
+class TestInsortUnique:
+    def test_inserts_in_order(self):
+        lst = [1, 3, 5]
+        assert insort_unique(lst, 4)
+        assert lst == [1, 3, 4, 5]
+
+    def test_skips_duplicates(self):
+        lst = [1, 3, 5]
+        assert not insort_unique(lst, 3)
+        assert lst == [1, 3, 5]
+
+    def test_empty(self):
+        lst: list[int] = []
+        assert insort_unique(lst, 7)
+        assert lst == [7]

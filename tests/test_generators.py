@@ -1,0 +1,231 @@
+"""Unit tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.properties import (
+    bfs_distances,
+    directed_diameter,
+    is_strongly_connected,
+    is_weakly_connected,
+)
+
+
+class TestErdosRenyi:
+    def test_size_and_determinism(self):
+        a = gen.erdos_renyi(100, 4.0, seed=1)
+        b = gen.erdos_renyi(100, 4.0, seed=1)
+        assert a == b
+        assert a.num_vertices == 100
+        # Dedup and self-loop removal shave a few edges off n*avg_degree.
+        assert 0 < a.num_edges <= 400
+
+    def test_seeds_differ(self):
+        assert gen.erdos_renyi(100, 4.0, seed=1) != gen.erdos_renyi(100, 4.0, seed=2)
+
+    def test_symmetric_mode(self):
+        g = gen.erdos_renyi(50, 2.0, seed=3, symmetric=True)
+        src, dst = g.edges()
+        for u, v in zip(src.tolist(), dst.tolist()):
+            assert g.has_edge(v, u)
+
+
+class TestRmat:
+    def test_vertex_count_is_power_of_two(self):
+        g = gen.rmat(6, 4, seed=1)
+        assert g.num_vertices == 64
+
+    def test_determinism(self):
+        assert gen.rmat(6, 4, seed=9) == gen.rmat(6, 4, seed=9)
+
+    def test_skewed_degrees(self):
+        """Power-law shape: the max degree far exceeds the mean."""
+        g = gen.rmat(9, 8, seed=2)
+        degs = g.out_degrees() + g.in_degrees()
+        assert degs.max() > 5 * degs.mean()
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            gen.rmat(4, 4, a=0.5, b=0.3, c=0.3)
+
+
+class TestKronecker:
+    def test_default_initiator(self):
+        g = gen.kronecker(6, 4, seed=4)
+        assert g.num_vertices == 64
+        assert g.num_edges > 0
+
+    def test_custom_initiator_validated(self):
+        with pytest.raises(ValueError):
+            gen.kronecker(4, 4, initiator=np.ones((3, 3)))
+        with pytest.raises(ValueError):
+            gen.kronecker(4, 4, initiator=np.array([[1.0, -0.1], [0.2, 0.3]]))
+
+    def test_determinism(self):
+        assert gen.kronecker(5, 4, seed=1) == gen.kronecker(5, 4, seed=1)
+
+
+class TestWebCrawlLike:
+    def test_size(self):
+        g = gen.web_crawl_like(core_n=50, tail_total=30, avg_tail_len=6, seed=5)
+        assert g.num_vertices == 80
+
+    def test_tails_stretch_diameter(self):
+        """The defining property: tails make the diameter non-trivial."""
+        core_only = gen.web_crawl_like(core_n=60, tail_total=0, seed=6)
+        with_tails = gen.web_crawl_like(
+            core_n=60, tail_total=120, avg_tail_len=40, seed=6
+        )
+        d_core = directed_diameter(core_only)
+        d_tails = directed_diameter(with_tails)
+        assert d_tails > d_core
+
+    def test_tails_are_bidirectional(self):
+        g = gen.web_crawl_like(core_n=20, tail_total=15, avg_tail_len=5, seed=7)
+        # Every tail vertex (id >= core_n) can reach the core and back.
+        d = bfs_distances(g, 0)
+        # At least some tail vertices reachable from a core vertex.
+        assert (d[20:] >= 0).any()
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            gen.web_crawl_like(core_n=1, tail_total=5)
+        with pytest.raises(ValueError):
+            gen.web_crawl_like(core_n=10, tail_total=-1)
+
+
+class TestGridRoad:
+    def test_shape_and_connectivity(self):
+        g = gen.grid_road(6, 7, seed=8)
+        assert g.num_vertices == 42
+        assert is_strongly_connected(g)
+
+    def test_bounded_degree(self):
+        g = gen.grid_road(10, 10, diagonal_prob=1.0, seed=9)
+        assert int((g.out_degrees()).max()) <= 8
+
+    def test_diameter_scales_with_side(self):
+        small = directed_diameter(gen.grid_road(4, 4, diagonal_prob=0, seed=1))
+        large = directed_diameter(gen.grid_road(10, 10, diagonal_prob=0, seed=1))
+        assert large > small
+        assert large == 18  # Manhattan diameter of a 10x10 lattice
+
+    def test_single_cell(self):
+        g = gen.grid_road(1, 1)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            gen.grid_road(0, 5)
+
+
+class TestSmallWorld:
+    def test_connectivity(self):
+        g = gen.small_world(60, k=3, rewire_prob=0.1, seed=10)
+        assert is_weakly_connected(g)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            gen.small_world(10, k=0)
+        with pytest.raises(ValueError):
+            gen.small_world(10, k=10)
+
+
+class TestSimpleShapes:
+    def test_path_bidirectional(self):
+        g = gen.path_graph(5)
+        assert is_strongly_connected(g)
+        assert directed_diameter(g) == 4
+
+    def test_path_oneway(self):
+        g = gen.path_graph(5, bidirectional=False)
+        assert not is_strongly_connected(g)
+        assert g.num_edges == 4
+
+    def test_path_single_vertex(self):
+        assert gen.path_graph(1).num_edges == 0
+
+    def test_star_out(self):
+        g = gen.star_graph(6, out=True)
+        assert g.out_degree(0) == 5
+        assert g.in_degree(0) == 0
+
+    def test_star_in(self):
+        g = gen.star_graph(6, out=False)
+        assert g.in_degree(0) == 5
+
+    def test_cycle(self):
+        g = gen.cycle_graph(7)
+        assert is_strongly_connected(g)
+        assert directed_diameter(g) == 6
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            gen.cycle_graph(1)
+
+
+class TestPreferentialAttachment:
+    def test_size_and_determinism(self):
+        a = gen.preferential_attachment(200, 3, seed=1)
+        b = gen.preferential_attachment(200, 3, seed=1)
+        assert a == b
+        assert a.num_vertices == 200
+        # Each vertex v >= 1 adds min(3, v) distinct out-edges.
+        assert a.num_edges == sum(min(3, v) for v in range(1, 200))
+
+    def test_heavy_tail(self):
+        g = gen.preferential_attachment(400, 2, seed=2)
+        ind = g.in_degrees()
+        assert ind.max() > 8 * max(1.0, ind.mean())
+
+    def test_weakly_connected(self):
+        g = gen.preferential_attachment(150, 2, seed=3)
+        assert is_weakly_connected(g)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gen.preferential_attachment(1)
+        with pytest.raises(ValueError):
+            gen.preferential_attachment(10, 0)
+
+
+class TestForestFire:
+    def test_size_and_determinism(self):
+        a = gen.forest_fire(150, 0.3, seed=4)
+        b = gen.forest_fire(150, 0.3, seed=4)
+        assert a == b
+        assert a.num_vertices == 150
+        # Every vertex links at least to its ambassador.
+        assert a.num_edges >= 149
+
+    def test_weakly_connected(self):
+        assert is_weakly_connected(gen.forest_fire(120, 0.3, seed=5))
+
+    def test_burn_probability_densifies(self):
+        sparse = gen.forest_fire(200, 0.05, seed=6)
+        dense = gen.forest_fire(200, 0.5, seed=6)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gen.forest_fire(1)
+        with pytest.raises(ValueError):
+            gen.forest_fire(10, forward_prob=1.0)
+
+
+class TestNewGeneratorsWithMRBC:
+    def test_mrbc_correct_on_new_families(self):
+        """The new families slot straight into the BC pipeline."""
+        import numpy as np
+        from repro.baselines.brandes import brandes_bc
+        from repro.core.mrbc_congest import mrbc_congest
+
+        for g in (
+            gen.preferential_attachment(60, 2, seed=7),
+            gen.forest_fire(60, 0.3, seed=8),
+        ):
+            srcs = [0, 10, 30]
+            res = mrbc_congest(g, sources=srcs)
+            assert np.allclose(res.bc, brandes_bc(g, sources=srcs))

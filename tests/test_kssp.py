@@ -1,0 +1,70 @@
+"""Tests for the k-SSP public API."""
+
+import numpy as np
+import pytest
+import scipy.sparse.csgraph as csgraph
+
+from repro.baselines.brandes import brandes_sssp
+from repro.core.kssp import kssp
+from repro.graph.builders import to_scipy_csr
+from tests.conftest import some_sources
+
+
+def ref_dist(g, sources):
+    d = csgraph.shortest_path(
+        to_scipy_csr(g), method="D", unweighted=True, indices=sources
+    )
+    d[np.isinf(d)] = -1
+    return d.astype(np.int64)
+
+
+class TestKSSP:
+    @pytest.mark.parametrize("method", ["congest", "engine"])
+    @pytest.mark.parametrize("fixture", ["er_graph", "road_graph", "webcrawl_graph"])
+    def test_distances(self, method, fixture, request):
+        g = request.getfixturevalue(fixture)
+        srcs = some_sources(g, 5)
+        kw = {"num_hosts": 4} if method == "engine" else {}
+        res = kssp(g, srcs, method=method, **kw)
+        assert np.array_equal(res.dist, ref_dist(g, srcs))
+
+    @pytest.mark.parametrize("method", ["congest", "engine"])
+    def test_sigma(self, method, er_graph):
+        srcs = some_sources(er_graph, 4)
+        kw = {"num_hosts": 2} if method == "engine" else {}
+        res = kssp(er_graph, srcs, method=method, **kw)
+        for i, s in enumerate(srcs):
+            _, sigma, _, _ = brandes_sssp(er_graph, s)
+            assert np.allclose(res.sigma[i], sigma)
+
+    def test_round_bound_and_properties(self, webcrawl_graph):
+        srcs = some_sources(webcrawl_graph, 6)
+        res = kssp(webcrawl_graph, srcs, method="congest")
+        assert res.k == 6
+        assert res.rounds <= res.k + res.max_finite_distance + 1
+
+    def test_predecessor_reconstruction(self, er_graph):
+        srcs = some_sources(er_graph, 3)
+        res = kssp(er_graph, srcs, method="congest")
+        for i, s in enumerate(srcs):
+            _, _, ref_preds, _ = brandes_sssp(er_graph, s)
+            got = res.predecessors(er_graph, i)
+            for v in range(er_graph.num_vertices):
+                assert set(got[v]) == set(ref_preds[v]), (s, v)
+
+    def test_engine_forward_only_has_zero_backward(self, er_graph):
+        from repro.core.mrbc import mrbc_engine
+
+        res = mrbc_engine(
+            er_graph, sources=[0, 1], batch_size=2, num_hosts=2,
+            forward_only=True,
+        )
+        assert res.backward_rounds == 0
+        assert np.allclose(res.bc, 0.0)
+        assert res.run.rounds_in_phase("backward") == 0
+
+    def test_validation(self, er_graph):
+        with pytest.raises(ValueError):
+            kssp(er_graph, [], method="congest")
+        with pytest.raises(ValueError):
+            kssp(er_graph, [0], method="carrier-pigeon")

@@ -1,0 +1,95 @@
+"""Unit tests for repro.utils.prng and repro.utils.timing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.prng import DEFAULT_SEED, make_rng, spawn_rngs
+from repro.utils.timing import OpCounter, Stopwatch
+
+
+class TestPrng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(5).integers(0, 1000, 10)
+        b = make_rng(5).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(5).integers(0, 1_000_000, 10)
+        b = make_rng(6).integers(0, 1_000_000, 10)
+        assert not np.array_equal(a, b)
+
+    def test_none_uses_default_seed(self):
+        a = make_rng(None).integers(0, 1000, 5)
+        b = make_rng(DEFAULT_SEED).integers(0, 1000, 5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+    def test_spawn_independent_and_deterministic(self):
+        xs = [r.integers(0, 1_000_000) for r in spawn_rngs(9, 4)]
+        ys = [r.integers(0, 1_000_000) for r in spawn_rngs(9, 4)]
+        assert xs == ys
+        assert len(set(xs)) > 1
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestOpCounter:
+    def test_total_and_add(self):
+        a = OpCounter(1, 2, 3)
+        b = OpCounter(10, 20, 30)
+        a.add(b)
+        assert (a.vertex_ops, a.edge_ops, a.struct_ops) == (11, 22, 33)
+        assert a.total() == 66
+
+    def test_reset(self):
+        c = OpCounter(1, 1, 1)
+        c.reset()
+        assert c.total() == 0
+
+    def test_copy_independent(self):
+        a = OpCounter(1, 0, 0)
+        b = a.copy()
+        b.vertex_ops = 99
+        assert a.vertex_ops == 1
+
+
+class TestStopwatch:
+    def test_measures_time(self):
+        sw = Stopwatch()
+        with sw:
+            sum(range(1000))
+        assert sw.elapsed > 0
+
+    def test_accumulates(self):
+        sw = Stopwatch()
+        sw.start()
+        first = sw.stop()
+        sw.start()
+        second = sw.stop()
+        assert second >= first
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+        sw.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset_while_running_rejected(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.reset()
+        sw.stop()
+        sw.reset()
+        assert sw.elapsed == 0.0

@@ -1,0 +1,95 @@
+"""Unit tests for repro.graph.properties."""
+
+import numpy as np
+import scipy.sparse.csgraph as csgraph
+
+from repro.graph import generators as gen
+from repro.graph.builders import from_edges, to_scipy_csr
+from repro.graph.properties import (
+    bfs_distances,
+    directed_diameter,
+    estimate_diameter,
+    graph_properties,
+    is_strongly_connected,
+    is_weakly_connected,
+)
+
+
+class TestBfsDistances:
+    def test_path(self):
+        g = gen.path_graph(5, bidirectional=False)
+        assert bfs_distances(g, 0).tolist() == [0, 1, 2, 3, 4]
+        assert bfs_distances(g, 4).tolist() == [-1, -1, -1, -1, 0]
+
+    def test_matches_scipy_on_random(self):
+        g = gen.erdos_renyi(60, 3.0, seed=21)
+        A = to_scipy_csr(g)
+        sp_dist = csgraph.shortest_path(A, method="D", unweighted=True, indices=[7])[0]
+        ours = bfs_distances(g, 7).astype(np.float64)
+        ours[ours < 0] = np.inf
+        assert np.array_equal(ours, sp_dist)
+
+    def test_isolated_source(self):
+        g = from_edges(3, [(1, 2)])
+        assert bfs_distances(g, 0).tolist() == [0, -1, -1]
+
+    def test_diamond_counts_levels(self):
+        g = from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert bfs_distances(g, 0).tolist() == [0, 1, 1, 2]
+
+
+class TestConnectivity:
+    def test_strong_vs_weak(self):
+        g = gen.path_graph(4, bidirectional=False)
+        assert is_weakly_connected(g)
+        assert not is_strongly_connected(g)
+
+    def test_cycle_strong(self):
+        assert is_strongly_connected(gen.cycle_graph(5))
+
+    def test_disconnected(self):
+        g = from_edges(4, [(0, 1), (2, 3)])
+        assert not is_weakly_connected(g)
+
+    def test_trivial_graphs(self):
+        assert is_weakly_connected(from_edges(1, []))
+        assert is_strongly_connected(from_edges(0, []))
+
+
+class TestDiameter:
+    def test_exact_on_cycle(self):
+        assert directed_diameter(gen.cycle_graph(10)) == 9
+
+    def test_exact_ignores_infinite_pairs(self):
+        g = from_edges(4, [(0, 1), (2, 3)])
+        assert directed_diameter(g) == 1
+
+    def test_empty(self):
+        assert directed_diameter(from_edges(3, [])) == 0
+
+    def test_estimate_lower_bounds_exact(self):
+        g = gen.erdos_renyi(50, 3.0, seed=23)
+        exact = directed_diameter(g)
+        est = estimate_diameter(g, np.arange(10))
+        assert est <= exact
+        # Estimating from every vertex recovers the exact diameter.
+        assert estimate_diameter(g, np.arange(50)) == exact
+
+
+class TestGraphProperties:
+    def test_table1_columns(self):
+        g = from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 0)])
+        p = graph_properties(g)
+        assert p.num_vertices == 4
+        assert p.num_edges == 4
+        assert p.max_out_degree == 3
+        assert p.max_in_degree == 1
+        assert p.weakly_connected
+        assert not p.strongly_connected
+        row = p.as_row()
+        assert row["|V|"] == 4
+        assert row["Max Out-degree"] == 3
+
+    def test_empty_graph(self):
+        p = graph_properties(from_edges(0, []))
+        assert p.max_out_degree == 0

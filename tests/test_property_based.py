@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on core data structures and the
+paper's invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brandes import brandes_bc
+from repro.core.mrbc import mrbc_engine
+from repro.core.mrbc_congest import directed_apsp, mrbc_congest
+from repro.graph.digraph import DiGraph
+from repro.utils.bitset import Bitset
+from repro.utils.flatmap import FlatMap
+
+
+# -- graph strategy ------------------------------------------------------------
+
+
+@st.composite
+def digraphs(draw, max_n=16, max_m=40):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).filter(lambda e: e[0] != e[1]),
+            min_size=0,
+            max_size=m,
+        )
+    )
+    if edges:
+        arr = np.asarray(edges, dtype=np.int64)
+        return DiGraph(n, arr[:, 0], arr[:, 1])
+    return DiGraph(n, np.empty(0, np.int64), np.empty(0, np.int64))
+
+
+@st.composite
+def digraph_with_sources(draw):
+    g = draw(digraphs())
+    k = draw(st.integers(1, min(4, g.num_vertices)))
+    srcs = draw(
+        st.lists(
+            st.integers(0, g.num_vertices - 1),
+            min_size=k,
+            max_size=k,
+            unique=True,
+        )
+    )
+    return g, sorted(srcs)
+
+
+# -- algorithm invariants --------------------------------------------------------
+
+
+class TestMRBCProperties:
+    @given(digraph_with_sources())
+    @settings(max_examples=40, deadline=None)
+    def test_congest_bc_matches_brandes(self, gs):
+        g, srcs = gs
+        res = mrbc_congest(g, sources=srcs)
+        assert np.allclose(res.bc, brandes_bc(g, sources=srcs), atol=1e-9)
+
+    @given(digraph_with_sources(), st.integers(1, 4), st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_engine_bc_matches_brandes(self, gs, batch, hosts):
+        g, srcs = gs
+        res = mrbc_engine(g, sources=srcs, batch_size=batch, num_hosts=hosts)
+        assert np.allclose(res.bc, brandes_bc(g, sources=srcs), atol=1e-9)
+
+    @given(digraph_with_sources())
+    @settings(max_examples=40, deadline=None)
+    def test_kssp_round_bound_lemma8(self, gs):
+        g, srcs = gs
+        res = directed_apsp(g, sources=srcs)
+        finite = res.dist[res.dist >= 0]
+        H = int(finite.max()) if finite.size else 0
+        assert res.last_send_round <= len(srcs) + H
+
+    @given(digraph_with_sources())
+    @settings(max_examples=40, deadline=None)
+    def test_kssp_message_bound_lemma8(self, gs):
+        g, srcs = gs
+        res = directed_apsp(g, sources=srcs)
+        assert res.stats.count_for_tag("apsp") <= g.num_edges * len(srcs)
+
+    @given(digraphs(max_n=12, max_m=30))
+    @settings(max_examples=25, deadline=None)
+    def test_full_apsp_round_bound(self, g):
+        res = directed_apsp(g, detect_termination=False)
+        assert res.rounds <= 2 * g.num_vertices
+
+    @given(digraph_with_sources())
+    @settings(max_examples=30, deadline=None)
+    def test_bc_nonnegative_and_zero_at_sinks(self, gs):
+        g, srcs = gs
+        res = mrbc_congest(g, sources=srcs)
+        assert (res.bc >= -1e-12).all()
+        # A vertex with no outgoing edges lies on no s→t path interior.
+        for v in range(g.num_vertices):
+            if g.out_degree(v) == 0:
+                assert abs(res.bc[v]) < 1e-12
+
+
+# -- data-structure models --------------------------------------------------------
+
+
+class TestBitsetModel:
+    @given(
+        st.integers(1, 200),
+        st.lists(st.tuples(st.sampled_from(["set", "clear"]), st.integers(0, 199))),
+    )
+    @settings(max_examples=60)
+    def test_against_python_set(self, cap, ops):
+        bs = Bitset(cap)
+        model: set[int] = set()
+        for op, i in ops:
+            if i >= cap:
+                continue
+            if op == "set":
+                bs.set(i)
+                model.add(i)
+            else:
+                bs.clear(i)
+                model.discard(i)
+        assert bs.indices().tolist() == sorted(model)
+        assert bs.count() == len(model)
+        assert bs.any() == bool(model)
+
+    @given(st.integers(1, 150), st.data())
+    @settings(max_examples=40)
+    def test_algebra_matches_set_algebra(self, cap, data):
+        xs = data.draw(st.lists(st.integers(0, cap - 1), max_size=30))
+        ys = data.draw(st.lists(st.integers(0, cap - 1), max_size=30))
+        a, b = Bitset.from_indices(cap, xs), Bitset.from_indices(cap, ys)
+        u = a.copy().ior(b)
+        i = a.copy().iand(b)
+        d = a.copy().isub(b)
+        assert set(u) == set(xs) | set(ys)
+        assert set(i) == set(xs) & set(ys)
+        assert set(d) == set(xs) - set(ys)
+
+
+class TestFlatMapModel:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["set", "del", "pop"]),
+                st.integers(-20, 20),
+                st.integers(0, 100),
+            )
+        )
+    )
+    @settings(max_examples=60)
+    def test_against_dict(self, ops):
+        fm = FlatMap()
+        model: dict[int, int] = {}
+        for op, k, v in ops:
+            if op == "set":
+                fm[k] = v
+                model[k] = v
+            elif op == "del" and k in model:
+                del fm[k]
+                del model[k]
+            elif op == "pop":
+                assert fm.pop(k, None) == model.pop(k, None)
+        assert fm.keys() == sorted(model)
+        assert dict(fm.items()) == model
+        for idx, key in enumerate(sorted(model)):
+            assert fm.key_at(idx) == key
+            assert fm.index_of(key) == idx
+
+
+class TestDiGraphModel:
+    @given(digraphs())
+    @settings(max_examples=50)
+    def test_degree_sums_equal_edges(self, g):
+        assert int(g.out_degrees().sum()) == g.num_edges
+        assert int(g.in_degrees().sum()) == g.num_edges
+
+    @given(digraphs())
+    @settings(max_examples=50)
+    def test_reverse_is_involution(self, g):
+        assert g.reverse().reverse() == g
+
+    @given(digraphs())
+    @settings(max_examples=50)
+    def test_undirected_is_symmetric(self, g):
+        u = g.to_undirected()
+        src, dst = u.edges()
+        for a, b in zip(src.tolist(), dst.tolist()):
+            assert u.has_edge(b, a)

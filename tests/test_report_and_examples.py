@@ -1,0 +1,57 @@
+"""Tests for the report CLI entry point and example-script integrity."""
+
+import os
+import py_compile
+
+import pytest
+
+from repro.report import main as report_main
+
+
+class TestReportCLI:
+    def test_empty_directory_all_skipped(self, tmp_path, capsys):
+        rc = report_main([str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0  # skipped artifacts are not failures
+        assert "SKIPPED" in out
+
+    def test_failing_artifact_sets_exit_code(self, tmp_path, capsys):
+        from repro.analysis.export import write_csv
+
+        write_csv(
+            tmp_path / "table_2_execution_time_per_source_best_host_count.csv",
+            ["graph", "winner"],
+            [["road-europe", "MFBC"]],
+        )
+        rc = report_main([str(tmp_path)])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_default_directory(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        rc = report_main([])
+        assert rc == 0  # nothing there: everything skipped
+
+
+class TestExamples:
+    def test_all_examples_compile(self):
+        """Every example must at least be valid Python (full runs are
+        exercised manually / in the docs)."""
+        ex_dir = os.path.join(os.path.dirname(__file__), "..", "examples")
+        scripts = sorted(
+            f for f in os.listdir(ex_dir) if f.endswith(".py")
+        )
+        assert len(scripts) >= 3, "the deliverable requires >= 3 examples"
+        for script in scripts:
+            py_compile.compile(os.path.join(ex_dir, script), doraise=True)
+
+    def test_quickstart_example_runs(self, capsys):
+        """The quickstart is cheap enough to execute in the suite."""
+        import runpy
+
+        ex = os.path.join(
+            os.path.dirname(__file__), "..", "examples", "quickstart.py"
+        )
+        runpy.run_path(ex, run_name="__main__")
+        out = capsys.readouterr().out
+        assert "validated against sequential Brandes: OK" in out

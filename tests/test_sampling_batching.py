@@ -1,0 +1,77 @@
+"""Tests for source sampling and batching."""
+
+import numpy as np
+import pytest
+
+from repro.core.batching import iter_batches, rounds_per_source
+from repro.core.sampling import sample_sources
+from repro.graph import generators as gen
+
+
+@pytest.fixture(scope="module")
+def g():
+    return gen.erdos_renyi(100, 3.0, seed=61)
+
+
+class TestSampling:
+    def test_contiguous_chunk(self, g):
+        s = sample_sources(g, 10, mode="contiguous", seed=1)
+        assert s.size == 10
+        assert np.array_equal(np.diff(s), np.ones(9, dtype=np.int64))
+        assert 0 <= s[0] and s[-1] < g.num_vertices
+
+    def test_uniform_distinct_sorted(self, g):
+        s = sample_sources(g, 20, mode="uniform", seed=2)
+        assert np.unique(s).size == 20
+        assert np.array_equal(s, np.sort(s))
+
+    def test_first_mode(self, g):
+        assert sample_sources(g, 5, mode="first").tolist() == [0, 1, 2, 3, 4]
+
+    def test_deterministic(self, g):
+        a = sample_sources(g, 8, seed=3)
+        b = sample_sources(g, 8, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_k_equals_n(self, g):
+        s = sample_sources(g, g.num_vertices, mode="contiguous", seed=4)
+        assert np.array_equal(s, np.arange(g.num_vertices))
+
+    def test_bad_k_rejected(self, g):
+        with pytest.raises(ValueError):
+            sample_sources(g, 0)
+        with pytest.raises(ValueError):
+            sample_sources(g, g.num_vertices + 1)
+
+    def test_bad_mode_rejected(self, g):
+        with pytest.raises(ValueError):
+            sample_sources(g, 3, mode="magic")
+
+
+class TestBatching:
+    def test_covers_all_in_order(self):
+        src = np.arange(10)
+        batches = list(iter_batches(src, 3))
+        assert [b.tolist() for b in batches] == [
+            [0, 1, 2],
+            [3, 4, 5],
+            [6, 7, 8],
+            [9],
+        ]
+
+    def test_exact_division(self):
+        assert len(list(iter_batches(np.arange(8), 4))) == 2
+
+    def test_batch_larger_than_input(self):
+        batches = list(iter_batches(np.arange(3), 10))
+        assert len(batches) == 1
+        assert batches[0].size == 3
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iter_batches(np.arange(3), 0))
+
+    def test_rounds_per_source(self):
+        assert rounds_per_source(100, 50) == 2.0
+        with pytest.raises(ValueError):
+            rounds_per_source(1, 0)

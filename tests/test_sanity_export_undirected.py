@@ -1,0 +1,133 @@
+"""Tests for the sanity digest, CSV export, and undirected BC API."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis.export import export_tables, read_csv, write_csv
+from repro.analysis.sanity import SanityDigest, bc_digest, structural_checks
+from repro.baselines.brandes import brandes_bc
+from repro.core.undirected import undirected_bc
+from repro.graph import generators as gen
+from repro.graph.builders import from_edges, to_networkx
+
+
+class TestSanityDigest:
+    def test_digest_values(self):
+        d = bc_digest(np.array([0.0, 3.0, 1.0, 0.0]))
+        assert d.max_bc == 3.0
+        assert d.argmax == 1
+        assert d.sum_bc == 4.0
+        assert d.nonzero == 2
+        assert d.mean_nonzero == 2.0
+
+    def test_digest_is_run_invariant(self, er_graph):
+        """Any two correct algorithms produce the same digest."""
+        from repro.core.mrbc import mrbc_engine
+
+        srcs = [0, 5, 9]
+        a = bc_digest(brandes_bc(er_graph, sources=srcs))
+        b = bc_digest(
+            mrbc_engine(er_graph, sources=srcs, batch_size=3, num_hosts=4).bc
+        )
+        assert a.matches(b)
+
+    def test_matches_detects_difference(self):
+        a = bc_digest(np.array([1.0, 2.0]))
+        b = bc_digest(np.array([1.0, 3.0]))
+        assert not a.matches(b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bc_digest(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            bc_digest(np.array([]))
+
+    def test_row_output(self):
+        row = bc_digest(np.array([1.0])).as_row()
+        assert "max BC" in row
+
+    def test_structural_checks_pass_on_real_bc(self, powerlaw_graph):
+        bc = brandes_bc(powerlaw_graph)
+        assert structural_checks(powerlaw_graph, bc) == []
+
+    def test_structural_checks_catch_violations(self):
+        g = from_edges(4, [(0, 1), (1, 2)])  # 2 is a sink, 3 isolated
+        bad = np.array([0.0, 1.0, 5.0, 0.0])  # nonzero at the sink
+        problems = structural_checks(g, bad)
+        assert any("outgoing" in p for p in problems)
+        assert structural_checks(g, np.array([0.0, -1.0, 0.0, 0.0]))
+        assert structural_checks(g, np.zeros(3))  # shape mismatch reported
+
+    def test_bound_check(self):
+        g = from_edges(3, [(0, 1), (1, 2)])
+        too_big = np.array([0.0, 1e9, 0.0])
+        assert any("bound" in p for p in structural_checks(g, too_big))
+
+
+class TestCSVExport:
+    def test_roundtrip(self, tmp_path):
+        p = tmp_path / "t.csv"
+        write_csv(p, ["a", "b"], [[1, "x"], [2, "y"]])
+        headers, rows = read_csv(p)
+        assert headers == ["a", "b"]
+        assert rows == [["1", "x"], ["2", "y"]]
+
+    def test_width_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "t.csv", ["a"], [[1, 2]])
+
+    def test_export_tables_slugs(self, tmp_path):
+        paths = export_tables(
+            tmp_path,
+            {"Table 1: rounds & imbalance": [[1]], "Figure 2 (breakdown)": [[2]]},
+            {"Table 1: rounds & imbalance": ["x"], "Figure 2 (breakdown)": ["y"]},
+        )
+        names = sorted(p.split("/")[-1] for p in paths)
+        assert names == ["figure_2_breakdown.csv", "table_1_rounds_imbalance.csv"]
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "e.csv"
+        p.write_text("")
+        assert read_csv(p) == ([], [])
+
+
+class TestUndirectedBC:
+    @pytest.mark.parametrize("make", [
+        lambda: gen.grid_road(5, 5, seed=91),
+        lambda: gen.small_world(30, k=2, rewire_prob=0.1, seed=92),
+        lambda: gen.path_graph(12),
+    ])
+    def test_matches_networkx_undirected(self, make):
+        g = make()
+        ours = undirected_bc(g, method="engine", num_hosts=2, batch_size=8)
+        nxg = to_networkx(g).to_undirected()
+        ref = nx.betweenness_centrality(nxg, normalized=False)
+        refv = np.array([ref[v] for v in range(g.num_vertices)])
+        assert np.allclose(ours, refv)
+
+    def test_congest_and_engine_agree(self, er_graph):
+        a = undirected_bc(er_graph, method="congest")
+        b = undirected_bc(er_graph, method="engine", num_hosts=4, batch_size=16)
+        assert np.allclose(a, b)
+
+    def test_sampled_sources_consistent(self, er_graph):
+        srcs = [0, 7, 13]
+        a = undirected_bc(er_graph, sources=srcs, method="congest")
+        b = undirected_bc(
+            er_graph, sources=srcs, method="engine", num_hosts=2, batch_size=3
+        )
+        assert np.allclose(a, b)
+
+    def test_unknown_method_rejected(self, er_graph):
+        with pytest.raises(ValueError):
+            undirected_bc(er_graph, method="quantum")
+
+    def test_directed_input_symmetrized(self):
+        """A one-way path treated as undirected has interior BC like the
+        bidirectional path."""
+        one_way = gen.path_graph(6, bidirectional=False)
+        both = gen.path_graph(6, bidirectional=True)
+        a = undirected_bc(one_way, method="congest")
+        b = undirected_bc(both, method="congest")
+        assert np.allclose(a, b)

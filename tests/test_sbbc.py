@@ -1,0 +1,99 @@
+"""Tests for the SBBC baseline on the engine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brandes import brandes_bc
+from repro.baselines.sbbc import sbbc_engine
+from repro.core.mrbc import mrbc_engine
+from repro.engine.partition import partition_graph
+from repro.graph import generators as gen
+from repro.graph.properties import bfs_distances
+from tests.conftest import some_sources
+
+
+class TestBCCorrectness:
+    @pytest.mark.parametrize(
+        "fixture", ["diamond", "er_graph", "powerlaw_graph", "road_graph"]
+    )
+    @pytest.mark.parametrize("H", [1, 4])
+    def test_matches_brandes(self, fixture, H, request):
+        g = request.getfixturevalue(fixture)
+        srcs = some_sources(g)
+        res = sbbc_engine(g, sources=srcs, num_hosts=H)
+        assert np.allclose(res.bc, brandes_bc(g, sources=srcs))
+
+    @pytest.mark.parametrize("policy", ["oec", "iec", "cvc"])
+    def test_partition_policies(self, er_graph, policy):
+        srcs = some_sources(er_graph, 4)
+        res = sbbc_engine(er_graph, sources=srcs, num_hosts=4, policy=policy)
+        assert np.allclose(res.bc, brandes_bc(er_graph, sources=srcs))
+
+    def test_exact_all_sources(self, diamond):
+        res = sbbc_engine(diamond, num_hosts=2)
+        assert np.allclose(res.bc, brandes_bc(diamond))
+
+    def test_distances_match_bfs(self, er_graph):
+        srcs = some_sources(er_graph, 3)
+        res = sbbc_engine(er_graph, sources=srcs, num_hosts=4)
+        for i, s in enumerate(srcs):
+            assert np.array_equal(res.dist[i], bfs_distances(er_graph, s))
+
+
+class TestRoundStructure:
+    def test_rounds_track_eccentricity(self, road_graph):
+        """SBBC rounds per source ≈ 2·ecc(s) + O(1) — the defining cost."""
+        srcs = some_sources(road_graph, 4)
+        res = sbbc_engine(road_graph, sources=srcs, num_hosts=2)
+        total_ecc = sum(
+            int(bfs_distances(road_graph, s).max()) for s in srcs
+        )
+        assert total_ecc <= res.total_rounds <= 2 * total_ecc + 4 * len(srcs)
+
+    def test_mrbc_needs_fewer_rounds(self, webcrawl_graph):
+        """The headline Table 1 claim, at our scale."""
+        g = webcrawl_graph
+        srcs = some_sources(g, 8)
+        pg = partition_graph(g, 4, "cvc")
+        sb = sbbc_engine(g, sources=srcs, partition=pg)
+        mr = mrbc_engine(g, sources=srcs, batch_size=8, partition=pg)
+        assert mr.total_rounds < sb.total_rounds
+        assert mr.rounds_per_source() < sb.rounds_per_source()
+
+    def test_mrbc_uses_less_communication_volume(self, webcrawl_graph):
+        """Figure 2's volume labels: MRBC < SBBC on web-crawl shapes."""
+        g = webcrawl_graph
+        srcs = some_sources(g, 8)
+        pg = partition_graph(g, 4, "cvc")
+        sb = sbbc_engine(g, sources=srcs, partition=pg)
+        mr = mrbc_engine(g, sources=srcs, batch_size=8, partition=pg)
+        assert mr.run.total_bytes < sb.run.total_bytes
+
+    def test_proxies_synced_similar(self, er_graph):
+        """§5.3: total proxies synchronized are similar between the two."""
+        srcs = some_sources(er_graph, 6)
+        pg = partition_graph(er_graph, 4, "cvc")
+        sb = sbbc_engine(er_graph, sources=srcs, partition=pg)
+        mr = mrbc_engine(er_graph, sources=srcs, batch_size=6, partition=pg)
+        ratio = mr.run.total_items_synced / max(1, sb.run.total_items_synced)
+        assert 0.4 < ratio < 2.5
+
+
+class TestEdgeCases:
+    def test_isolated_source(self):
+        from repro.graph.builders import from_edges
+
+        g = from_edges(4, [(1, 2)])
+        res = sbbc_engine(g, sources=[0], num_hosts=2)
+        assert np.allclose(res.bc, 0.0)
+        assert res.dist[0, 0] == 0
+        assert res.dist[0, 1] == -1
+
+    def test_empty_sources_rejected(self, er_graph):
+        with pytest.raises(ValueError):
+            sbbc_engine(er_graph, sources=[])
+
+    def test_foreign_partition_rejected(self, er_graph, road_graph):
+        pg = partition_graph(road_graph, 2, "oec")
+        with pytest.raises(ValueError):
+            sbbc_engine(er_graph, sources=[0], partition=pg)

@@ -1,0 +1,90 @@
+"""Moderate-scale smoke tests: the implementations must stay correct and
+within their complexity envelopes as inputs grow.
+
+These run at the largest sizes the CI budget tolerates (a few seconds
+each); they complement the small-graph tests by exercising deep pipelines
+(hundreds of rounds), wide batches, and many-host partitions at once.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.brandes import brandes_bc
+from repro.core.mrbc import mrbc_engine
+from repro.core.mrbc_congest import directed_apsp, mrbc_congest
+from repro.engine.partition import partition_graph
+from repro.graph import generators as gen
+
+
+class TestDeepPipeline:
+    def test_long_path_kssp(self):
+        """A 600-vertex line: the pipeline runs ~k + 600 rounds and every
+        distance must survive the full depth."""
+        g = gen.path_graph(600, bidirectional=False)
+        srcs = [0, 1, 2, 3]
+        res = directed_apsp(g, sources=srcs)
+        H = int(res.dist.max())
+        assert H == 599
+        assert res.last_send_round <= len(srcs) + H
+        for i, s in enumerate(srcs):
+            expect = np.concatenate(
+                [np.full(s, -1), np.arange(600 - s)]
+            )
+            assert np.array_equal(res.dist[i], expect)
+
+    def test_deep_bc_exact(self):
+        """BC on a long bidirectional path has a closed form:
+        BC(v) = 2·i·(n-1-i) for position i (ordered pairs)."""
+        n = 200
+        g = gen.path_graph(n, bidirectional=True)
+        res = mrbc_congest(g, sources=None)
+        i = np.arange(n)
+        expect = 2.0 * i * (n - 1 - i)
+        assert np.allclose(res.bc, expect)
+
+
+class TestWideBatch:
+    def test_batch_64_sources(self):
+        g = gen.rmat(9, 6, seed=51)  # 512 vertices
+        srcs = np.arange(64)
+        res = mrbc_engine(g, sources=srcs, batch_size=64, num_hosts=8)
+        ref = brandes_bc(g, sources=srcs)
+        assert np.allclose(res.bc, ref)
+        # Forward rounds ≈ k + H, far below per-source BFS cost.
+        assert res.forward_rounds < 64 + 40
+
+    def test_sixteen_hosts(self):
+        g = gen.web_crawl_like(300, 200, avg_tail_len=15, seed=52)
+        srcs = list(range(0, 500, 40))
+        pg = partition_graph(g, 16, "cvc")
+        res = mrbc_engine(g, sources=srcs, batch_size=8, partition=pg)
+        assert np.allclose(res.bc, brandes_bc(g, sources=srcs))
+
+
+class TestComplexityEnvelope:
+    def test_congest_runtime_scales_roughly_linearly(self):
+        """Doubling n must not blow the k-SSP simulation up
+        super-quadratically (guards against accidental O(n^3) loops)."""
+
+        def run(n: int) -> float:
+            g = gen.erdos_renyi(n, 4.0, seed=53)
+            t0 = time.perf_counter()
+            directed_apsp(g, sources=[0, 1, 2, 3])
+            return time.perf_counter() - t0
+
+        t_small = max(run(250), 1e-3)
+        t_big = run(1000)
+        # 4x vertices with fixed k: allow up to ~16x (quadratic slack for
+        # noise); a cubic regression would show ~64x.
+        assert t_big / t_small < 25, (t_small, t_big)
+
+    def test_message_totals_match_theory_at_scale(self):
+        g = gen.rmat(9, 8, seed=54)
+        srcs = list(range(16))
+        res = directed_apsp(g, sources=srcs)
+        # Exactly one send per reachable (vertex, source) pair:
+        reachable = int((res.dist >= 0).sum())
+        sends = sum(len(st.tau) for st in res.states)
+        assert sends == reachable

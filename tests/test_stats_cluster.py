@@ -1,0 +1,129 @@
+"""Tests for engine statistics aggregation and the cluster time model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.model import ClusterModel, CostConstants, SimulatedTime
+from repro.engine.stats import EngineRun
+
+
+def make_run(H=4, rounds=3, ops=(10, 20, 30, 40), nbytes=100):
+    run = EngineRun(num_hosts=H)
+    for _ in range(rounds):
+        rs = run.new_round("forward")
+        for h, o in enumerate(ops):
+            rs.compute[h].edge_ops = o
+        rs.bytes_out[:] = nbytes
+        rs.bytes_in[:] = nbytes
+        rs.msgs_out[:] = 2
+        rs.msgs_in[:] = 2
+        rs.pair_messages = 2 * H
+        rs.items_synced = 5
+        rs.proxies_synced = 5
+    return run
+
+
+class TestEngineRun:
+    def test_aggregates(self):
+        run = make_run()
+        assert run.num_rounds == 3
+        assert run.total_bytes == 3 * 4 * 100
+        assert run.total_pair_messages == 24
+        assert run.total_items_synced == 15
+        assert run.total_proxies_synced == 15
+        assert run.per_host_compute().tolist() == [30, 60, 90, 120]
+
+    def test_load_imbalance(self):
+        run = make_run(ops=(10, 10, 10, 10))
+        assert run.load_imbalance() == pytest.approx(1.0)
+        run2 = make_run(ops=(0, 0, 0, 100))
+        assert run2.load_imbalance() == pytest.approx(4.0)
+
+    def test_load_imbalance_skips_empty_rounds(self):
+        run = EngineRun(num_hosts=2)
+        run.new_round("forward")  # all-zero compute
+        assert run.load_imbalance() == 1.0
+
+    def test_rounds_in_phase(self):
+        run = EngineRun(num_hosts=1)
+        run.new_round("forward")
+        run.new_round("backward")
+        run.new_round("backward")
+        assert run.rounds_in_phase("forward") == 1
+        assert run.rounds_in_phase("backward") == 2
+
+    def test_merge(self):
+        a = make_run(rounds=2)
+        b = make_run(rounds=3)
+        a.merge(b)
+        assert a.num_rounds == 5
+        assert [r.round_index for r in a.rounds] == [1, 2, 3, 4, 5]
+
+    def test_merge_host_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            make_run(H=2, ops=(1, 2)).merge(make_run(H=4))
+
+
+class TestClusterModel:
+    def test_round_time_components(self):
+        run = make_run()
+        model = ClusterModel(4)
+        t = model.time_round(run.rounds[0])
+        c = model.constants
+        assert t.computation == pytest.approx(40 * c.edge_op)
+        assert t.barrier > 0
+        assert t.wire == pytest.approx(200 * c.wire_per_byte)
+        assert t.num_rounds == 1
+        assert t.total == t.computation + t.communication
+
+    def test_single_host_has_no_comm(self):
+        run = make_run(H=1, ops=(10,), nbytes=0)
+        t = ClusterModel(1).time_run(run)
+        assert t.communication == 0.0
+        assert t.computation > 0
+
+    def test_run_time_sums_rounds(self):
+        run = make_run(rounds=5)
+        model = ClusterModel(4)
+        total = model.time_run(run)
+        single = model.time_round(run.rounds[0])
+        assert total.total == pytest.approx(5 * single.total)
+        assert total.num_rounds == 5
+
+    def test_more_rounds_cost_more_barrier(self):
+        """The core MRBC-vs-SBBC effect: same volume in fewer rounds wins."""
+        model = ClusterModel(8)
+        few = EngineRun(num_hosts=8)
+        many = EngineRun(num_hosts=8)
+        rs = few.new_round("f")
+        rs.bytes_out[:] = 1000
+        rs.bytes_in[:] = 1000
+        for _ in range(10):
+            rs = many.new_round("f")
+            rs.bytes_out[:] = 100
+            rs.bytes_in[:] = 100
+        assert model.time_run(few).total < model.time_run(many).total
+
+    def test_struct_ops_cost_more(self):
+        c = CostConstants()
+        assert c.struct_op > c.edge_op
+
+    def test_host_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterModel(2).time_run(make_run(H=4))
+
+    def test_barrier_grows_with_hosts(self):
+        assert ClusterModel(256).barrier_latency() > ClusterModel(2).barrier_latency()
+
+    def test_simulated_time_add(self):
+        a = SimulatedTime(computation=1.0, communication=2.0, num_rounds=3)
+        b = SimulatedTime(computation=0.5, communication=0.5, num_rounds=1)
+        a.add(b)
+        assert a.total == pytest.approx(4.0)
+        assert a.num_rounds == 4
+
+    def test_determinism(self):
+        run = make_run()
+        t1 = ClusterModel(4).time_run(run)
+        t2 = ClusterModel(4).time_run(run)
+        assert t1.total == t2.total

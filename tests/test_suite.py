@@ -1,0 +1,83 @@
+"""Unit tests for repro.graph.suite (the Table 1 stand-ins)."""
+
+import pytest
+
+from repro.graph.properties import directed_diameter, graph_properties
+from repro.graph.suite import SUITE, load_suite_graph, suite_names
+
+
+class TestSuiteStructure:
+    def test_all_eight_inputs_present(self):
+        assert set(SUITE) == {
+            "livejournal",
+            "indochina04",
+            "rmat24",
+            "road-europe",
+            "friendster",
+            "kron30",
+            "gsh15",
+            "clueweb12",
+        }
+
+    def test_size_classes_match_paper(self):
+        assert set(suite_names("small")) == {
+            "livejournal",
+            "indochina04",
+            "rmat24",
+            "road-europe",
+            "friendster",
+        }
+        assert set(suite_names("large")) == {"kron30", "gsh15", "clueweb12"}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_suite_graph("nope")
+
+    def test_cache_returns_same_object(self):
+        assert load_suite_graph("rmat24") is load_suite_graph("rmat24")
+
+
+class TestSuiteShapes:
+    """The stand-ins must preserve the shape properties the paper's
+    qualitative results depend on."""
+
+    def test_all_buildable_and_nonempty(self):
+        for name in suite_names():
+            g = load_suite_graph(name)
+            assert g.num_vertices > 50, name
+            assert g.num_edges > g.num_vertices / 2, name
+
+    def test_road_has_largest_diameter(self):
+        diam = {
+            name: directed_diameter(load_suite_graph(name))
+            for name in ("road-europe", "rmat24", "kron30")
+        }
+        assert diam["road-europe"] > 4 * diam["rmat24"]
+        assert diam["road-europe"] > 4 * diam["kron30"]
+
+    def test_webcrawls_have_nontrivial_diameter(self):
+        """gsh15/clueweb12 stand-ins must sit between power-law and road."""
+        d_kron = directed_diameter(load_suite_graph("kron30"))
+        d_gsh = directed_diameter(load_suite_graph("gsh15"))
+        d_clue = directed_diameter(load_suite_graph("clueweb12"))
+        assert d_gsh > 2 * d_kron
+        assert d_clue > d_gsh  # clueweb12 has the longer tails
+
+    def test_low_diameter_classification_is_consistent(self):
+        for name, entry in SUITE.items():
+            d = directed_diameter(load_suite_graph(name))
+            if entry.low_diameter:
+                assert d <= 25, f"{name} flagged low-diameter but d={d}"
+            else:
+                assert d > 25, f"{name} flagged non-trivial but d={d}"
+
+    def test_powerlaw_inputs_are_skewed(self):
+        for name in ("livejournal", "rmat24", "friendster", "kron30"):
+            g = load_suite_graph(name)
+            p = graph_properties(g)
+            mean_deg = g.num_edges / g.num_vertices
+            assert p.max_out_degree > 5 * mean_deg, name
+
+    def test_road_has_bounded_degree(self):
+        p = graph_properties(load_suite_graph("road-europe"))
+        assert p.max_out_degree <= 8

@@ -1,0 +1,176 @@
+"""Tests for the weighted substrate: WeightedDiGraph, Dijkstra-Brandes,
+and weighted MFBC."""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from repro.baselines.weighted_brandes import (
+    dijkstra_sssp,
+    weighted_brandes_bc,
+)
+from repro.baselines.weighted_mfbc import weighted_mfbc
+from repro.graph import generators as gen
+from repro.graph.weighted import (
+    WeightedDiGraph,
+    from_weighted_edges,
+    with_random_weights,
+    with_unit_weights,
+)
+
+
+@pytest.fixture(scope="module")
+def wg():
+    """Random digraph with integer weights (exact in float64)."""
+    g = gen.erdos_renyi(40, 3.0, seed=81)
+    return with_random_weights(g, 1, 8, integer=True, seed=82)
+
+
+def _scipy_dist(wg, source):
+    g = wg.graph
+    src, dst = g.edges()
+    A = sp.csr_matrix((wg.weights, (src, dst)), shape=(g.num_vertices,) * 2)
+    return csgraph.dijkstra(A, indices=[source])[0]
+
+
+class TestWeightedDiGraph:
+    def test_wraps_structure(self, wg):
+        assert wg.num_vertices == wg.graph.num_vertices
+        assert wg.num_edges == wg.graph.num_edges
+
+    def test_out_in_edge_weights_agree(self, wg):
+        out_view = {}
+        for u in range(wg.num_vertices):
+            nbrs, ws = wg.out_edges(u)
+            for v, w in zip(nbrs.tolist(), ws.tolist()):
+                out_view[(u, v)] = w
+        for v in range(wg.num_vertices):
+            nbrs, ws = wg.in_edges(v)
+            for u, w in zip(nbrs.tolist(), ws.tolist()):
+                assert out_view[(u, v)] == w
+
+    def test_edge_weight_lookup(self):
+        wg = from_weighted_edges(3, [(0, 1, 2.5), (1, 2, 4.0)])
+        assert wg.edge_weight(0, 1) == 2.5
+        with pytest.raises(KeyError):
+            wg.edge_weight(0, 2)
+
+    def test_duplicate_edges_keep_minimum(self):
+        wg = from_weighted_edges(2, [(0, 1, 5.0), (0, 1, 2.0)])
+        assert wg.edge_weight(0, 1) == 2.0
+        assert wg.num_edges == 1
+
+    def test_positive_weights_required(self):
+        g = gen.path_graph(3, bidirectional=False)
+        with pytest.raises(ValueError):
+            WeightedDiGraph(g, np.array([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            WeightedDiGraph(g, np.array([1.0]))
+
+    def test_unit_weights(self):
+        wg = with_unit_weights(gen.cycle_graph(4))
+        assert (wg.weights == 1.0).all()
+
+    def test_random_weights_deterministic(self):
+        g = gen.cycle_graph(6)
+        a = with_random_weights(g, seed=1)
+        b = with_random_weights(g, seed=1)
+        assert np.array_equal(a.weights, b.weights)
+        with pytest.raises(ValueError):
+            with_random_weights(g, low=0.0)
+
+
+class TestDijkstra:
+    def test_distances_match_scipy(self, wg):
+        for s in (0, 7, 21):
+            dist, _, _, _ = dijkstra_sssp(wg, s)
+            assert np.allclose(dist, _scipy_dist(wg, s))
+
+    def test_unit_weights_reduce_to_bfs(self):
+        from repro.baselines.brandes import brandes_sssp
+
+        g = gen.erdos_renyi(40, 3.0, seed=83)
+        wg = with_unit_weights(g)
+        d_w, s_w, _, _ = dijkstra_sssp(wg, 0)
+        d_u, s_u, _, _ = brandes_sssp(g, 0)
+        d_u_f = d_u.astype(float)
+        d_u_f[d_u_f < 0] = np.inf
+        assert np.array_equal(d_w, d_u_f)
+        assert np.allclose(s_w, s_u)
+
+    def test_sigma_counts_tied_paths(self):
+        # Two 0→3 paths of equal total weight 5: via 1 (2+3) and 2 (4+1).
+        wg = from_weighted_edges(
+            4, [(0, 1, 2), (1, 3, 3), (0, 2, 4), (2, 3, 1)]
+        )
+        dist, sigma, preds, _ = dijkstra_sssp(wg, 0)
+        assert dist[3] == 5.0
+        assert sigma[3] == 2.0
+        assert set(preds[3]) == {1, 2}
+
+    def test_settle_order_nondecreasing(self, wg):
+        dist, _, _, order = dijkstra_sssp(wg, 3)
+        ds = [dist[v] for v in order]
+        assert all(a <= b + 1e-12 for a, b in zip(ds, ds[1:]))
+
+
+class TestWeightedBrandesVsNetworkX:
+    def test_exact_bc(self, wg):
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(wg.num_vertices))
+        src, dst = wg.graph.edges()
+        for u, v, w in zip(src.tolist(), dst.tolist(), wg.weights.tolist()):
+            nxg.add_edge(u, v, weight=w)
+        ref = nx.betweenness_centrality(nxg, normalized=False, weight="weight")
+        refv = np.array([ref[v] for v in range(wg.num_vertices)])
+        assert np.allclose(weighted_brandes_bc(wg), refv)
+
+    def test_unit_weights_match_unweighted(self):
+        from repro.baselines.brandes import brandes_bc
+
+        g = gen.rmat(6, 4, seed=84)
+        assert np.allclose(
+            weighted_brandes_bc(with_unit_weights(g)), brandes_bc(g)
+        )
+
+    def test_sampled_sources(self, wg):
+        srcs = [0, 5, 11]
+        full = weighted_brandes_bc(wg, sources=srcs)
+        assert full.shape == (wg.num_vertices,)
+        with pytest.raises(ValueError):
+            weighted_brandes_bc(wg, sources=[999])
+
+
+class TestWeightedMFBC:
+    def test_matches_weighted_brandes(self, wg):
+        srcs = [0, 7, 21, 33]
+        res = weighted_mfbc(wg, sources=srcs, batch_size=2, num_hosts=4)
+        assert np.allclose(res.bc, weighted_brandes_bc(wg, sources=srcs))
+
+    def test_distances_and_sigma(self, wg):
+        srcs = [3, 9]
+        res = weighted_mfbc(wg, sources=srcs, batch_size=2)
+        for i, s in enumerate(srcs):
+            dist, sigma, _, _ = dijkstra_sssp(wg, s)
+            assert np.allclose(res.dist[i], dist)
+            assert np.allclose(res.sigma[i], sigma)
+
+    def test_unit_weights_match_unweighted_mfbc(self):
+        from repro.baselines.mfbc import mfbc
+
+        g = gen.erdos_renyi(30, 3.0, seed=85)
+        srcs = [0, 10, 20]
+        a = weighted_mfbc(with_unit_weights(g), sources=srcs, batch_size=3)
+        b = mfbc(g, sources=srcs, batch_size=3)
+        assert np.allclose(a.bc, b.bc)
+
+    def test_stats_populated(self, wg):
+        res = weighted_mfbc(wg, sources=[0], batch_size=1, num_hosts=4)
+        assert res.iterations > 0
+        assert res.run.num_rounds == res.iterations
+
+    def test_empty_sources_rejected(self, wg):
+        with pytest.raises(ValueError):
+            weighted_mfbc(wg, sources=[])
