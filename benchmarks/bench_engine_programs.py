@@ -8,7 +8,6 @@ per-iteration all-to-all volume dwarfs BFS's sparse frontier traffic, as
 on any real system.
 """
 
-import pytest
 
 from repro.engine.programs import bfs_engine, pagerank_engine, wcc_engine
 from repro.graph.suite import load_suite_graph

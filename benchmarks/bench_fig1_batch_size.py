@@ -13,7 +13,7 @@ import pytest
 
 from repro.graph.suite import suite_names
 
-from conftest import COLLECTOR, FIG1_BATCHES, LARGE_HOSTS, run_mrbc, simulated, sources_for
+from conftest import COLLECTOR, FIG1_BATCHES, LARGE_HOSTS, run_mrbc, simulated
 
 HEADERS = ["graph", "k (batch)", "rounds", "rounds/src", "exec time (s)"]
 

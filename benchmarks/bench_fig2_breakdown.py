@@ -14,13 +14,14 @@ Mean communication-time reduction in the paper: 2.8×.
 import pytest
 
 from repro.analysis.reporting import geometric_mean
+from repro.cluster.model import ClusterModel
 from repro.graph.suite import SUITE, suite_names
+from repro.obs import build_manifest
 
 from conftest import (
     COLLECTOR,
     LARGE_HOSTS,
     SMALL_HOSTS,
-    hosts_for,
     run_mrbc,
     run_sbbc,
     simulated,
@@ -40,10 +41,18 @@ _comm: dict[tuple[str, str], float] = {}
 
 
 def _record(fig: str, name: str, H: int) -> None:
+    """Record one Figure 2 row per algorithm, read off the run manifest.
+
+    The manifest's whole-run totals come from ``ClusterModel.time_run`` in
+    execution order, so the CSV stays byte-identical to the pre-manifest
+    harness that called ``simulated(...)`` directly.
+    """
     for algo, run_fn in (("SBBC", run_sbbc), ("MRBC", run_mrbc)):
         res = run_fn(name, H)
-        t = simulated(res.run, H)
-        _comm[(name, algo)] = t.communication
+        man = build_manifest(
+            algo.lower(), res.run, ClusterModel(H), graph_spec=name
+        )
+        _comm[(name, algo)] = man.totals["communication_s"]
         COLLECTOR.add(
             "Figure 2: computation vs communication breakdown",
             HEADERS,
@@ -51,10 +60,10 @@ def _record(fig: str, name: str, H: int) -> None:
                 fig,
                 name,
                 algo,
-                f"{t.computation:.4f}",
-                f"{t.communication:.4f}",
-                f"{t.total:.4f}",
-                res.run.total_bytes,
+                f"{man.totals['computation_s']:.4f}",
+                f"{man.totals['communication_s']:.4f}",
+                f"{man.totals['total_s']:.4f}",
+                man.totals["bytes"],
             ],
         )
 

@@ -10,7 +10,7 @@ estimated diameter.
 import pytest
 
 from repro.graph.properties import estimate_diameter, graph_properties
-from repro.graph.suite import SUITE, load_suite_graph, suite_names
+from repro.graph.suite import load_suite_graph, suite_names
 
 from conftest import (
     COLLECTOR,

@@ -27,7 +27,6 @@ from conftest import (
     LARGE_HOSTS,
     SCALING_HOSTS,
     SMALL_HOSTS,
-    batch_for,
     run_mfbc,
     run_mrbc,
     run_sbbc,

@@ -38,6 +38,58 @@ def format_table(
     return "\n".join(lines)
 
 
+def render_phase_breakdown(manifest: dict) -> str:
+    """Figure 2-style per-phase computation/communication table.
+
+    ``manifest`` is a :class:`repro.obs.manifest.RunManifest` in dict form
+    (``man.to_dict()`` or a parsed ``manifest.json``).  One row per phase
+    plus a TOTAL row taken from the manifest's whole-run totals — the same
+    numbers ``ClusterModel.time_run`` reports, so the table reproduces the
+    paper's computation-vs-communication split from a recorded run alone.
+    """
+    headers = [
+        "phase",
+        "rounds",
+        "comp (s)",
+        "comm (s)",
+        "total (s)",
+        "volume (B)",
+        "msgs",
+    ]
+    rows: list[list[object]] = []
+    for p in manifest.get("phases", []):
+        comp = float(p["computation_s"])
+        comm = float(p["communication_s"])
+        rows.append(
+            [
+                p["phase"],
+                p["rounds"],
+                f"{comp:.5f}",
+                f"{comm:.5f}",
+                f"{comp + comm:.5f}",
+                p["bytes"],
+                p["pair_messages"],
+            ]
+        )
+    totals = manifest.get("totals", {})
+    if totals:
+        rows.append(
+            [
+                "TOTAL",
+                totals["rounds"],
+                f"{totals['computation_s']:.5f}",
+                f"{totals['communication_s']:.5f}",
+                f"{totals['total_s']:.5f}",
+                totals["bytes"],
+                totals["pair_messages"],
+            ]
+        )
+    algo = manifest.get("algorithm", "?")
+    hosts = manifest.get("num_hosts", "?")
+    title = f"phase breakdown: {algo} on {hosts} hosts"
+    return format_table(headers, rows, title=title)
+
+
 def rows_from_dicts(dicts: Sequence[dict[str, object]]) -> tuple[list[str], list[list[object]]]:
     """Build (headers, rows) from a list of same-keyed dictionaries."""
     if not dicts:

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cluster.model import ClusterModel, SimulatedTime
+from repro import obs
 from repro.engine.gluon import (
     TARGET_ALL_PROXIES,
     TARGET_IN_EDGES,
@@ -299,10 +299,13 @@ def sbbc_engine(
     sigma = np.zeros((src.size, n), dtype=np.float64)
     fwd = 0
     bwd = 0
+    tele = obs.current()
     for i, s in enumerate(src.tolist()):
         ex = _SourceExecutor(pg, gluon, run, int(s))
-        fwd += ex.run_forward()
-        bwd += ex.run_backward()
+        with tele.phase("forward", run, source=int(s)):
+            fwd += ex.run_forward()
+        with tele.phase("backward", run, source=int(s)):
+            bwd += ex.run_backward()
         for gid, (d, sg) in ex.settled.items():
             dist[i, gid] = d
             sigma[i, gid] = sg

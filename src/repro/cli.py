@@ -9,16 +9,29 @@ Compute exact BC with MRBC on a generated graph and print the top ranks::
 Compare algorithms on an edge-list file with 16 sampled sources::
 
     python -m repro graph.txt --algorithm mrbc sbbc --sources 16 --hosts 8
+
+Record a traced run — JSONL event stream, run manifest, and a Figure 2
+style per-phase computation/communication breakdown::
+
+    python -m repro trace mrbc --graph rmat:8:8 --sources 16 --out trace/
+
+Diagnostics go through :mod:`logging` (logger ``repro``); ``--verbose``
+enables debug output and ``--quiet`` silences everything below errors, so
+CLI chatter composes with the telemetry sinks instead of interleaving raw
+stderr writes with them.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 
 import numpy as np
 
-from repro.analysis.reporting import format_table
+from repro import obs
+from repro.analysis.reporting import format_table, render_phase_breakdown
 from repro.baselines.abbc import abbc, abbc_simulated_time
 from repro.baselines.brandes import brandes_bc
 from repro.baselines.mfbc import mfbc
@@ -32,6 +45,36 @@ from repro.graph.digraph import DiGraph
 from repro.graph.io import read_edge_list
 
 ALGORITHMS = ("mrbc", "sbbc", "abbc", "mfbc", "brandes")
+#: Algorithms that run on the engine and can therefore be traced.
+TRACEABLE = ("mrbc", "sbbc")
+
+log = logging.getLogger("repro")
+
+
+def add_logging_flags(p: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--verbose``/``--quiet`` diagnostics flags."""
+    g = p.add_mutually_exclusive_group()
+    g.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="debug-level diagnostics on stderr",
+    )
+    g.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress diagnostics below errors",
+    )
+
+
+def setup_logging(verbose: bool = False, quiet: bool = False) -> None:
+    """Configure the ``repro`` logger for CLI use (stderr, level by flags)."""
+    level = (
+        logging.ERROR if quiet else logging.DEBUG if verbose else logging.INFO
+    )
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    root = logging.getLogger("repro")
+    root.handlers[:] = [handler]
+    root.setLevel(level)
+    root.propagate = False
 
 
 def _generate(spec: str) -> DiGraph:
@@ -48,6 +91,13 @@ def _generate(spec: str) -> DiGraph:
         return generators.erdos_renyi(vals[0], float(vals[1]))
     raise SystemExit(f"unknown generator kind {kind!r} "
                      "(options: rmat, grid, webcrawl, er)")
+
+
+def _load_graph_arg(spec: str) -> DiGraph:
+    """A ``--graph`` value: an edge-list path if it exists, else a spec."""
+    if os.path.exists(spec):
+        return read_edge_list(spec)
+    return _generate(spec)
 
 
 def _run_one(
@@ -83,7 +133,94 @@ def _run_one(
     }
 
 
-def main(argv: list[str] | None = None) -> int:
+# -- repro trace ----------------------------------------------------------------
+
+
+def trace_main(argv: list[str]) -> int:
+    """``repro trace <algo>``: record a run with full telemetry.
+
+    Writes ``events.jsonl`` (spans, per-round samples, metric snapshots)
+    and ``manifest.json`` (versioned run manifest with per-phase totals)
+    into ``--out``, then prints the per-phase computation/communication
+    breakdown — the Figure 2 split — derived from the manifest.
+    """
+    p = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run an engine algorithm with telemetry recording on",
+    )
+    p.add_argument("algorithm", choices=TRACEABLE,
+                   help="engine algorithm to trace")
+    p.add_argument("--graph", required=True, metavar="SPEC",
+                   help="edge-list file, or generator spec "
+                        "(rmat:scale:ef | grid:r:c | webcrawl:core:tails | er:n:deg)")
+    p.add_argument("--sources", "-k", type=int, default=None,
+                   help="number of sampled sources (default: all vertices)")
+    p.add_argument("--hosts", type=int, default=8, help="simulated hosts")
+    p.add_argument("--batch", type=int, default=16, help="MRBC batch size")
+    p.add_argument("--seed", type=int, default=0, help="sampling seed")
+    p.add_argument("--out", "-o", default="trace-out", metavar="DIR",
+                   help="output directory for events.jsonl + manifest.json")
+    add_logging_flags(p)
+    args = p.parse_args(argv)
+    setup_logging(args.verbose, args.quiet)
+
+    g = _load_graph_arg(args.graph)
+    log.info("graph: %s", g)
+    if args.sources is None:
+        sources = np.arange(g.num_vertices, dtype=np.int64)
+    else:
+        sources = sample_sources(g, args.sources, seed=args.seed)
+    model = ClusterModel(args.hosts)
+    os.makedirs(args.out, exist_ok=True)
+    events_path = os.path.join(args.out, "events.jsonl")
+    manifest_path = os.path.join(args.out, "manifest.json")
+
+    sink = obs.FileSink(events_path)
+    with obs.session(sink, model=model) as tele:
+        with tele.span(
+            f"run:{args.algorithm}",
+            kind="run",
+            algorithm=args.algorithm,
+            graph=args.graph,
+            hosts=args.hosts,
+            sources=int(sources.size),
+        ):
+            if args.algorithm == "sbbc":
+                res = sbbc_engine(g, sources=sources, num_hosts=args.hosts)
+            else:
+                res = mrbc_engine(
+                    g,
+                    sources=sources,
+                    batch_size=args.batch,
+                    num_hosts=args.hosts,
+                )
+        model.time_by_phase(res.run)  # emits per-phase sim_time events
+
+    man = obs.build_manifest(
+        args.algorithm,
+        res.run,
+        model,
+        graph_spec=args.graph,
+        num_vertices=g.num_vertices,
+        num_edges=g.num_edges,
+        num_hosts=args.hosts,
+        num_sources=int(sources.size),
+        batch_size=args.batch if args.algorithm == "mrbc" else None,
+        partition_policy="cvc",
+        seed=args.seed,
+    )
+    obs.write_manifest(man, manifest_path)
+    log.info("wrote %d events to %s", sink.events_written, events_path)
+    log.info("wrote manifest to %s", manifest_path)
+    print(render_phase_breakdown(man.to_dict()))
+    return 0
+
+
+# -- legacy run command ----------------------------------------------------------
+
+
+def run_main(argv: list[str]) -> int:
+    """The default command: run algorithms and print BC rankings."""
     p = argparse.ArgumentParser(
         prog="repro", description="Min-Rounds BC reproduction CLI"
     )
@@ -104,12 +241,14 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--top", type=int, default=10,
                    help="print this many top-BC vertices")
     p.add_argument("--seed", type=int, default=0, help="sampling seed")
+    add_logging_flags(p)
     args = p.parse_args(argv)
+    setup_logging(args.verbose, args.quiet)
 
     if bool(args.graph) == bool(args.generate):
         p.error("provide exactly one of: a graph file, or --generate SPEC")
     g = _generate(args.generate) if args.generate else read_edge_list(args.graph)
-    print(f"graph: {g}", file=sys.stderr)
+    log.info("graph: %s", g)
 
     if args.sources is None:
         sources = np.arange(g.num_vertices, dtype=np.int64)
@@ -119,6 +258,7 @@ def main(argv: list[str] | None = None) -> int:
     rows = []
     bc_by_algo: dict[str, np.ndarray] = {}
     for algo in args.algorithm:
+        log.debug("running %s on %d sources", algo, sources.size)
         bc, stats = _run_one(algo, g, sources, args.hosts, args.batch)
         bc_by_algo[algo] = bc
         rows.append([algo, len(sources), stats["rounds"], stats["time (s)"]])
@@ -129,7 +269,7 @@ def main(argv: list[str] | None = None) -> int:
         if not np.allclose(
             bc_by_algo[first], bc_by_algo[other], atol=1e-6, equal_nan=True
         ):
-            print(f"WARNING: {first} and {other} disagree", file=sys.stderr)
+            log.warning("%s and %s disagree", first, other)
             return 1
 
     bc = bc_by_algo[first]
@@ -140,6 +280,13 @@ def main(argv: list[str] | None = None) -> int:
         title=f"top {args.top} by betweenness ({first})",
     ))
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
+    return run_main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.engine.stats import EngineRun, RoundStats
 
 
@@ -133,4 +134,29 @@ class ClusterModel:
         out = SimulatedTime()
         for rs in run.rounds:
             out.add(self.time_round(rs))
+        obs.current().emit_sim_time(
+            "cluster.time_run", out, hosts=self.num_hosts
+        )
+        return out
+
+    def time_by_phase(self, run: EngineRun) -> dict[str, SimulatedTime]:
+        """Per-phase simulated-time split, in first-execution order.
+
+        The values sum (up to float association) to :meth:`time_run`; the
+        Figure 2 computation/communication breakdown reads this grouping.
+        """
+        if run.num_hosts != self.num_hosts:
+            raise ValueError(
+                f"run was collected on {run.num_hosts} hosts, "
+                f"model has {self.num_hosts}"
+            )
+        out: dict[str, SimulatedTime] = {}
+        for rs in run.rounds:
+            out.setdefault(rs.phase, SimulatedTime()).add(self.time_round(rs))
+        tele = obs.current()
+        if tele.enabled:
+            for phase, t in out.items():
+                tele.emit_sim_time(
+                    "cluster.time_by_phase", t, phase=phase, hosts=self.num_hosts
+                )
         return out

@@ -14,6 +14,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro import obs
 from repro.congest.messages import MAX_COMBINED_VALUES, MessageStats
 from repro.congest.program import BROADCAST, VertexContext, VertexProgram
 from repro.graph.digraph import DiGraph
@@ -101,6 +102,30 @@ class CongestNetwork:
         """
         result = NetworkRunResult(rounds_executed=0, last_send_round=0, terminated_by="round_limit")
         programs = self.programs
+        tele = obs.current()
+        with tele.span(
+            "congest.run", kind="run", vertices=len(programs)
+        ) as sp:
+            self._run_rounds(max_rounds, detect_quiescence, detect_stopped,
+                             result, tele)
+            if sp is not None:
+                sp.set(
+                    rounds=result.rounds_executed,
+                    last_send_round=result.last_send_round,
+                    terminated_by=result.terminated_by,
+                    messages=result.stats.messages,
+                )
+        return result
+
+    def _run_rounds(
+        self,
+        max_rounds: int,
+        detect_quiescence: bool,
+        detect_stopped: bool,
+        result: NetworkRunResult,
+        tele,
+    ) -> None:
+        programs = self.programs
         for rnd in range(1, max_rounds + 1):
             # -- send phase: collect and validate this round's messages.
             # outbox maps (sender, target) -> list of payloads (combined).
@@ -137,6 +162,15 @@ class CongestNetwork:
                 result.last_send_round = rnd
                 for payloads in outbox.values():
                     result.stats.record_channel(payloads)
+            if tele.enabled:
+                tele.emit(
+                    "round",
+                    "round:congest",
+                    round=rnd,
+                    phase="congest",
+                    channels=len(outbox),
+                    values=sum(len(p) for p in outbox.values()),
+                )
 
             # -- delivery phase: receivers process during this round.
             for (sender, target), payloads in outbox.items():

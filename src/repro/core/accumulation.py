@@ -25,6 +25,27 @@ from repro.congest.program import VertexContext, VertexProgram
 from repro.core.apsp import APSPVertexState
 
 
+def schedule_summary(programs: "list[AccumulationProgram]") -> dict[str, float]:
+    """Telemetry summary of the timestamp-reversal fire schedule.
+
+    Reports how many ``(vertex, source)`` dependency broadcasts Alg. 5
+    scheduled, how many actually fired, and the densest round — recorded
+    by the observability layer at the end of the accumulation phase.
+    """
+    scheduled = sum(len(p._fire) for p in programs)
+    fired = sum(len(p._fired) for p in programs)
+    per_round: dict[int, int] = {}
+    for p in programs:
+        for rnd in p._fire:
+            per_round[rnd] = per_round.get(rnd, 0) + 1
+    return {
+        "vertices": len(programs),
+        "fires_scheduled": scheduled,
+        "fires_executed": fired,
+        "max_fires_per_round": max(per_round.values()) if per_round else 0,
+    }
+
+
 class AccumulationProgram(VertexProgram):
     """CONGEST vertex program for the BC accumulation phase.
 

@@ -28,7 +28,7 @@ termination detection instead of Algorithm 4.
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+from bisect import bisect_left
 from typing import Any
 
 from repro.congest.program import VertexContext, VertexProgram
@@ -117,6 +117,26 @@ class APSPVertexState:
             self.sigma[s] = sigma_su
             self.preds[s] = {u}
         # else: stale (longer) path — ignore.
+
+
+def flatmap_occupancy(states: "list[APSPVertexState]") -> dict[str, float]:
+    """Telemetry summary of the per-vertex ``L_v`` flat maps.
+
+    Returns total/max/mean entry counts plus how many entries remain
+    unsent — the occupancy numbers the observability layer records after
+    the forward phase (flat-map maintenance is the computation overhead
+    Figure 2 charges to MRBC).
+    """
+    sizes = [len(st.entries) for st in states]
+    unsent = sum(len(st.entries) - st.sent_prefix for st in states)
+    total = sum(sizes)
+    return {
+        "vertices": len(states),
+        "entries_total": total,
+        "entries_max": max(sizes) if sizes else 0,
+        "entries_mean": total / len(sizes) if sizes else 0.0,
+        "entries_unsent": unsent,
+    }
 
 
 class DirectedAPSPProgram(VertexProgram):

@@ -37,10 +37,11 @@ vertex ``v`` fires its dependency broadcast for source ``s`` in round
 from __future__ import annotations
 
 from bisect import bisect_left
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.batching import iter_batches
 from repro.core.sampling import sample_sources
 from repro.engine.gluon import (
@@ -577,11 +578,21 @@ def mrbc_engine(
     fwd_rounds = 0
     bwd_rounds = 0
 
+    tele = obs.current()
     for b0, batch in enumerate(iter_batches(src, batch_size)):
         ex = _BatchExecutor(pg, gluon, run, batch, delayed_sync)
-        fwd_rounds += ex.run_forward()
+        with tele.phase("forward", run, batch=b0, k=int(batch.size)):
+            fwd_rounds += ex.run_forward()
+        if tele.enabled:
+            # Flat-map occupancy: |L_v| across this batch's masters (the
+            # data structure whose maintenance cost Figure 2 charges to
+            # MRBC's computation time).
+            hist = tele.metrics.histogram("mrbc.flatmap_entries")
+            for ms in ex.masters.values():
+                hist.observe(len(ms.entries))
         if not forward_only:
-            bwd_rounds += ex.run_backward()
+            with tele.phase("backward", run, batch=b0, k=int(batch.size)):
+                bwd_rounds += ex.run_backward()
         base = b0 * batch_size
         for gid, ms in ex.masters.items():
             for si, (d, sg) in ms.best.items():

@@ -18,10 +18,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.congest.messages import MessageStats
 from repro.congest.network import CongestNetwork
-from repro.core.accumulation import AccumulationProgram
-from repro.core.apsp import APSPVertexState, DirectedAPSPProgram
+from repro.core.accumulation import AccumulationProgram, schedule_summary
+from repro.core.apsp import APSPVertexState, DirectedAPSPProgram, flatmap_occupancy
 from repro.graph.digraph import DiGraph
 
 #: Sentinel distance for "unreachable" in dense output arrays.
@@ -123,11 +124,23 @@ def directed_apsp(
     # Upper bound on rounds: 2n for full APSP (Alg. 3 Step 7); k + n for
     # k-SSP (H <= n - 1 always, plus slack for the detector's final round).
     max_rounds = 2 * n if not k_ssp else len(src) + n + 1
-    run = net.run(
-        max_rounds,
-        detect_quiescence=detect_termination,
-        detect_stopped=use_finalizer,
-    )
+    tele = obs.current()
+    with tele.span(
+        "phase:apsp", kind="phase", phase="apsp", k=int(src.size)
+    ) as sp:
+        run = net.run(
+            max_rounds,
+            detect_quiescence=detect_termination,
+            detect_stopped=use_finalizer,
+        )
+        if sp is not None:
+            states_for_occ = [
+                p.state for p in net.programs  # type: ignore[union-attr]
+            ]
+            sp.set(rounds=run.rounds_executed, **flatmap_occupancy(states_for_occ))
+            hist = tele.metrics.histogram("congest.flatmap_entries")
+            for st in states_for_occ:
+                hist.observe(len(st.entries))
 
     k = src.size
     dist = np.full((k, n), UNREACHABLE, dtype=np.int64)
@@ -194,8 +207,14 @@ def mrbc_congest(
         return prog
 
     net = CongestNetwork(g, factory, expose_n=known_n)
-    run = net.run(R + 1, detect_quiescence=True)
-    acc_programs = net.programs  # type: ignore[assignment]
+    tele = obs.current()
+    with tele.span(
+        "phase:accumulation", kind="phase", phase="accumulation", R=R
+    ) as sp:
+        run = net.run(R + 1, detect_quiescence=True)
+        acc_programs = net.programs  # type: ignore[assignment]
+        if sp is not None:
+            sp.set(rounds=run.rounds_executed, **schedule_summary(acc_programs))
 
     k = fwd.sources.size
     row_of = {int(s): i for i, s in enumerate(fwd.sources)}

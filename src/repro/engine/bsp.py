@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.engine.gluon import TARGET_ALL_PROXIES, GluonSubstrate
 from repro.engine.partition import HostPartition, PartitionedGraph, partition_graph
 from repro.engine.stats import EngineRun
@@ -94,6 +95,22 @@ def run_bsp(
     H = pg.num_hosts
     fires_flat = algorithm.initial_fires()
     rounds = 0
+    with obs.current().phase(algorithm.phase, run, hosts=H):
+        rounds = _bsp_rounds(pg, algorithm, gluon, run, fires_flat, max_rounds)
+    return BSPRunResult(rounds=rounds, run=run)
+
+
+def _bsp_rounds(
+    pg: PartitionedGraph,
+    algorithm: BSPAlgorithm,
+    gluon: GluonSubstrate,
+    run: EngineRun,
+    fires_flat: list[tuple],
+    max_rounds: int,
+) -> int:
+    """The round loop proper (spanned as one phase by :func:`run_bsp`)."""
+    H = pg.num_hosts
+    rounds = 0
     while fires_flat and rounds < max_rounds:
         rounds += 1
         rs = run.new_round(algorithm.phase)
@@ -119,7 +136,7 @@ def run_bsp(
         for h in range(H):
             merged.extend(inbox[h])
         fires_flat = algorithm.master_update(merged, rs.compute)
-    return BSPRunResult(rounds=rounds, run=run)
+    return rounds
 
 
 # -- reference algorithm: weighted SSSP -----------------------------------------

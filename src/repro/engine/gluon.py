@@ -29,6 +29,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Sequence
 
+from repro import obs
 from repro.engine.partition import PartitionedGraph
 from repro.engine.stats import RoundStats
 
@@ -130,7 +131,16 @@ class GluonSubstrate:
         payload_bytes: int,
         batch_width: int,
         rs: RoundStats,
+        op: str = "sync",
     ) -> None:
+        tele = obs.current()
+        if tele.enabled:
+            before = (
+                int(rs.bytes_out.sum()),
+                rs.pair_messages,
+                rs.items_synced,
+                rs.proxies_synced,
+            )
         for (sender, receiver), items in per_pair.items():
             vertices: dict[int, int] = defaultdict(int)
             for it in items:
@@ -150,6 +160,24 @@ class GluonSubstrate:
             rs.bytes_in[receiver] += nbytes
             rs.msgs_out[sender] += 1
             rs.msgs_in[receiver] += 1
+            if tele.enabled:
+                tele.metrics.histogram("gluon.message_bytes", op=op).observe(
+                    nbytes
+                )
+        if tele.enabled:
+            m = tele.metrics
+            m.counter("gluon.bytes", op=op).inc(
+                int(rs.bytes_out.sum()) - before[0]
+            )
+            m.counter("gluon.pair_messages", op=op).inc(
+                rs.pair_messages - before[1]
+            )
+            m.counter("gluon.items_synced", op=op).inc(
+                rs.items_synced - before[2]
+            )
+            m.counter("gluon.proxies_synced", op=op).inc(
+                rs.proxies_synced - before[3]
+            )
 
     # -- primitives -------------------------------------------------------------
 
@@ -176,7 +204,7 @@ class GluonSubstrate:
                 dest = int(master_of[gid])
                 per_pair[(h, dest)].append(it)
                 inbox[dest].append((gid, h, *it[1:]))
-        self._account(per_pair, payload_bytes, batch_width, rs)
+        self._account(per_pair, payload_bytes, batch_width, rs, op="reduce")
         return inbox
 
     def broadcast_from_masters(
@@ -213,5 +241,5 @@ class GluonSubstrate:
                     dest = int(dest)
                     per_pair[(h, dest)].append(it)
                     inbox[dest].append(it)
-        self._account(per_pair, payload_bytes, batch_width, rs)
+        self._account(per_pair, payload_bytes, batch_width, rs, op="broadcast")
         return inbox

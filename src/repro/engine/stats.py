@@ -55,6 +55,21 @@ class RoundStats:
         """Total bytes crossing the network this round."""
         return int(self.bytes_out.sum())
 
+    def copy(self, round_index: int | None = None) -> "RoundStats":
+        """Independent deep copy, optionally renumbered."""
+        return RoundStats(
+            round_index=self.round_index if round_index is None else round_index,
+            phase=self.phase,
+            compute=[c.copy() for c in self.compute],
+            bytes_out=self.bytes_out.copy(),
+            bytes_in=self.bytes_in.copy(),
+            msgs_out=None if self.msgs_out is None else self.msgs_out.copy(),
+            msgs_in=None if self.msgs_in is None else self.msgs_in.copy(),
+            pair_messages=self.pair_messages,
+            items_synced=self.items_synced,
+            proxies_synced=self.proxies_synced,
+        )
+
 
 @dataclass
 class EngineRun:
@@ -129,10 +144,19 @@ class EngineRun:
                 ratios.append(r.max_compute_ops() / mean)
         return float(np.mean(ratios)) if ratios else 1.0
 
+    def phases(self) -> list[str]:
+        """Distinct phase labels in first-execution order."""
+        seen: list[str] = []
+        for r in self.rounds:
+            if r.phase not in seen:
+                seen.append(r.phase)
+        return seen
+
     def merge(self, other: "EngineRun") -> None:
-        """Append another run's rounds (e.g. successive source batches)."""
+        """Append copies of another run's rounds (e.g. successive source
+        batches).  ``other`` is left untouched: the appended rounds are
+        renumbered deep copies, so neither run can corrupt the other."""
         if other.num_hosts != self.num_hosts:
             raise ValueError("cannot merge runs with different host counts")
         for rs in other.rounds:
-            rs.round_index = len(self.rounds) + 1
-            self.rounds.append(rs)
+            self.rounds.append(rs.copy(round_index=len(self.rounds) + 1))

@@ -1,0 +1,117 @@
+"""``repro.obs`` — unified telemetry: spans, metrics, events, manifests.
+
+The observability subsystem gives every layer of the reproduction one
+event model (see :mod:`repro.obs.events`):
+
+- **span tracing** (:mod:`repro.obs.spans`) — hierarchical
+  ``run → phase → round → host`` intervals with wall-clock *and*
+  simulated-cluster-time attribution;
+- **metrics** (:mod:`repro.obs.metrics`) — labeled counters, gauges, and
+  histograms (messages/round, bytes/host, flat-map occupancy, load
+  imbalance);
+- **export** (:mod:`repro.obs.sinks`, :mod:`repro.obs.manifest`) — JSONL
+  event streams plus a versioned run manifest written alongside the
+  benchmark CSVs.
+
+A module-level *current session* defaults to a disabled null session so
+the instrumentation in the engines costs a flag check when off::
+
+    from repro import obs
+    from repro.obs import FileSink
+
+    with obs.session(FileSink("events.jsonl"), model=ClusterModel(8)) as tele:
+        res = mrbc_engine(g, sources=srcs, batch_size=8)
+    # events.jsonl now holds spans, per-round samples, and metric snapshots
+
+See ``docs/OBSERVABILITY.md`` for the span model and manifest schema, and
+``repro trace`` for the command-line entry point.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    Event,
+    iter_jsonl,
+    parse_jsonl,
+    read_events,
+)
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    PhaseTotals,
+    RunManifest,
+    build_manifest,
+    git_sha,
+    load_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.sinks import FileSink, MemorySink, NullSink, Sink
+from repro.obs.spans import Span, SpanTracer
+from repro.obs.session import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.model import ClusterModel
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "MANIFEST_VERSION",
+    "Counter",
+    "Event",
+    "FileSink",
+    "Gauge",
+    "Histogram",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "PhaseTotals",
+    "RunManifest",
+    "Sink",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+    "build_manifest",
+    "current",
+    "git_sha",
+    "iter_jsonl",
+    "load_manifest",
+    "parse_jsonl",
+    "read_events",
+    "session",
+    "write_manifest",
+]
+
+#: The always-available disabled session every hot path sees by default.
+NULL_TELEMETRY = Telemetry()
+
+_current: Telemetry = NULL_TELEMETRY
+
+
+def current() -> Telemetry:
+    """The active telemetry session (a disabled null session by default)."""
+    return _current
+
+
+@contextmanager
+def session(
+    sink: Sink | None = None, model: "ClusterModel | None" = None
+) -> Iterator[Telemetry]:
+    """Install a telemetry session as current for the ``with`` block.
+
+    The session is closed on exit (metrics flushed into the sink, file
+    handles released) and the previous session restored.  Sessions do not
+    nest usefully — the inner one simply shadows the outer for its
+    duration.
+    """
+    global _current
+    tele = Telemetry(sink=sink, model=model)
+    prev = _current
+    _current = tele
+    try:
+        yield tele
+    finally:
+        _current = prev
+        tele.close()

@@ -1,0 +1,106 @@
+"""The telemetry event model and its JSONL wire format.
+
+Every telemetry artifact — span begin/end, per-round engine samples,
+metric series snapshots — is one :class:`Event`: a ``kind``, a ``name``,
+a monotonically increasing sequence number, an optional wall-clock
+timestamp, and a flat JSON-able attribute dict.  Events serialize one per
+line (JSON Lines) so a recorded run can be streamed, grepped, and
+re-aggregated without loading the whole file.
+
+The format is versioned (:data:`EVENT_SCHEMA_VERSION`, the ``"v"`` field
+of every line); :func:`parse_jsonl` rejects lines from a newer major
+version rather than silently misreading them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+#: Bumped whenever a field changes meaning; readers refuse newer versions.
+EVENT_SCHEMA_VERSION = 1
+
+#: Well-known event kinds (free-form kinds are permitted too).
+KIND_SPAN = "span"
+KIND_ROUND = "round"
+KIND_METRIC = "metric"
+KIND_SIM_TIME = "sim_time"
+KIND_LOG = "log"
+
+
+@dataclass
+class Event:
+    """One telemetry record.
+
+    Attributes
+    ----------
+    kind:
+        Record type, e.g. ``"span"``, ``"round"``, ``"metric"``.
+    name:
+        Record identity within the kind (span name, metric name, ...).
+    seq:
+        Session-monotonic sequence number (ties break file ordering).
+    ts:
+        Wall-clock UNIX timestamp when emitted, or ``None`` for derived
+        records that have no meaningful emission instant.
+    attrs:
+        Flat JSON-able payload.
+    """
+
+    kind: str
+    name: str
+    seq: int = 0
+    ts: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_json_line(self) -> str:
+        """One JSONL line (no trailing newline)."""
+        rec: dict[str, Any] = {
+            "v": EVENT_SCHEMA_VERSION,
+            "kind": self.kind,
+            "name": self.name,
+            "seq": self.seq,
+        }
+        if self.ts is not None:
+            rec["ts"] = self.ts
+        if self.attrs:
+            rec["attrs"] = self.attrs
+        return json.dumps(rec, separators=(",", ":"), sort_keys=True)
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "Event":
+        """Parse one JSONL line (inverse of :meth:`to_json_line`)."""
+        rec = json.loads(line)
+        v = rec.get("v")
+        if v != EVENT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported telemetry event version {v!r} "
+                f"(this reader understands {EVENT_SCHEMA_VERSION})"
+            )
+        return cls(
+            kind=rec["kind"],
+            name=rec["name"],
+            seq=int(rec.get("seq", 0)),
+            ts=rec.get("ts"),
+            attrs=rec.get("attrs", {}),
+        )
+
+
+def iter_jsonl(lines: Iterable[str]) -> Iterator[Event]:
+    """Parse an iterable of JSONL lines, skipping blank lines."""
+    for line in lines:
+        line = line.strip()
+        if line:
+            yield Event.from_json_line(line)
+
+
+def parse_jsonl(text: str) -> list[Event]:
+    """Parse a whole JSONL document into events."""
+    return list(iter_jsonl(text.splitlines()))
+
+
+def read_events(path) -> list[Event]:
+    """Read every event from a JSONL file."""
+    with open(path, encoding="utf-8") as fh:
+        return list(iter_jsonl(fh))

@@ -1,0 +1,194 @@
+"""Versioned run manifests: one JSON document describing a recorded run.
+
+A manifest is the top-level artifact a benchmark or ``repro trace``
+invocation leaves behind next to its event stream and CSVs: the exact
+configuration (graph spec, seed, batch size, partition policy, host
+count, git SHA) plus per-phase totals — rounds, communication volume,
+and the simulated computation/communication split that Figure 2 of the
+paper plots.  Totals are derived once, here, from the authoritative
+:class:`~repro.engine.stats.EngineRun`, so every downstream consumer
+(breakdown tables, benchmark CSVs, tests) reads the same numbers instead
+of re-deriving them.
+
+The per-run ``totals`` block is computed by the cluster model over the
+rounds *in execution order* (not per-phase then summed), so it is
+bit-identical to ``ClusterModel.time_run(run)``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.model import ClusterModel
+    from repro.engine.stats import EngineRun
+
+#: Bumped on any incompatible schema change; readers refuse newer files.
+MANIFEST_VERSION = 1
+
+
+def git_sha(repo_dir: str | None = None) -> str | None:
+    """Current git commit SHA, or None when unavailable (no git / no repo)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_dir,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+@dataclass
+class PhaseTotals:
+    """Aggregates for one phase ("forward", "backward", ...)."""
+
+    phase: str
+    rounds: int = 0
+    bytes: int = 0
+    pair_messages: int = 0
+    items_synced: int = 0
+    proxies_synced: int = 0
+    compute_ops: int = 0
+    #: Simulated cluster time attribution (seconds).
+    computation_s: float = 0.0
+    communication_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.computation_s + self.communication_s
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to identify and re-analyze one recorded run."""
+
+    algorithm: str
+    version: int = MANIFEST_VERSION
+    #: Input identity.
+    graph_spec: str | None = None
+    num_vertices: int = 0
+    num_edges: int = 0
+    #: Run configuration.
+    num_hosts: int = 0
+    num_sources: int = 0
+    batch_size: int | None = None
+    partition_policy: str | None = None
+    seed: int | None = None
+    #: Provenance.
+    git_sha: str | None = None
+    created_unix: float | None = None
+    #: Per-phase aggregates, in first-execution order.
+    phases: list[PhaseTotals] = field(default_factory=list)
+    #: Whole-run totals (bit-identical to ``ClusterModel.time_run``).
+    totals: dict[str, Any] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def phase(self, name: str) -> PhaseTotals:
+        """Totals for one phase (KeyError if absent)."""
+        for p in self.phases:
+            if p.phase == name:
+                return p
+        raise KeyError(f"manifest has no phase {name!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def build_manifest(
+    algorithm: str,
+    run: "EngineRun",
+    model: "ClusterModel",
+    **config: Any,
+) -> RunManifest:
+    """Aggregate an :class:`EngineRun` into a manifest.
+
+    ``config`` fills the configuration/provenance fields of
+    :class:`RunManifest`; unknown keys land in ``extra``.  ``git_sha`` and
+    ``created_unix`` are captured automatically unless provided.
+    """
+    known = {f for f in RunManifest.__dataclass_fields__} - {
+        "version",
+        "phases",
+        "totals",
+        "extra",
+        "algorithm",
+    }
+    fields = {k: v for k, v in config.items() if k in known}
+    extra = {k: v for k, v in config.items() if k not in known}
+    man = RunManifest(algorithm=algorithm, extra=extra, **fields)
+    if man.git_sha is None:
+        man.git_sha = git_sha()
+    if man.created_unix is None:
+        import time
+
+        man.created_unix = time.time()
+    if not man.num_hosts:
+        man.num_hosts = run.num_hosts
+
+    by_phase: dict[str, PhaseTotals] = {}
+    for rs in run.rounds:
+        pt = by_phase.get(rs.phase)
+        if pt is None:
+            pt = by_phase[rs.phase] = PhaseTotals(phase=rs.phase)
+            man.phases.append(pt)
+        t = model.time_round(rs)
+        pt.rounds += 1
+        pt.bytes += rs.total_bytes()
+        pt.pair_messages += rs.pair_messages
+        pt.items_synced += rs.items_synced
+        pt.proxies_synced += rs.proxies_synced
+        pt.compute_ops += sum(c.total() for c in rs.compute)
+        pt.computation_s += t.computation
+        pt.communication_s += t.communication
+
+    sim = model.time_run(run)
+    man.totals = {
+        "rounds": run.num_rounds,
+        "bytes": run.total_bytes,
+        "pair_messages": run.total_pair_messages,
+        "items_synced": run.total_items_synced,
+        "proxies_synced": run.total_proxies_synced,
+        "load_imbalance": run.load_imbalance(),
+        "computation_s": sim.computation,
+        "communication_s": sim.communication,
+        "barrier_s": sim.barrier,
+        "wire_s": sim.wire,
+        "serialization_s": sim.serialization,
+        "total_s": sim.total,
+    }
+    return man
+
+
+def write_manifest(man: RunManifest, path: str | os.PathLike) -> None:
+    """Write a manifest as pretty-printed JSON."""
+    parent = os.path.dirname(os.fspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(man.to_json() + "\n")
+
+
+def load_manifest(path: str | os.PathLike) -> RunManifest:
+    """Load a manifest written by :func:`write_manifest`."""
+    with open(path, encoding="utf-8") as fh:
+        rec = json.load(fh)
+    v = rec.get("version")
+    if v != MANIFEST_VERSION:
+        raise ValueError(
+            f"unsupported manifest version {v!r} "
+            f"(this reader understands {MANIFEST_VERSION})"
+        )
+    phases = [PhaseTotals(**p) for p in rec.pop("phases", [])]
+    return RunManifest(phases=phases, **rec)

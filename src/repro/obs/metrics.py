@@ -1,0 +1,179 @@
+"""The metrics registry: labeled counters, gauges, and histograms.
+
+Series identity is ``(name, sorted label items)`` — the same name with
+different labels is a different series, as in Prometheus.  All state is
+plain Python numbers; a snapshot serializes every series as one
+``metric`` event, so a recorded run's metrics travel in the same JSONL
+stream as its spans.
+
+Typical engine series: ``gluon.bytes{op=reduce}``,
+``engine.rounds{phase=forward}``, ``mrbc.flatmap_entries`` (histogram of
+per-master ``L_v`` occupancy), ``engine.load_imbalance{phase=...}``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.obs.events import KIND_METRIC, Event
+from repro.obs.sinks import Sink
+
+#: Default histogram bucket upper bounds (powers of four; +inf implicit).
+DEFAULT_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]``; one extra
+    overflow bucket counts the rest (the implicit ``+inf`` bound).
+    """
+
+    name: str
+    labels: LabelKey = ()
+    bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    bucket_counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    min: float | None = None
+    max: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "bounds": list(self.bounds),
+            "buckets": list(self.bucket_counts),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry for labeled metric series."""
+
+    def __init__(self) -> None:
+        self._series: dict[tuple[str, str, LabelKey], Any] = {}
+
+    def _get(self, cls, kind: str, name: str, labels: dict[str, Any], **kw):
+        key = (kind, name, _label_key(labels))
+        inst = self._series.get(key)
+        if inst is None:
+            inst = cls(name=name, labels=key[2], **kw)
+            self._series[key] = inst
+        return inst
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter series ``name{labels}`` (created on first use)."""
+        return self._get(Counter, "counter", name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge series ``name{labels}``."""
+        return self._get(Gauge, "gauge", name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        """The histogram series ``name{labels}``."""
+        return self._get(Histogram, "histogram", name, labels, bounds=bounds)
+
+    def series(self, name: str | None = None) -> list[Any]:
+        """All series, optionally filtered by metric name."""
+        return [
+            s for s in self._series.values() if name is None or s.name == name
+        ]
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Convenience: current value of a counter/gauge series (0 if absent)."""
+        key_labels = _label_key(labels)
+        for kind in ("counter", "gauge"):
+            inst = self._series.get((kind, name, key_labels))
+            if inst is not None:
+                return inst.value
+        return 0.0
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Serializable state of every series."""
+        out = []
+        for (kind, name, labels), inst in sorted(
+            self._series.items(), key=lambda kv: kv[0]
+        ):
+            rec = {"name": name, "labels": dict(labels)}
+            rec.update(inst.snapshot())
+            out.append(rec)
+        return out
+
+    def emit_to(self, sink: Sink, next_seq: Callable[[], int]) -> int:
+        """Emit one ``metric`` event per series; returns how many."""
+        n = 0
+        for rec in self.snapshot():
+            sink.emit(
+                Event(
+                    kind=KIND_METRIC,
+                    name=rec["name"],
+                    seq=next_seq(),
+                    attrs=rec,
+                )
+            )
+            n += 1
+        return n

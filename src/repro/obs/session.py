@@ -1,0 +1,221 @@
+"""The telemetry session: spans + metrics + one sink, with a null default.
+
+A :class:`Telemetry` object bundles a span tracer, a metrics registry,
+and a sink.  The module-level *current* session (see
+:mod:`repro.obs.__init__`) defaults to a disabled null session, so
+instrumented engine code can unconditionally call::
+
+    tele = obs.current()
+    with tele.phase("forward", run):
+        ...
+
+and pay only a flag check plus one context-manager per phase when
+telemetry is off.  The ``enabled`` flag is the contract: instrumentation
+must not construct per-round or per-message objects unless it is True.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.obs.events import KIND_ROUND, KIND_SIM_TIME, Event
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.sinks import NullSink, Sink
+from repro.obs.spans import KIND_PHASE, KIND_RUN, Span, SpanTracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.model import ClusterModel
+    from repro.engine.stats import EngineRun, RoundStats
+
+
+class Telemetry:
+    """One telemetry session (sink + tracer + metrics registry).
+
+    Parameters
+    ----------
+    sink:
+        Event destination; ``None`` means a :class:`NullSink` (disabled).
+    model:
+        Optional :class:`~repro.cluster.model.ClusterModel` used to
+        attribute simulated cluster time to round events and phase spans.
+    """
+
+    def __init__(
+        self, sink: Sink | None = None, model: "ClusterModel | None" = None
+    ) -> None:
+        self.sink = sink if sink is not None else NullSink()
+        self.enabled = self.sink.enabled
+        self.model = model
+        self.tracer = SpanTracer(self.sink)
+        self.metrics = MetricsRegistry()
+        self._closed = False
+
+    # -- metric shortcuts ------------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self.metrics.histogram(name, **labels)
+
+    # -- raw events ------------------------------------------------------------
+
+    def emit(self, kind: str, name: str, **attrs: Any) -> None:
+        """Emit one free-form event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.sink.emit(
+            Event(
+                kind=kind,
+                name=name,
+                seq=self.tracer.next_seq(),
+                ts=time.time(),
+                attrs=attrs,
+            )
+        )
+
+    # -- spans -----------------------------------------------------------------
+
+    @contextmanager
+    def span(
+        self, name: str, kind: str = KIND_RUN, **attrs: Any
+    ) -> Iterator[Span | None]:
+        """Open a span for the duration of the ``with`` block.
+
+        Yields ``None`` when the session is disabled, so callers can guard
+        attribute updates with ``if sp is not None``.
+        """
+        if not self.enabled:
+            yield None
+            return
+        sp = self.tracer.start(name, kind=kind, **attrs)
+        try:
+            yield sp
+        finally:
+            self.tracer.end(sp)
+
+    @contextmanager
+    def phase(
+        self, name: str, run: "EngineRun | None" = None, **attrs: Any
+    ) -> Iterator[Span | None]:
+        """Span one engine phase and emit its rounds as ``round`` events.
+
+        When ``run`` is given, every :class:`RoundStats` appended to it
+        during the block is emitted as one columnar round event (per-host
+        op and byte arrays, simulated times if a model is attached), and
+        the phase span closes with per-phase totals — the raw material for
+        the Figure 2 computation/communication breakdown.
+        """
+        if not self.enabled:
+            yield None
+            return
+        sp = self.tracer.start(f"phase:{name}", kind=KIND_PHASE, phase=name, **attrs)
+        start = len(run.rounds) if run is not None else 0
+        try:
+            yield sp
+        finally:
+            if run is not None:
+                self._close_phase(sp, name, run, start)
+            self.tracer.end(sp)
+
+    def _close_phase(
+        self, sp: Span, name: str, run: "EngineRun", start: int
+    ) -> None:
+        """Emit round events for ``run.rounds[start:]`` and phase totals."""
+        new_rounds = run.rounds[start:]
+        total_bytes = 0
+        total_items = 0
+        total_msgs = 0
+        comp_s = 0.0
+        comm_s = 0.0
+        imb = []
+        for rs in new_rounds:
+            self._emit_round(sp, rs)
+            total_bytes += rs.total_bytes()
+            total_items += rs.items_synced
+            total_msgs += rs.pair_messages
+            if self.model is not None:
+                t = self.model.time_round(rs)
+                comp_s += t.computation
+                comm_s += t.communication
+            mean = rs.mean_compute_ops()
+            if mean > 0:
+                imb.append(rs.max_compute_ops() / mean)
+        sp.set(
+            rounds=len(new_rounds),
+            bytes=total_bytes,
+            items_synced=total_items,
+            pair_messages=total_msgs,
+            load_imbalance=(sum(imb) / len(imb)) if imb else 1.0,
+        )
+        if self.model is not None:
+            sp.set(sim_computation_s=comp_s, sim_communication_s=comm_s)
+        m = self.metrics
+        m.counter("engine.rounds", phase=name).inc(len(new_rounds))
+        m.counter("engine.bytes", phase=name).inc(total_bytes)
+        m.counter("engine.items_synced", phase=name).inc(total_items)
+        m.counter("engine.pair_messages", phase=name).inc(total_msgs)
+        if imb:
+            m.histogram("engine.load_imbalance", phase=name).observe(
+                sum(imb) / len(imb)
+            )
+
+    def _emit_round(self, sp: Span, rs: "RoundStats") -> None:
+        attrs: dict[str, Any] = {
+            "parent_id": sp.span_id,
+            "round": rs.round_index,
+            "phase": rs.phase,
+            "bytes": rs.total_bytes(),
+            "pair_messages": rs.pair_messages,
+            "items_synced": rs.items_synced,
+            "proxies_synced": rs.proxies_synced,
+            # Host-level attribution, columnar: index h = host h.
+            "host_ops": [c.total() for c in rs.compute],
+            "host_bytes_out": rs.bytes_out.tolist(),
+            "host_bytes_in": rs.bytes_in.tolist(),
+        }
+        if self.model is not None:
+            t = self.model.time_round(rs)
+            attrs["sim_computation_s"] = t.computation
+            attrs["sim_communication_s"] = t.communication
+        self.sink.emit(
+            Event(
+                kind=KIND_ROUND,
+                name=f"round:{rs.phase}",
+                seq=self.tracer.next_seq(),
+                attrs=attrs,
+            )
+        )
+
+    def emit_sim_time(self, name: str, sim: Any, **attrs: Any) -> None:
+        """Record one cluster-model time conversion as a ``sim_time`` event."""
+        if not self.enabled:
+            return
+        self.emit(
+            KIND_SIM_TIME,
+            name,
+            computation_s=sim.computation,
+            communication_s=sim.communication,
+            barrier_s=sim.barrier,
+            wire_s=sim.wire,
+            serialization_s=sim.serialization,
+            total_s=sim.total,
+            rounds=sim.num_rounds,
+            **attrs,
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush the metric registry into the sink and close it (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.enabled:
+            self.metrics.emit_to(self.sink, self.tracer.next_seq)
+        self.sink.close()

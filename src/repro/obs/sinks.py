@@ -1,0 +1,76 @@
+"""Pluggable event sinks: null (default), in-memory, and JSONL file.
+
+A sink receives every :class:`~repro.obs.events.Event` a telemetry
+session emits.  The :class:`NullSink` advertises ``enabled = False``;
+instrumented code paths consult that flag once per round (or coarser) and
+skip event construction entirely, so the tier-1 tests pay essentially
+nothing for the instrumentation.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.events import Event
+
+
+class Sink:
+    """Base sink: receives events until :meth:`close`.
+
+    ``enabled`` is the cheap gate instrumented code checks before building
+    any event objects; subclasses that actually record set it ``True``.
+    """
+
+    enabled: bool = True
+
+    def emit(self, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class NullSink(Sink):
+    """Discards everything; the default for library and test use."""
+
+    enabled = False
+
+    def emit(self, event: Event) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Keeps every event in a list (tests, programmatic analysis)."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        """Recorded events of one kind, in emission order."""
+        return [e for e in self.events if e.kind == kind]
+
+
+class FileSink(Sink):
+    """Appends events to a JSONL file, one line per event."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self.events_written = 0
+
+    def emit(self, event: Event) -> None:
+        if self._fh is None:
+            raise RuntimeError("FileSink is closed")
+        self._fh.write(event.to_json_line() + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

@@ -1,0 +1,131 @@
+"""Hierarchical span tracing: ``run → phase → round → host``.
+
+A span is a named interval with a parent, wall-clock bounds, and an
+attribute dict that may also carry *simulated* cluster-time attribution
+(``sim_computation_s`` / ``sim_communication_s`` from
+:class:`repro.cluster.model.ClusterModel`), so one trace answers both
+"how long did the simulation take on my laptop" and "how long would this
+phase take on the modelled cluster".
+
+The two coarse levels (``run``, ``phase``) are real :class:`Span`
+objects.  The two fine levels (``round``, ``host``) are emitted as
+columnar ``round`` events referencing the enclosing phase span id — one
+event per round carrying per-host arrays — which bounds tracing overhead
+to O(rounds), not O(messages).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.events import KIND_SPAN, Event
+from repro.obs.sinks import Sink
+
+#: Span kinds used by the engine instrumentation.
+KIND_RUN = "run"
+KIND_PHASE = "phase"
+
+
+@dataclass
+class Span:
+    """One open (or finished) interval in the trace tree."""
+
+    name: str
+    kind: str
+    span_id: int
+    parent_id: int | None
+    #: Wall-clock epoch time at start (and, once finished, at end).
+    ts_start: float = 0.0
+    ts_end: float | None = None
+    #: Monotonic clock bounds, used for the duration to avoid NTP steps.
+    _t0: float = field(default=0.0, repr=False)
+    attrs: dict[str, Any] = field(default_factory=dict)
+    wall_s: float | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.ts_end is not None
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+
+class SpanTracer:
+    """Allocates span ids, tracks the open-span stack, emits span events.
+
+    Spans must be closed in LIFO order (enforced); the emitted event
+    carries the full interval, so a span appears in the stream exactly
+    once, at close time.
+    """
+
+    def __init__(self, sink: Sink) -> None:
+        self._sink = sink
+        self._next_id = 1
+        self._seq = 0
+        self._stack: list[Span] = []
+
+    # -- sequence numbers are shared with the owning session -------------------
+
+    def next_seq(self) -> int:
+        """Monotonic event sequence number for this trace."""
+        self._seq += 1
+        return self._seq
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    @property
+    def current(self) -> Span | None:
+        """Innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def start(self, name: str, kind: str = KIND_PHASE, **attrs: Any) -> Span:
+        """Open a child of the current span."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            name=name,
+            kind=kind,
+            span_id=self._next_id,
+            parent_id=parent,
+            ts_start=time.time(),
+            _t0=time.perf_counter(),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span) -> Span:
+        """Close ``span`` (must be the innermost open one) and emit it."""
+        if not self._stack or self._stack[-1] is not span:
+            open_name = self._stack[-1].name if self._stack else "<none>"
+            raise RuntimeError(
+                f"span {span.name!r} closed out of order "
+                f"(innermost open span is {open_name!r})"
+            )
+        self._stack.pop()
+        span.ts_end = time.time()
+        span.wall_s = time.perf_counter() - span._t0
+        self._sink.emit(
+            Event(
+                kind=KIND_SPAN,
+                name=span.name,
+                seq=self.next_seq(),
+                ts=span.ts_end,
+                attrs={
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "span_kind": span.kind,
+                    "ts_start": span.ts_start,
+                    "wall_s": span.wall_s,
+                    **span.attrs,
+                },
+            )
+        )
+        return span

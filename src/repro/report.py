@@ -3,17 +3,35 @@ against the paper's expectations (see repro.analysis.expectations)."""
 
 from __future__ import annotations
 
-import sys
+import argparse
+import logging
 
 from repro.analysis.expectations import check_results, render_report
+from repro.cli import add_logging_flags, setup_logging
+
+log = logging.getLogger("repro.report")
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = sys.argv[1:] if argv is None else argv
-    results_dir = args[0] if args else "benchmarks/results"
-    results = check_results(results_dir)
+    p = argparse.ArgumentParser(
+        prog="repro.report",
+        description="Check benchmark CSVs against the paper's expectations",
+    )
+    p.add_argument(
+        "results_dir", nargs="?", default="benchmarks/results",
+        help="directory holding the exported benchmark CSVs",
+    )
+    add_logging_flags(p)
+    args = p.parse_args(argv)
+    setup_logging(args.verbose, args.quiet)
+
+    log.info("checking artifacts under %s", args.results_dir)
+    results = check_results(args.results_dir)
     print(render_report(results))
-    return 1 if any(r.status == "FAIL" for r in results) else 0
+    failures = sum(1 for r in results if r.status == "FAIL")
+    if failures:
+        log.warning("%d artifact check(s) failed", failures)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -11,7 +11,6 @@ import scipy.sparse.csgraph as csgraph
 from repro.baselines.brandes import brandes_sssp
 from repro.core.apsp import APSPVertexState
 from repro.core.mrbc_congest import UNREACHABLE, directed_apsp
-from repro.graph import generators as gen
 from repro.graph.builders import to_scipy_csr
 from tests.conftest import some_sources
 

@@ -10,7 +10,6 @@ from repro.engine.bsp import BSPAlgorithm, run_bsp, sssp_engine
 from repro.engine.partition import partition_graph
 from repro.graph import generators as gen
 from repro.graph.weighted import with_random_weights, with_unit_weights
-from repro.utils.timing import OpCounter
 
 
 def scipy_dijkstra(wg, source):

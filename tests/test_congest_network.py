@@ -1,6 +1,5 @@
 """Unit tests for the CONGEST network simulator."""
 
-import numpy as np
 import pytest
 
 from repro.congest.messages import MAX_COMBINED_VALUES, MessageStats, payload_words

@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis.expectations import (
     EXPECTATIONS,
-    CheckResult,
     check_results,
     render_report,
 )

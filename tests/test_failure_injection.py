@@ -18,7 +18,6 @@ from repro.congest.network import CongestNetwork
 from repro.core.apsp import APSPVertexState, DirectedAPSPProgram
 from repro.core.mrbc import MasterVertexState
 from repro.core.mrbc_congest import mrbc_congest
-from repro.graph import generators as gen
 from repro.utils.prng import make_rng
 from tests.conftest import some_sources
 

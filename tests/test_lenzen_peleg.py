@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.lenzen_peleg import lenzen_peleg_apsp
 from repro.core.mrbc_congest import directed_apsp
-from repro.graph import generators as gen
 from repro.graph.properties import bfs_distances
 from tests.conftest import some_sources
 

@@ -4,10 +4,9 @@ import numpy as np
 import pytest
 
 from repro.baselines.brandes import brandes_bc
-from repro.core.mrbc import INF, MasterVertexState, mrbc_engine
+from repro.core.mrbc import MasterVertexState, mrbc_engine
 from repro.core.mrbc_congest import mrbc_congest
 from repro.engine.partition import partition_graph
-from repro.graph import generators as gen
 from tests.conftest import some_sources
 
 

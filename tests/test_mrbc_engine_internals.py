@@ -110,7 +110,6 @@ class TestBackwardScheduling:
         ex = make_executor(g, [0], H=1)
         ex.run_forward()
         taus = {gid: ms.tau[0] for gid, ms in ex.masters.items() if ms.tau}
-        R = max(taus.values())
         ex.run_backward()
         # Vertex 2 (latest forward τ) fires earliest backward; the source
         # never fires.  δ values are the exact Brandes dependencies.

@@ -1,0 +1,454 @@
+"""Tests for the ``repro.obs`` telemetry subsystem.
+
+Covers the span model (nesting/timing invariants), the metrics registry
+(label handling, histogram bucketing), JSONL round-tripping, manifests,
+the instrumented engine paths, and the ``repro trace`` CLI end-to-end
+(the recorded breakdown must equal the ``EngineRun`` aggregates).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.analysis.reporting import render_phase_breakdown
+from repro.cli import main as cli_main
+from repro.cluster.model import ClusterModel
+from repro.core.mrbc import mrbc_engine
+from repro.core.mrbc_congest import mrbc_congest
+from repro.graph.generators import erdos_renyi
+from repro.obs import (
+    Event,
+    FileSink,
+    MemorySink,
+    MetricsRegistry,
+    NullSink,
+    Telemetry,
+    build_manifest,
+    load_manifest,
+    parse_jsonl,
+    read_events,
+    write_manifest,
+)
+
+
+def small_graph():
+    return erdos_renyi(40, 3.0, seed=9)
+
+
+# -- session plumbing -----------------------------------------------------------
+
+
+class TestSession:
+    def test_default_is_disabled_null_session(self):
+        tele = obs.current()
+        assert not tele.enabled
+        assert isinstance(tele.sink, NullSink)
+
+    def test_session_installs_and_restores(self):
+        before = obs.current()
+        with obs.session(MemorySink()) as tele:
+            assert obs.current() is tele
+            assert tele.enabled
+        assert obs.current() is before
+
+    def test_session_restores_on_error(self):
+        before = obs.current()
+        with pytest.raises(RuntimeError):
+            with obs.session(MemorySink()):
+                raise RuntimeError("boom")
+        assert obs.current() is before
+
+    def test_disabled_span_yields_none_and_emits_nothing(self):
+        tele = Telemetry()  # null sink
+        with tele.span("run:x") as sp:
+            assert sp is None
+        with tele.phase("forward") as ph:
+            assert ph is None
+        tele.emit("round", "round:x", a=1)
+
+    def test_close_flushes_metrics(self):
+        sink = MemorySink()
+        tele = Telemetry(sink)
+        tele.counter("x").inc(2)
+        tele.close()
+        metric_events = sink.of_kind("metric")
+        assert len(metric_events) == 1
+        assert metric_events[0].attrs["value"] == 2
+        tele.close()  # idempotent
+        assert len(sink.of_kind("metric")) == 1
+
+
+# -- spans ----------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_nesting_parent_ids(self):
+        sink = MemorySink()
+        tele = Telemetry(sink)
+        with tele.span("run:outer") as outer:
+            with tele.span("phase:inner", kind="phase") as inner:
+                assert inner.parent_id == outer.span_id
+                assert tele.tracer.depth == 2
+        assert tele.tracer.depth == 0
+        # Inner closes (and is emitted) first.
+        names = [e.name for e in sink.of_kind("span")]
+        assert names == ["phase:inner", "run:outer"]
+
+    def test_timing_invariants(self):
+        sink = MemorySink()
+        tele = Telemetry(sink)
+        with tele.span("run:outer"):
+            with tele.span("phase:inner"):
+                pass
+        inner, outer = sink.of_kind("span")
+        assert inner.attrs["wall_s"] >= 0
+        assert outer.attrs["wall_s"] >= inner.attrs["wall_s"]
+        # Child interval nested within the parent's wall-clock interval.
+        assert outer.attrs["ts_start"] <= inner.attrs["ts_start"]
+        assert inner.ts <= outer.ts
+
+    def test_out_of_order_close_rejected(self):
+        tele = Telemetry(MemorySink())
+        outer = tele.tracer.start("outer")
+        tele.tracer.start("inner")
+        with pytest.raises(RuntimeError, match="out of order"):
+            tele.tracer.end(outer)
+
+    def test_seq_strictly_increasing(self):
+        sink = MemorySink()
+        tele = Telemetry(sink)
+        for i in range(5):
+            with tele.span(f"s{i}"):
+                pass
+        seqs = [e.seq for e in sink.events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+
+# -- metrics --------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_labels_distinguish_series(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes", op="reduce").inc(10)
+        reg.counter("bytes", op="broadcast").inc(5)
+        assert reg.value("bytes", op="reduce") == 10
+        assert reg.value("bytes", op="broadcast") == 5
+        assert len(reg.series("bytes")) == 2
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.counter("x", a=1, b=2).inc()
+        reg.counter("x", b=2, a=1).inc()
+        assert reg.value("x", a=1, b=2) == 2
+        assert len(reg.series("x")) == 1
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("occupancy", host=0)
+        g.set(3)
+        g.set(7)
+        assert reg.value("occupancy", host=0) == 7
+
+    def test_histogram_aggregates(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("sz")
+        for v in (1, 2, 100, 100000):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 100103
+        assert h.min == 1 and h.max == 100000
+        assert h.mean() == pytest.approx(100103 / 4)
+        snap = h.snapshot()
+        assert sum(snap["buckets"]) == 4
+        assert snap["buckets"][-1] == 1  # 100000 overflows the last bound
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("a", phase="forward").inc(1)
+        reg.gauge("b").set(2)
+        reg.histogram("c").observe(3)
+        snap = reg.snapshot()
+        assert {s["type"] for s in snap} == {"counter", "gauge", "histogram"}
+        assert all("name" in s and "labels" in s for s in snap)
+        # Snapshots are JSON-able as-is.
+        json.dumps(snap)
+
+
+# -- JSONL events ---------------------------------------------------------------
+
+
+class TestEvents:
+    def test_json_line_round_trip(self):
+        ev = Event(kind="round", name="round:forward", seq=3, ts=123.5,
+                   attrs={"bytes": 10, "host_ops": [1, 2]})
+        back = Event.from_json_line(ev.to_json_line())
+        assert back == ev
+
+    def test_version_rejected(self):
+        line = json.dumps({"v": 999, "kind": "x", "name": "y", "seq": 1})
+        with pytest.raises(ValueError, match="version"):
+            Event.from_json_line(line)
+
+    def test_parse_jsonl_skips_blank_lines(self):
+        ev = Event(kind="log", name="n", seq=1)
+        text = "\n" + ev.to_json_line() + "\n\n"
+        assert parse_jsonl(text) == [ev]
+
+    def test_file_sink_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = FileSink(path)
+        sink.emit(Event(kind="a", name="n1", seq=1, attrs={"x": 1}))
+        sink.emit(Event(kind="b", name="n2", seq=2))
+        sink.close()
+        evs = read_events(path)
+        assert [e.name for e in evs] == ["n1", "n2"]
+        assert sink.events_written == 2
+        with pytest.raises(RuntimeError):
+            sink.emit(Event(kind="a", name="n3", seq=3))
+
+
+# -- instrumented engine paths --------------------------------------------------
+
+
+class TestEngineInstrumentation:
+    def run_traced(self, hosts=2):
+        g = small_graph()
+        model = ClusterModel(hosts)
+        with obs.session(MemorySink(), model=model) as tele:
+            res = mrbc_engine(
+                g, sources=np.arange(6), batch_size=4, num_hosts=hosts
+            )
+        return res, tele, model
+
+    def test_round_events_match_engine_run(self):
+        res, tele, model = self.run_traced()
+        rounds = tele.sink.of_kind("round")
+        assert len(rounds) == res.run.num_rounds
+        assert sum(e.attrs["bytes"] for e in rounds) == res.run.total_bytes
+        assert (
+            sum(e.attrs["pair_messages"] for e in rounds)
+            == res.run.total_pair_messages
+        )
+        # Simulated-time attribution sums to the model's whole-run answer.
+        sim = model.time_run(res.run)
+        assert sum(e.attrs["sim_computation_s"] for e in rounds) == pytest.approx(
+            sim.computation, rel=1e-9
+        )
+        assert sum(
+            e.attrs["sim_communication_s"] for e in rounds
+        ) == pytest.approx(sim.communication, rel=1e-9)
+
+    def test_phase_spans_cover_all_rounds(self):
+        res, tele, _ = self.run_traced()
+        spans = tele.sink.of_kind("span")
+        fwd = [s for s in spans if s.attrs.get("phase") == "forward"]
+        bwd = [s for s in spans if s.attrs.get("phase") == "backward"]
+        assert sum(s.attrs["rounds"] for s in fwd) == res.forward_rounds
+        assert sum(s.attrs["rounds"] for s in bwd) == res.backward_rounds
+        # Round events reference their enclosing phase span.
+        span_ids = {s.attrs["span_id"] for s in spans}
+        for e in tele.sink.of_kind("round"):
+            assert e.attrs["parent_id"] in span_ids
+
+    def test_gluon_metrics_split_by_op(self):
+        res, tele, _ = self.run_traced()
+        m = tele.metrics
+        total = m.value("gluon.bytes", op="reduce") + m.value(
+            "gluon.bytes", op="broadcast"
+        )
+        assert total == res.run.total_bytes
+        msgs = m.value("gluon.pair_messages", op="reduce") + m.value(
+            "gluon.pair_messages", op="broadcast"
+        )
+        assert msgs == res.run.total_pair_messages
+        hist = m.histogram("mrbc.flatmap_entries")
+        assert hist.count > 0
+
+    def test_per_host_round_attribution(self):
+        res, tele, _ = self.run_traced(hosts=2)
+        for e, rs in zip(tele.sink.of_kind("round"), res.run.rounds):
+            assert e.attrs["host_bytes_out"] == rs.bytes_out.tolist()
+            assert e.attrs["host_ops"] == [c.total() for c in rs.compute]
+
+    def test_disabled_telemetry_changes_nothing(self):
+        g = small_graph()
+        res_plain = mrbc_engine(g, sources=np.arange(6), batch_size=4,
+                                num_hosts=2)
+        with obs.session(MemorySink(), model=ClusterModel(2)):
+            res_traced = mrbc_engine(g, sources=np.arange(6), batch_size=4,
+                                     num_hosts=2)
+        assert np.allclose(res_plain.bc, res_traced.bc)
+        assert res_plain.run.total_bytes == res_traced.run.total_bytes
+        assert res_plain.run.num_rounds == res_traced.run.num_rounds
+
+    def test_congest_phases_traced(self):
+        g = small_graph()
+        with obs.session(MemorySink()) as tele:
+            mrbc_congest(g, sources=[0, 1, 2])
+        spans = tele.sink.of_kind("span")
+        by_name = {s.name for s in spans}
+        assert "phase:apsp" in by_name
+        assert "phase:accumulation" in by_name
+        apsp = next(s for s in spans if s.name == "phase:apsp")
+        assert apsp.attrs["entries_total"] > 0
+        acc = next(s for s in spans if s.name == "phase:accumulation")
+        assert acc.attrs["fires_executed"] == acc.attrs["fires_scheduled"]
+        assert tele.sink.of_kind("round")  # congest round loop emits samples
+
+
+# -- manifests ------------------------------------------------------------------
+
+
+class TestManifest:
+    def make(self, hosts=2):
+        g = small_graph()
+        res = mrbc_engine(g, sources=np.arange(6), batch_size=4,
+                          num_hosts=hosts)
+        model = ClusterModel(hosts)
+        man = build_manifest(
+            "mrbc", res.run, model,
+            graph_spec="er:40:3", num_vertices=g.num_vertices,
+            num_edges=g.num_edges, num_sources=6, batch_size=4,
+            partition_policy="cvc", seed=0,
+        )
+        return res, model, man
+
+    def test_totals_bit_identical_to_time_run(self):
+        res, model, man = self.make()
+        sim = model.time_run(res.run)
+        assert man.totals["computation_s"] == sim.computation
+        assert man.totals["communication_s"] == sim.communication
+        assert man.totals["bytes"] == res.run.total_bytes
+        assert man.totals["rounds"] == res.run.num_rounds
+
+    def test_phase_totals_partition_the_run(self):
+        res, model, man = self.make()
+        assert [p.phase for p in man.phases] == ["forward", "backward"]
+        assert sum(p.rounds for p in man.phases) == res.run.num_rounds
+        assert sum(p.bytes for p in man.phases) == res.run.total_bytes
+        assert man.phase("forward").rounds == res.forward_rounds
+        assert man.phase("backward").rounds == res.backward_rounds
+        comp = sum(p.computation_s for p in man.phases)
+        assert comp == pytest.approx(man.totals["computation_s"], rel=1e-9)
+
+    def test_write_load_round_trip(self, tmp_path):
+        _, _, man = self.make()
+        path = tmp_path / "manifest.json"
+        write_manifest(man, path)
+        back = load_manifest(path)
+        assert back.to_dict() == man.to_dict()
+
+    def test_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 999, "algorithm": "x"}))
+        with pytest.raises(ValueError, match="version"):
+            load_manifest(path)
+
+    def test_unknown_config_lands_in_extra(self):
+        res, model, _ = self.make()
+        man = build_manifest("mrbc", res.run, model, custom_knob="yes")
+        assert man.extra == {"custom_knob": "yes"}
+        assert man.num_hosts == res.run.num_hosts
+
+    def test_missing_phase_raises(self):
+        _, _, man = self.make()
+        with pytest.raises(KeyError):
+            man.phase("nope")
+
+
+# -- the trace CLI end-to-end ---------------------------------------------------
+
+
+class TestTraceCLI:
+    ARGS = ["trace", "mrbc", "--graph", "er:40:3", "--sources", "6",
+            "--hosts", "2", "--batch", "4", "--quiet"]
+
+    def test_breakdown_matches_engine_aggregates(self, tmp_path, capsys):
+        out = tmp_path / "trace"
+        rc = cli_main(self.ARGS + ["--out", str(out)])
+        assert rc == 0
+        man = load_manifest(out / "manifest.json")
+        # Re-run the identical configuration: generation and sampling are
+        # seeded, so the recorded totals must equal a fresh run's.
+        g = erdos_renyi(40, 3.0)
+        from repro.core.sampling import sample_sources
+
+        srcs = sample_sources(g, 6, seed=0)
+        res = mrbc_engine(g, sources=srcs, batch_size=4, num_hosts=2)
+        sim = ClusterModel(2).time_run(res.run)
+        assert man.totals["rounds"] == res.run.num_rounds
+        assert man.totals["bytes"] == res.run.total_bytes
+        assert man.totals["computation_s"] == sim.computation
+        assert man.totals["communication_s"] == sim.communication
+        assert man.phase("forward").rounds == res.forward_rounds
+        assert man.phase("backward").rounds == res.backward_rounds
+        # The printed table carries the same split.
+        printed = capsys.readouterr().out
+        assert "phase breakdown: mrbc on 2 hosts" in printed
+        assert "forward" in printed and "backward" in printed
+        assert f"{sim.computation:.5f}" in printed
+        assert f"{sim.communication:.5f}" in printed
+
+    def test_event_stream_round_trips_totals(self, tmp_path):
+        out = tmp_path / "trace"
+        assert cli_main(self.ARGS + ["--out", str(out)]) == 0
+        evs = read_events(out / "events.jsonl")
+        man = load_manifest(out / "manifest.json")
+        rounds = [e for e in evs if e.kind == "round"]
+        assert len(rounds) == man.totals["rounds"]
+        assert sum(e.attrs["bytes"] for e in rounds) == man.totals["bytes"]
+        # Metric snapshots travel in the same stream.
+        metric_names = {e.name for e in evs if e.kind == "metric"}
+        assert "gluon.bytes" in metric_names
+        assert "engine.rounds" in metric_names
+        # The run span encloses every phase span.
+        span_evs = [e for e in evs if e.kind == "span"]
+        run_span = next(e for e in span_evs if e.name == "run:mrbc")
+        for e in span_evs:
+            if e.name.startswith("phase:"):
+                assert e.attrs["parent_id"] == run_span.attrs["span_id"]
+        # Per-phase sim_time events from the cluster-model conversion.
+        phase_times = {
+            e.attrs["phase"]: e.attrs["computation_s"]
+            for e in evs
+            if e.kind == "sim_time" and e.name == "cluster.time_by_phase"
+        }
+        assert phase_times["forward"] == pytest.approx(
+            man.phase("forward").computation_s, rel=1e-9
+        )
+
+    def test_trace_sbbc(self, tmp_path, capsys):
+        out = tmp_path / "trace-sbbc"
+        rc = cli_main(["trace", "sbbc", "--graph", "er:40:3", "--sources",
+                       "3", "--hosts", "2", "--quiet", "--out", str(out)])
+        assert rc == 0
+        man = load_manifest(out / "manifest.json")
+        assert man.algorithm == "sbbc"
+        assert man.batch_size is None
+        assert {p.phase for p in man.phases} == {"forward", "backward"}
+        assert "sbbc" in capsys.readouterr().out
+
+    def test_breakdown_renderer_totals_row(self):
+        man = {
+            "algorithm": "mrbc",
+            "num_hosts": 4,
+            "phases": [
+                {"phase": "forward", "rounds": 3, "computation_s": 0.5,
+                 "communication_s": 0.25, "bytes": 100, "pair_messages": 7},
+            ],
+            "totals": {"rounds": 3, "computation_s": 0.5,
+                       "communication_s": 0.25, "total_s": 0.75,
+                       "bytes": 100, "pair_messages": 7},
+        }
+        text = render_phase_breakdown(man)
+        assert "TOTAL" in text
+        assert "0.75000" in text

@@ -9,7 +9,6 @@ from repro.congest.trace import render_schedule, traced_factory
 from repro.core.apsp import DirectedAPSPProgram
 from repro.core.mrbc import mrbc_engine
 from repro.engine.persist import load_run, save_run
-from repro.graph import generators as gen
 from tests.conftest import some_sources
 
 

@@ -3,7 +3,6 @@
 import os
 import py_compile
 
-import pytest
 
 from repro.report import main as report_main
 

@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.export import export_tables, read_csv, write_csv
-from repro.analysis.sanity import SanityDigest, bc_digest, structural_checks
+from repro.analysis.sanity import bc_digest, structural_checks
 from repro.baselines.brandes import brandes_bc
 from repro.core.undirected import undirected_bc
 from repro.graph import generators as gen

@@ -7,7 +7,6 @@ from repro.baselines.brandes import brandes_bc
 from repro.baselines.sbbc import sbbc_engine
 from repro.core.mrbc import mrbc_engine
 from repro.engine.partition import partition_graph
-from repro.graph import generators as gen
 from repro.graph.properties import bfs_distances
 from tests.conftest import some_sources
 

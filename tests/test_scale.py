@@ -9,7 +9,6 @@ each); they complement the small-graph tests by exercising deep pipelines
 import time
 
 import numpy as np
-import pytest
 
 from repro.baselines.brandes import brandes_bc
 from repro.core.mrbc import mrbc_engine

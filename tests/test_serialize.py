@@ -6,7 +6,6 @@ import pytest
 
 from repro.engine.gluon import MESSAGE_HEADER_BYTES
 from repro.engine.serialize import (
-    ENVELOPE_BYTES,
     decode_message,
     encode_message,
     encoded_size,

@@ -1,6 +1,5 @@
 """Tests for engine statistics aggregation and the cluster time model."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.model import ClusterModel, CostConstants, SimulatedTime
@@ -62,6 +61,47 @@ class TestEngineRun:
     def test_merge_host_mismatch_rejected(self):
         with pytest.raises(ValueError):
             make_run(H=2, ops=(1, 2)).merge(make_run(H=4))
+
+    def test_merge_leaves_other_run_intact(self):
+        """Regression: merge used to renumber the *other* run's rounds in
+        place, corrupting the merged-from run."""
+        a = make_run(rounds=2)
+        b = make_run(rounds=3)
+        a.merge(b)
+        assert [r.round_index for r in b.rounds] == [1, 2, 3]
+        # The appended rounds are independent copies: mutating the merged
+        # run must not leak back into the source run.
+        a.rounds[2].bytes_out[:] = 0
+        a.rounds[2].compute[0].edge_ops = 999
+        a.rounds[2].pair_messages = 0
+        assert b.rounds[0].bytes_out.tolist() == [100] * 4
+        assert b.rounds[0].compute[0].edge_ops == 10
+        assert b.rounds[0].pair_messages == 8
+
+    def test_merge_twice_numbers_contiguously(self):
+        a = make_run(rounds=1)
+        b = make_run(rounds=2)
+        a.merge(b)
+        a.merge(b)  # merging the same run twice must still work
+        assert [r.round_index for r in a.rounds] == [1, 2, 3, 4, 5]
+        assert [r.round_index for r in b.rounds] == [1, 2]
+
+    def test_round_copy_is_deep(self):
+        run = make_run(rounds=1)
+        rs = run.rounds[0]
+        cp = rs.copy(round_index=7)
+        assert cp.round_index == 7 and rs.round_index == 1
+        cp.bytes_out[:] = 0
+        cp.compute[0].edge_ops = 0
+        assert rs.bytes_out.tolist() == [100] * 4
+        assert rs.compute[0].edge_ops == 10
+
+    def test_phases_in_first_execution_order(self):
+        run = EngineRun(num_hosts=1)
+        run.new_round("forward")
+        run.new_round("backward")
+        run.new_round("forward")
+        assert run.phases() == ["forward", "backward"]
 
 
 class TestClusterModel:
@@ -127,3 +167,27 @@ class TestClusterModel:
         t1 = ClusterModel(4).time_run(run)
         t2 = ClusterModel(4).time_run(run)
         assert t1.total == t2.total
+
+    def test_time_by_phase_partitions_time_run(self):
+        run = make_run(rounds=2)
+        for _ in range(3):
+            rs = run.new_round("backward")
+            rs.bytes_out[:] = 50
+            rs.bytes_in[:] = 50
+            rs.compute[1].vertex_ops = 7
+        model = ClusterModel(4)
+        by_phase = model.time_by_phase(run)
+        assert list(by_phase) == ["forward", "backward"]
+        assert by_phase["forward"].num_rounds == 2
+        assert by_phase["backward"].num_rounds == 3
+        total = model.time_run(run)
+        assert sum(t.computation for t in by_phase.values()) == pytest.approx(
+            total.computation, rel=1e-12
+        )
+        assert sum(t.communication for t in by_phase.values()) == pytest.approx(
+            total.communication, rel=1e-12
+        )
+
+    def test_time_by_phase_host_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterModel(2).time_by_phase(make_run(H=4))

@@ -7,7 +7,6 @@ import pytest
 from repro.baselines.brandes import brandes_bc
 from repro.baselines.sbbc_congest import sbbc_congest
 from repro.core.mrbc_congest import mrbc_congest
-from repro.graph import generators as gen
 from repro.graph.builders import from_edges, to_networkx
 from repro.graph.properties import bfs_distances, is_strongly_connected
 from repro.graph.transform import (
