@@ -25,6 +25,7 @@ Engine mapping (mirroring the MRBC implementation for a fair comparison):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -37,6 +38,10 @@ from repro.engine.gluon import (
 from repro.engine.partition import PartitionedGraph, partition_graph
 from repro.engine.stats import EngineRun
 from repro.graph.digraph import DiGraph
+from repro.resilience.errors import HostCrashError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.context import ResilienceContext
 
 INF = np.iinfo(np.int32).max
 
@@ -273,11 +278,19 @@ def sbbc_engine(
     num_hosts: int = 8,
     policy: str = "cvc",
     partition: PartitionedGraph | None = None,
+    resilience: "ResilienceContext | None" = None,
 ) -> SBBCResult:
     """Run Synchronous-Brandes BC on the simulated engine.
 
     Processes one source at a time (the algorithm's defining property);
     ``sources=None`` uses every vertex (exact BC).
+
+    With a ``resilience`` context, channel faults from its plan are
+    injected/guarded at the Gluon layer, and (in ``repair`` mode) an
+    injected host crash replays the in-flight source from scratch — the
+    source loop is SBBC's natural checkpoint granularity, since completed
+    sources have already banked their BC contributions.  Replayed rounds
+    are marked as recovery overhead.
     """
     if partition is None:
         partition = partition_graph(g, num_hosts, policy)
@@ -291,8 +304,10 @@ def sbbc_engine(
     if src.size == 0:
         raise ValueError("need at least one source")
 
-    gluon = GluonSubstrate(pg)
+    gluon = GluonSubstrate(pg, resilience=resilience)
     run = EngineRun(num_hosts=pg.num_hosts)
+    if resilience is not None:
+        resilience.attach_run(run)
     n = g.num_vertices
     bc = np.zeros(n, dtype=np.float64)
     dist = np.full((src.size, n), -1, dtype=np.int64)
@@ -301,11 +316,24 @@ def sbbc_engine(
     bwd = 0
     tele = obs.current()
     for i, s in enumerate(src.tolist()):
-        ex = _SourceExecutor(pg, gluon, run, int(s))
-        with tele.phase("forward", run, source=int(s)):
-            fwd += ex.run_forward()
-        with tele.phase("backward", run, source=int(s)):
-            bwd += ex.run_backward()
+        attempt = 0
+        while True:
+            attempt += 1
+            ex = _SourceExecutor(pg, gluon, run, int(s))
+            mark = len(run.rounds)
+            try:
+                with tele.phase("forward", run, source=int(s)):
+                    f = ex.run_forward()
+                with tele.phase("backward", run, source=int(s)):
+                    b = ex.run_backward()
+                break
+            except HostCrashError as err:
+                assert resilience is not None
+                resilience.on_crash(err, attempt)
+                # Replay this source; the redone rounds are recovery cost.
+                run.replay_countdown = len(run.rounds) - mark
+        fwd += f
+        bwd += b
         for gid, (d, sg) in ex.settled.items():
             dist[i, gid] = d
             sigma[i, gid] = sg

@@ -144,6 +144,10 @@ class ClusterModel:
 
         The values sum (up to float association) to :meth:`time_run`; the
         Figure 2 computation/communication breakdown reads this grouping.
+        Fault-recovery rounds (retransmits, stall barriers, post-crash
+        replays) are attributed to a distinct ``"recovery"`` phase, so the
+        overhead of a fault plan is visible instead of inflating the
+        algorithm's own phases.
         """
         if run.num_hosts != self.num_hosts:
             raise ValueError(
@@ -152,7 +156,9 @@ class ClusterModel:
             )
         out: dict[str, SimulatedTime] = {}
         for rs in run.rounds:
-            out.setdefault(rs.phase, SimulatedTime()).add(self.time_round(rs))
+            out.setdefault(rs.effective_phase, SimulatedTime()).add(
+                self.time_round(rs)
+            )
         tele = obs.current()
         if tele.enabled:
             for phase, t in out.items():

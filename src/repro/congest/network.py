@@ -10,7 +10,7 @@ order within a round.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
@@ -18,6 +18,9 @@ from repro import obs
 from repro.congest.messages import MAX_COMBINED_VALUES, MessageStats
 from repro.congest.program import BROADCAST, VertexContext, VertexProgram
 from repro.graph.digraph import DiGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.context import ResilienceContext
 
 
 class ChannelCapacityError(RuntimeError):
@@ -53,6 +56,12 @@ class CongestNetwork:
         If True, programs receive the true vertex count in their context
         (the paper's "n is known" case); otherwise ``num_vertices_hint``
         is ``None`` and the algorithm must compute n itself.
+    resilience:
+        Optional :class:`~repro.resilience.context.ResilienceContext`;
+        when given, every channel's per-round payload list passes through
+        its guard before delivery (message-scope faults only — the
+        CONGEST model has no host scope, so stall/crash specs are inert
+        here).
     """
 
     def __init__(
@@ -60,8 +69,10 @@ class CongestNetwork:
         graph: DiGraph,
         program_factory: Callable[[int], VertexProgram],
         expose_n: bool = True,
+        resilience: "ResilienceContext | None" = None,
     ) -> None:
         self.graph = graph
+        self.resilience = resilience
         n = graph.num_vertices
         ug = graph.to_undirected()
         self.channel_neighbors: list[np.ndarray] = [
@@ -174,6 +185,10 @@ class CongestNetwork:
 
             # -- delivery phase: receivers process during this round.
             for (sender, target), payloads in outbox.items():
+                if self.resilience is not None:
+                    payloads = self.resilience.guard_congest(
+                        rnd, sender, target, payloads
+                    )
                 handler = programs[target].handle_message
                 for payload in payloads:
                     handler(rnd, sender, payload)

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -52,6 +53,14 @@ from repro.engine.gluon import (
 from repro.engine.partition import PartitionedGraph, partition_graph
 from repro.engine.stats import EngineRun, RoundStats
 from repro.graph.digraph import DiGraph
+from repro.resilience.checkpoint import (
+    mrbc_forward_snapshot,
+    restore_mrbc_forward,
+)
+from repro.resilience.errors import HostCrashError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.context import ResilienceContext
 
 #: "Infinite" distance sentinel in the dense candidate arrays.
 INF = np.iinfo(np.int32).max
@@ -200,6 +209,7 @@ class _BatchExecutor:
         run: EngineRun,
         batch: np.ndarray,
         delayed_sync: bool,
+        resilience: "ResilienceContext | None" = None,
     ) -> None:
         self.pg = pg
         self.gluon = gluon
@@ -208,6 +218,11 @@ class _BatchExecutor:
         self.k = batch.size
         self.delayed_sync = delayed_sync
         self.H = pg.num_hosts
+        #: Second line of defense behind the channel guard: per-round
+        #: verification of the master state the correctness lemmas rely on.
+        self.checker = (
+            resilience.new_invariant_checker() if resilience is not None else None
+        )
 
         self.hosts: list[HostState] = []
         for part in pg.parts:
@@ -350,6 +365,9 @@ class _BatchExecutor:
                     rs.compute[h].struct_ops += 1
                 if not ms.all_fired():
                     any_pending = True
+
+            if self.checker is not None:
+                self.checker.check_master_round(rnd, self.masters)
 
             # Finalized labels broadcast to every proxy, as Gluon does —
             # out-edge hosts relax, candidate-holding hosts learn the
@@ -529,6 +547,7 @@ def mrbc_engine(
     delayed_sync: bool = True,
     forward_only: bool = False,
     seed: int | None = None,
+    resilience: "ResilienceContext | None" = None,
 ) -> MRBCEngineResult:
     """Run Min-Rounds BC on the simulated D-Galois engine.
 
@@ -550,6 +569,15 @@ def mrbc_engine(
         Disable only for the ablation benchmark — eagerly broadcasts
         provisional values, inflating communication exactly as §4.3 says
         the optimization avoids.
+    resilience:
+        Optional :class:`~repro.resilience.context.ResilienceContext`.
+        Attaches the fault-plan channel guard to the Gluon substrate,
+        enables per-round master-state invariant checks, snapshots each
+        batch's post-forward state, and (in ``repair`` mode) recovers
+        from injected host crashes: a forward-phase crash restarts the
+        batch's forward pass, a backward-phase crash restores the
+        forward checkpoint and replays only the backward rounds.
+        Replayed rounds are marked as recovery overhead.
 
     Returns per-vertex BC (summed over the sampled sources), per-source
     distances and path counts, and the full engine statistics.
@@ -569,8 +597,10 @@ def mrbc_engine(
     if src.size == 0:
         raise ValueError("need at least one source")
 
-    gluon = GluonSubstrate(pg)
+    gluon = GluonSubstrate(pg, resilience=resilience)
     run = EngineRun(num_hosts=pg.num_hosts)
+    if resilience is not None:
+        resilience.attach_run(run)
     n = g.num_vertices
     bc = np.zeros(n, dtype=np.float64)
     dist = np.full((src.size, n), -1, dtype=np.int64)
@@ -580,9 +610,25 @@ def mrbc_engine(
 
     tele = obs.current()
     for b0, batch in enumerate(iter_batches(src, batch_size)):
-        ex = _BatchExecutor(pg, gluon, run, batch, delayed_sync)
-        with tele.phase("forward", run, batch=b0, k=int(batch.size)):
-            fwd_rounds += ex.run_forward()
+        # -- forward, restarting the batch from scratch on a host crash.
+        attempt = 0
+        while True:
+            attempt += 1
+            ex = _BatchExecutor(pg, gluon, run, batch, delayed_sync, resilience)
+            mark = len(run.rounds)
+            try:
+                with tele.phase("forward", run, batch=b0, k=int(batch.size)):
+                    fwd_rounds += ex.run_forward()
+                break
+            except HostCrashError as err:
+                assert resilience is not None
+                resilience.on_crash(err, attempt)
+                # The rounds the crashed attempt executed must be redone;
+                # the re-execution is charged to the recovery phase.
+                run.replay_countdown = len(run.rounds) - mark
+        if resilience is not None:
+            meta, arrays = mrbc_forward_snapshot(ex)
+            resilience.checkpoints.save(f"batch{b0:04d}-forward", meta, arrays)
         if tele.enabled:
             # Flat-map occupancy: |L_v| across this batch's masters (the
             # data structure whose maintenance cost Figure 2 charges to
@@ -591,8 +637,26 @@ def mrbc_engine(
             for ms in ex.masters.values():
                 hist.observe(len(ms.entries))
         if not forward_only:
-            with tele.phase("backward", run, batch=b0, k=int(batch.size)):
-                bwd_rounds += ex.run_backward()
+            # -- backward, resuming from the forward checkpoint on a crash.
+            attempt = 0
+            while True:
+                attempt += 1
+                mark = len(run.rounds)
+                try:
+                    with tele.phase("backward", run, batch=b0, k=int(batch.size)):
+                        bwd_rounds += ex.run_backward()
+                    break
+                except HostCrashError as err:
+                    assert resilience is not None
+                    resilience.on_crash(err, attempt)
+                    run.replay_countdown = len(run.rounds) - mark
+                    ex = _BatchExecutor(
+                        pg, gluon, run, batch, delayed_sync, resilience
+                    )
+                    meta, arrays = resilience.checkpoints.load(
+                        f"batch{b0:04d}-forward"
+                    )
+                    restore_mrbc_forward(ex, meta, arrays)
         base = b0 * batch_size
         for gid, ms in ex.masters.items():
             for si, (d, sg) in ms.best.items():

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -29,7 +30,11 @@ from repro.engine.gluon import TARGET_ALL_PROXIES, GluonSubstrate
 from repro.engine.partition import HostPartition, PartitionedGraph, partition_graph
 from repro.engine.stats import EngineRun
 from repro.graph.weighted import WeightedDiGraph
+from repro.resilience.errors import HostCrashError, UnrecoverableFaultError
 from repro.utils.timing import OpCounter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.context import ResilienceContext
 
 
 class BSPAlgorithm(ABC):
@@ -73,6 +78,25 @@ class BSPAlgorithm(ABC):
         ``inbox`` items are ``(gid, sender_host, *values)``.
         """
 
+    # -- checkpoint hooks (optional; enable crash recovery in run_bsp) ---------
+
+    def snapshot(self) -> tuple[dict[str, Any], dict[str, np.ndarray]] | None:
+        """Capture master/host state as ``(meta, arrays)``.
+
+        Return ``None`` (the default) if the algorithm does not support
+        checkpointing; :func:`run_bsp` then cannot recover from an
+        injected host crash.  ``meta`` must be JSON-able and ``arrays``
+        NumPy arrays, so snapshots can persist through
+        :mod:`repro.engine.persist`.
+        """
+        return None
+
+    def restore(
+        self, meta: dict[str, Any], arrays: dict[str, np.ndarray]
+    ) -> None:
+        """Load state captured by :meth:`snapshot` (inverse operation)."""
+        raise NotImplementedError(f"{type(self).__name__} has no restore()")
+
 
 @dataclass
 class BSPRunResult:
@@ -87,17 +111,74 @@ def run_bsp(
     algorithm: BSPAlgorithm,
     max_rounds: int = 1_000_000,
     run: EngineRun | None = None,
+    resilience: "ResilienceContext | None" = None,
+    checkpoint_interval: int = 4,
 ) -> BSPRunResult:
-    """Drive ``algorithm`` to global quiescence on partition ``pg``."""
-    gluon = GluonSubstrate(pg)
+    """Drive ``algorithm`` to global quiescence on partition ``pg``.
+
+    With a ``resilience`` context, faults from its plan are injected at
+    the Gluon layer; if the algorithm implements :meth:`~BSPAlgorithm
+    .snapshot`, master state is checkpointed every ``checkpoint_interval``
+    rounds and an injected host crash (``repair`` mode) resumes from the
+    latest checkpoint instead of losing the run.
+    """
+    gluon = GluonSubstrate(pg, resilience=resilience)
     if run is None:
         run = EngineRun(num_hosts=pg.num_hosts)
+    if resilience is not None:
+        resilience.attach_run(run)
     H = pg.num_hosts
     fires_flat = algorithm.initial_fires()
     rounds = 0
     with obs.current().phase(algorithm.phase, run, hosts=H):
-        rounds = _bsp_rounds(pg, algorithm, gluon, run, fires_flat, max_rounds)
+        if resilience is None:
+            rounds = _bsp_rounds(pg, algorithm, gluon, run, fires_flat, max_rounds)
+        else:
+            rounds = _bsp_rounds_resilient(
+                pg,
+                algorithm,
+                gluon,
+                run,
+                fires_flat,
+                max_rounds,
+                resilience,
+                checkpoint_interval,
+            )
     return BSPRunResult(rounds=rounds, run=run)
+
+
+def _bsp_one_round(
+    pg: PartitionedGraph,
+    algorithm: BSPAlgorithm,
+    gluon: GluonSubstrate,
+    run: EngineRun,
+    fires_flat: list[tuple],
+) -> list[tuple]:
+    """Execute one broadcast → compute → reduce → master-update round."""
+    H = pg.num_hosts
+    rs = run.new_round(algorithm.phase)
+    fires: list[list[tuple]] = [[] for _ in range(H)]
+    for item in fires_flat:
+        fires[int(pg.master_of[item[0]])].append(item)
+    deliveries = gluon.broadcast_from_masters(
+        fires,
+        algorithm.broadcast_target,
+        algorithm.payload_bytes,
+        algorithm.batch_width,
+        rs,
+    )
+    pending: list[list[tuple]] = [[] for _ in range(H)]
+    for h in range(H):
+        pending[h] = algorithm.host_compute(
+            h, pg.parts[h], deliveries[h], rs.compute[h]
+        )
+    inbox = gluon.reduce_to_masters(
+        pending, algorithm.payload_bytes, algorithm.batch_width, rs
+    )
+    merged: list[tuple] = []
+    for h in range(H):
+        merged.extend(inbox[h])
+    return algorithm.master_update(merged, rs.compute)
 
 
 def _bsp_rounds(
@@ -109,33 +190,68 @@ def _bsp_rounds(
     max_rounds: int,
 ) -> int:
     """The round loop proper (spanned as one phase by :func:`run_bsp`)."""
-    H = pg.num_hosts
     rounds = 0
     while fires_flat and rounds < max_rounds:
         rounds += 1
-        rs = run.new_round(algorithm.phase)
-        fires: list[list[tuple]] = [[] for _ in range(H)]
-        for item in fires_flat:
-            fires[int(pg.master_of[item[0]])].append(item)
-        deliveries = gluon.broadcast_from_masters(
-            fires,
-            algorithm.broadcast_target,
-            algorithm.payload_bytes,
-            algorithm.batch_width,
-            rs,
+        fires_flat = _bsp_one_round(pg, algorithm, gluon, run, fires_flat)
+    return rounds
+
+
+def _bsp_rounds_resilient(
+    pg: PartitionedGraph,
+    algorithm: BSPAlgorithm,
+    gluon: GluonSubstrate,
+    run: EngineRun,
+    fires_flat: list[tuple],
+    max_rounds: int,
+    ctx: "ResilienceContext",
+    checkpoint_interval: int,
+) -> int:
+    """The round loop with periodic checkpoints and crash restart."""
+
+    def checkpoint(at_round: int, fires: list[tuple]) -> bool:
+        snap = algorithm.snapshot()
+        if snap is None:
+            return False
+        meta, arrays = snap
+        # Fires travel in the checkpoint: they are the master-side state
+        # the next round consumes (tuples become lists through JSON).
+        ctx.checkpoints.save(
+            "bsp-latest",
+            {
+                "kind": "bsp",
+                "round": at_round,
+                "fires": [list(f) for f in fires],
+                "algo": meta,
+            },
+            arrays,
         )
-        pending: list[list[tuple]] = [[] for _ in range(H)]
-        for h in range(H):
-            pending[h] = algorithm.host_compute(
-                h, pg.parts[h], deliveries[h], rs.compute[h]
-            )
-        inbox = gluon.reduce_to_masters(
-            pending, algorithm.payload_bytes, algorithm.batch_width, rs
-        )
-        merged: list[tuple] = []
-        for h in range(H):
-            merged.extend(inbox[h])
-        fires_flat = algorithm.master_update(merged, rs.compute)
+        return True
+
+    can_checkpoint = checkpoint(0, fires_flat)
+    rounds = 0
+    attempt = 0
+    while fires_flat and rounds < max_rounds:
+        try:
+            rounds += 1
+            fires_flat = _bsp_one_round(pg, algorithm, gluon, run, fires_flat)
+            if can_checkpoint and rounds % checkpoint_interval == 0:
+                checkpoint(rounds, fires_flat)
+        except HostCrashError as err:
+            attempt += 1
+            ctx.on_crash(err, attempt)
+            if not can_checkpoint:
+                raise UnrecoverableFaultError(
+                    f"{type(algorithm).__name__} does not implement "
+                    "snapshot(); cannot restart after a crash"
+                ) from err
+            meta, arrays = ctx.checkpoints.load("bsp-latest")
+            algorithm.restore(meta["algo"], arrays)
+            fires_flat = [tuple(f) for f in meta["fires"]]
+            # Rounds since the checkpoint are lost and will be re-executed
+            # as recovery overhead.
+            run.replay_countdown = rounds - int(meta["round"])
+            rounds = int(meta["round"])
     return rounds
 
 
@@ -209,12 +325,28 @@ class _SSSP(BSPAlgorithm):
                 fires.append((gid, d))
         return fires
 
+    def snapshot(self):
+        arrays = {"master_dist": self.master_dist.copy()}
+        for h in range(len(self.relaxed)):
+            arrays[f"relaxed_{h}"] = self.relaxed[h].copy()
+            arrays[f"cand_{h}"] = self.cand[h].copy()
+        return {"algo": "sssp", "source": int(self.source)}, arrays
+
+    def restore(self, meta, arrays):
+        if meta.get("algo") != "sssp" or int(meta.get("source", -1)) != self.source:
+            raise ValueError("checkpoint is for a different SSSP run")
+        self.master_dist[:] = arrays["master_dist"]
+        for h in range(len(self.relaxed)):
+            self.relaxed[h][:] = arrays[f"relaxed_{h}"]
+            self.cand[h][:] = arrays[f"cand_{h}"]
+
 
 def sssp_engine(
     wg: WeightedDiGraph,
     source: int,
     num_hosts: int = 8,
     partition: PartitionedGraph | None = None,
+    resilience: "ResilienceContext | None" = None,
 ) -> tuple[np.ndarray, BSPRunResult]:
     """Weighted single-source shortest paths on the engine.
 
@@ -225,5 +357,5 @@ def sssp_engine(
     if partition is None:
         partition = partition_graph(wg.graph, num_hosts, "cvc")
     algo = _SSSP(wg, partition, source)
-    result = run_bsp(partition, algo)
+    result = run_bsp(partition, algo, resilience=resilience)
     return algo.master_dist.copy(), result

@@ -27,11 +27,14 @@ Byte accounting is exact and deterministic; simulated wire time comes from
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro import obs
 from repro.engine.partition import PartitionedGraph
 from repro.engine.stats import RoundStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.context import ResilienceContext
 
 #: Fixed per-message overhead: MPI envelope, per-field descriptors (each
 #: Gluon sync moves multiple labeled fields), length words, and buffer
@@ -59,12 +62,24 @@ class GluonSubstrate:
     :mod:`repro.engine.serialize` instead of the closed-form model — the
     two agree within a few percent (asserted in the tests), but exact mode
     pays the encoding cost on every sync.
+
+    With a :class:`~repro.resilience.context.ResilienceContext` attached,
+    every aggregated pair message passes through the context's channel
+    guard between accounting and delivery: the guard injects the active
+    fault plan's perturbations and — depending on its mode — verifies and
+    repairs the channel before the items reach the destination inboxes.
     """
 
-    def __init__(self, pgraph: PartitionedGraph, exact_sizes: bool = False) -> None:
+    def __init__(
+        self,
+        pgraph: PartitionedGraph,
+        exact_sizes: bool = False,
+        resilience: "ResilienceContext | None" = None,
+    ) -> None:
         self.pg = pgraph
         self.H = pgraph.num_hosts
         self.exact_sizes = exact_sizes
+        self.resilience = resilience
 
     # -- metadata model --------------------------------------------------------
 
@@ -197,14 +212,20 @@ class GluonSubstrate:
         """
         master_of = self.pg.master_of
         per_pair: dict[tuple[int, int], list[tuple[Any, ...]]] = defaultdict(list)
-        inbox: list[list[tuple[Any, ...]]] = [[] for _ in range(self.H)]
         for h, items in enumerate(per_host_items):
             for it in items:
-                gid = it[0]
-                dest = int(master_of[gid])
-                per_pair[(h, dest)].append(it)
-                inbox[dest].append((gid, h, *it[1:]))
+                per_pair[(h, int(master_of[it[0]]))].append(it)
         self._account(per_pair, payload_bytes, batch_width, rs, op="reduce")
+        # The sender-side bytes above are authoritative; the channel guard
+        # perturbs (and possibly repairs) what actually arrives.
+        if self.resilience is not None:
+            per_pair = self.resilience.guard_sync(
+                self, per_pair, payload_bytes, batch_width, rs
+            )
+        inbox: list[list[tuple[Any, ...]]] = [[] for _ in range(self.H)]
+        for (h, dest), delivered in per_pair.items():
+            for it in delivered:
+                inbox[dest].append((it[0], h, *it[1:]))
         return inbox
 
     def broadcast_from_masters(
@@ -233,13 +254,16 @@ class GluonSubstrate:
             raise ValueError(f"unknown broadcast target {targets!r}")
 
         per_pair: dict[tuple[int, int], list[tuple[Any, ...]]] = defaultdict(list)
-        inbox: list[list[tuple[Any, ...]]] = [[] for _ in range(self.H)]
         for h, items in enumerate(per_host_items):
             for it in items:
-                gid = it[0]
-                for dest in hosts_of(gid):
-                    dest = int(dest)
-                    per_pair[(h, dest)].append(it)
-                    inbox[dest].append(it)
+                for dest in hosts_of(it[0]):
+                    per_pair[(h, int(dest))].append(it)
         self._account(per_pair, payload_bytes, batch_width, rs, op="broadcast")
+        if self.resilience is not None:
+            per_pair = self.resilience.guard_sync(
+                self, per_pair, payload_bytes, batch_width, rs
+            )
+        inbox: list[list[tuple[Any, ...]]] = [[] for _ in range(self.H)]
+        for (_h, dest), delivered in per_pair.items():
+            inbox[dest].extend(delivered)
         return inbox

@@ -5,32 +5,41 @@ configurations; persisting the per-round statistics lets expensive runs be
 collected once and re-analyzed under different cluster-model constants
 without re-simulating (the artifact-appendix workflow: collect on the
 cluster, post-process locally).
+
+Format history
+--------------
+- **v1** encoded each round's phase as an index into a *fixed* table
+  (:data:`_V1_PHASES`); any phase outside it collapsed to ``"other"`` on
+  save — lossy for custom BSP programs.
+- **v2** stores the run's own phase-name table in the archive (exact
+  round-trip for arbitrary phase labels) and adds the per-round
+  ``recovery`` flags the resilience subsystem uses for fault-overhead
+  attribution.  v1 archives still load (with the legacy table).
+
+The same layer also persists mid-run checkpoints for the resilience
+subsystem (:func:`save_checkpoint` / :func:`load_checkpoint`): a JSON
+metadata document plus named NumPy arrays in one compressed archive.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from typing import Any
 
 import numpy as np
 
 from repro.engine.stats import EngineRun, RoundStats
 from repro.utils.timing import OpCounter
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
-#: Phase names are stored as small integers for compactness.
-_PHASES = ("forward", "backward", "bfs", "wcc", "pagerank", "other")
-
-
-def _phase_code(phase: str) -> int:
-    try:
-        return _PHASES.index(phase)
-    except ValueError:
-        return _PHASES.index("other")
+#: The fixed v1 phase table, kept to decode legacy archives.
+_V1_PHASES = ("forward", "backward", "bfs", "wcc", "pagerank", "other")
 
 
 def save_run(run: EngineRun, path: str | os.PathLike) -> None:
-    """Serialize ``run`` to a compressed NumPy archive."""
+    """Serialize ``run`` to a compressed NumPy archive (format v2)."""
     R = run.num_rounds
     H = run.num_hosts
     compute = np.zeros((R, H, 3), dtype=np.int64)
@@ -38,6 +47,9 @@ def save_run(run: EngineRun, path: str | os.PathLike) -> None:
     msgs_io = np.zeros((R, H, 2), dtype=np.int64)
     scalars = np.zeros((R, 4), dtype=np.int64)
     phases = np.zeros(R, dtype=np.int64)
+    recovery = np.zeros(R, dtype=bool)
+    names: list[str] = []
+    codes: dict[str, int] = {}
     for i, rs in enumerate(run.rounds):
         for h, oc in enumerate(rs.compute):
             compute[i, h] = (oc.vertex_ops, oc.edge_ops, oc.struct_ops)
@@ -51,7 +63,12 @@ def save_run(run: EngineRun, path: str | os.PathLike) -> None:
             rs.proxies_synced,
             rs.round_index,
         )
-        phases[i] = _phase_code(rs.phase)
+        code = codes.get(rs.phase)
+        if code is None:
+            code = codes[rs.phase] = len(names)
+            names.append(rs.phase)
+        phases[i] = code
+        recovery[i] = rs.recovery
     np.savez_compressed(
         path,
         version=np.int64(_FORMAT_VERSION),
@@ -61,16 +78,23 @@ def save_run(run: EngineRun, path: str | os.PathLike) -> None:
         msgs_io=msgs_io,
         scalars=scalars,
         phases=phases,
+        phase_names=np.array(names, dtype=np.str_),
+        recovery=recovery,
     )
 
 
 def load_run(path: str | os.PathLike) -> EngineRun:
-    """Load an :class:`EngineRun` written by :func:`save_run`."""
+    """Load an :class:`EngineRun` written by :func:`save_run` (v1 or v2)."""
     with np.load(path) as data:
-        if int(data["version"]) != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported run-file version {int(data['version'])}"
-            )
+        version = int(data["version"])
+        if version == 1:
+            names: list[str] = list(_V1_PHASES)
+            recovery = None
+        elif version == _FORMAT_VERSION:
+            names = [str(x) for x in data["phase_names"]]
+            recovery = data["recovery"]
+        else:
+            raise ValueError(f"unsupported run-file version {version}")
         H = int(data["num_hosts"])
         run = EngineRun(num_hosts=H)
         compute = data["compute"]
@@ -81,7 +105,7 @@ def load_run(path: str | os.PathLike) -> EngineRun:
         for i in range(compute.shape[0]):
             rs = RoundStats(
                 round_index=int(scalars[i, 3]),
-                phase=_PHASES[int(phases[i])],
+                phase=names[int(phases[i])],
                 compute=[
                     OpCounter(*(int(x) for x in compute[i, h]))
                     for h in range(H)
@@ -93,6 +117,44 @@ def load_run(path: str | os.PathLike) -> EngineRun:
                 pair_messages=int(scalars[i, 0]),
                 items_synced=int(scalars[i, 1]),
                 proxies_synced=int(scalars[i, 2]),
+                recovery=bool(recovery[i]) if recovery is not None else False,
             )
             run.rounds.append(rs)
         return run
+
+
+# -- mid-run checkpoints ----------------------------------------------------------
+
+_CHECKPOINT_VERSION = 1
+
+
+def save_checkpoint(
+    path: str | os.PathLike,
+    meta: dict[str, Any],
+    arrays: dict[str, np.ndarray],
+) -> None:
+    """Persist one resilience checkpoint: JSON metadata + named arrays."""
+    payload = {f"arr_{k}": np.asarray(v) for k, v in arrays.items()}
+    np.savez_compressed(
+        path,
+        ckpt_version=np.int64(_CHECKPOINT_VERSION),
+        meta=np.array(json.dumps(meta, sort_keys=True)),
+        **payload,
+    )
+
+
+def load_checkpoint(
+    path: str | os.PathLike,
+) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+    """Load a checkpoint written by :func:`save_checkpoint`."""
+    with np.load(path) as data:
+        version = int(data["ckpt_version"])
+        if version != _CHECKPOINT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version}")
+        meta = json.loads(str(data["meta"][()]))
+        arrays = {
+            k[len("arr_"):]: data[k].copy()
+            for k in data.files
+            if k.startswith("arr_")
+        }
+    return meta, arrays

@@ -42,6 +42,20 @@ class RoundStats:
     items_synced: int = 0
     #: Distinct vertex proxies touched by synchronization.
     proxies_synced: int = 0
+    #: True for rounds that only exist because of a fault: retransmission
+    #: rounds, stall barriers, and post-crash replays of lost rounds.
+    recovery: bool = False
+
+    @property
+    def effective_phase(self) -> str:
+        """Phase for time attribution: recovery rounds form their own phase.
+
+        A replayed forward round keeps ``phase == "forward"`` (it runs the
+        forward operator) but is *charged* to ``"recovery"`` — the paper's
+        Figure 2 style breakdowns should show fault overhead separately,
+        not inflate the algorithm's own phases.
+        """
+        return "recovery" if self.recovery else self.phase
 
     def max_compute_ops(self) -> int:
         """Work units of the busiest host (the BSP straggler)."""
@@ -68,6 +82,7 @@ class RoundStats:
             pair_messages=self.pair_messages,
             items_synced=self.items_synced,
             proxies_synced=self.proxies_synced,
+            recovery=self.recovery,
         )
 
 
@@ -77,9 +92,16 @@ class EngineRun:
 
     num_hosts: int
     rounds: list[RoundStats] = field(default_factory=list)
+    #: When > 0, the next this-many rounds are marked as recovery replays.
+    #: Drivers set it after a crash restart to the number of rounds the
+    #: crashed attempt had executed — the re-execution is fault overhead.
+    replay_countdown: int = 0
 
-    def new_round(self, phase: str) -> RoundStats:
+    def new_round(self, phase: str, recovery: bool = False) -> RoundStats:
         """Open a fresh round record (appended and returned)."""
+        if self.replay_countdown > 0:
+            self.replay_countdown -= 1
+            recovery = True
         rs = RoundStats(
             round_index=len(self.rounds) + 1,
             phase=phase,
@@ -88,9 +110,15 @@ class EngineRun:
             bytes_in=np.zeros(self.num_hosts, dtype=np.int64),
             msgs_out=np.zeros(self.num_hosts, dtype=np.int64),
             msgs_in=np.zeros(self.num_hosts, dtype=np.int64),
+            recovery=recovery,
         )
         self.rounds.append(rs)
         return rs
+
+    @property
+    def recovery_rounds(self) -> int:
+        """Rounds attributable to fault recovery (retransmit/stall/replay)."""
+        return sum(1 for r in self.rounds if r.recovery)
 
     # -- aggregates -----------------------------------------------------------
 
@@ -100,8 +128,12 @@ class EngineRun:
         return len(self.rounds)
 
     def rounds_in_phase(self, phase: str) -> int:
-        """Rounds belonging to one phase ("forward"/"backward")."""
-        return sum(1 for r in self.rounds if r.phase == phase)
+        """Rounds attributed to one phase ("forward"/"backward"/"recovery").
+
+        Recovery rounds (including post-crash replays) count toward
+        ``"recovery"``, not the algorithm phase they re-execute.
+        """
+        return sum(1 for r in self.rounds if r.effective_phase == phase)
 
     @property
     def total_bytes(self) -> int:
@@ -145,11 +177,11 @@ class EngineRun:
         return float(np.mean(ratios)) if ratios else 1.0
 
     def phases(self) -> list[str]:
-        """Distinct phase labels in first-execution order."""
+        """Distinct attributed phase labels in first-execution order."""
         seen: list[str] = []
         for r in self.rounds:
-            if r.phase not in seen:
-                seen.append(r.phase)
+            if r.effective_phase not in seen:
+                seen.append(r.effective_phase)
         return seen
 
     def merge(self, other: "EngineRun") -> None:

@@ -34,6 +34,8 @@ from typing import TYPE_CHECKING, Iterator
 
 from repro.obs.events import (
     EVENT_SCHEMA_VERSION,
+    KIND_FAULT,
+    KIND_RECOVERY,
     Event,
     iter_jsonl,
     parse_jsonl,
@@ -58,6 +60,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "EVENT_SCHEMA_VERSION",
+    "KIND_FAULT",
+    "KIND_RECOVERY",
     "MANIFEST_VERSION",
     "Counter",
     "Event",

@@ -27,6 +27,9 @@ KIND_ROUND = "round"
 KIND_METRIC = "metric"
 KIND_SIM_TIME = "sim_time"
 KIND_LOG = "log"
+#: Resilience subsystem: injected/detected faults and recovery actions.
+KIND_FAULT = "fault"
+KIND_RECOVERY = "recovery"
 
 
 @dataclass

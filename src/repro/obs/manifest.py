@@ -139,9 +139,12 @@ def build_manifest(
 
     by_phase: dict[str, PhaseTotals] = {}
     for rs in run.rounds:
-        pt = by_phase.get(rs.phase)
+        # Recovery rounds (fault retransmits/stalls/replays) group under
+        # their own "recovery" phase — see RoundStats.effective_phase.
+        key = rs.effective_phase
+        pt = by_phase.get(key)
         if pt is None:
-            pt = by_phase[rs.phase] = PhaseTotals(phase=rs.phase)
+            pt = by_phase[key] = PhaseTotals(phase=key)
             man.phases.append(pt)
         t = model.time_round(rs)
         pt.rounds += 1

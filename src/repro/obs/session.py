@@ -179,6 +179,8 @@ class Telemetry:
             "host_bytes_out": rs.bytes_out.tolist(),
             "host_bytes_in": rs.bytes_in.tolist(),
         }
+        if rs.recovery:
+            attrs["recovery"] = True
         if self.model is not None:
             t = self.model.time_round(rs)
             attrs["sim_computation_s"] = t.computation

@@ -1,0 +1,87 @@
+"""``repro.resilience`` — deterministic fault injection and recovery.
+
+The robustness counterpart to :mod:`repro.obs`: where the paper's engines
+assume reliable synchronous communication, this package makes the failure
+assumptions *testable*:
+
+- **fault plans** (:mod:`repro.resilience.plan`) — named, seeded scenarios
+  (message drop/duplicate/reorder/corrupt, host stall/crash) realized by a
+  deterministic :class:`~repro.resilience.injector.FaultInjector`;
+- **channel guard + recovery** (:mod:`repro.resilience.context`) —
+  count/digest verification of every synchronized channel with
+  ``off | detect | repair`` modes; ``repair`` retransmits over the same
+  lossy network and charges the retries to dedicated ``recovery`` rounds;
+- **checkpoint/restart** (:mod:`repro.resilience.checkpoint`) — master
+  state snapshots through the :mod:`repro.engine.persist` layer, so a host
+  crash replays from the last checkpoint instead of losing the run;
+- **round invariants** (:mod:`repro.resilience.invariants`) — the paper's
+  correctness lemmas (sent-prefix immutability, σ monotonicity, flat-map
+  schedule conformance) checked against live master state;
+- **harness** (:mod:`repro.resilience.harness`) — run any engine algorithm
+  under a named plan and report detection latency, recovery overhead, and
+  correctness vs Brandes (the ``repro faults`` CLI).
+
+Faults and recoveries surface as ``fault``/``recovery`` telemetry events
+and counters, landing in run manifests under ``extra["resilience"]``.
+See ``docs/RESILIENCE.md``.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.checkpoint import (
+    CheckpointStore,
+    mrbc_forward_snapshot,
+    restore_mrbc_forward,
+)
+from repro.resilience.context import MODES, ResilienceContext, channel_digest
+from repro.resilience.errors import (
+    FaultDetectedError,
+    HostCrashError,
+    InvariantViolation,
+    ResilienceError,
+    UnrecoverableFaultError,
+)
+from repro.resilience.injector import FaultInjector
+from repro.resilience.invariants import InvariantChecker
+from repro.resilience.plan import (
+    DEFAULT_PLANS,
+    HOST_KINDS,
+    MESSAGE_KINDS,
+    FaultPlan,
+    FaultSpec,
+    get_plan,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "DEFAULT_PLANS",
+    "FaultDetectedError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRunReport",
+    "FaultSpec",
+    "HOST_KINDS",
+    "HostCrashError",
+    "InvariantChecker",
+    "InvariantViolation",
+    "MESSAGE_KINDS",
+    "MODES",
+    "ResilienceContext",
+    "ResilienceError",
+    "UnrecoverableFaultError",
+    "channel_digest",
+    "get_plan",
+    "mrbc_forward_snapshot",
+    "restore_mrbc_forward",
+    "run_under_faults",
+]
+
+
+def __getattr__(name: str):
+    # The harness imports the engines (which import this package for the
+    # error types); loading it lazily keeps the import graph acyclic.
+    if name in ("run_under_faults", "FaultRunReport"):
+        from repro.resilience import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

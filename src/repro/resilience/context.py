@@ -1,0 +1,413 @@
+"""The per-run resilience context: fault modes, channel guard, recovery.
+
+One :class:`ResilienceContext` accompanies one algorithm execution.  The
+communication substrates (:class:`~repro.engine.gluon.GluonSubstrate`,
+:class:`~repro.congest.network.CongestNetwork`) call into it on every
+synchronization; the drivers (``mrbc_engine``, ``sbbc_engine``,
+``run_bsp``) call :meth:`on_crash` when a host crash surfaces.
+
+The channel guard models the integrity layer a production transport would
+run: every aggregated pair message carries an item count and a content
+digest; the receiver verifies both.  What happens on a mismatch is the
+``mode``:
+
+- ``off`` — deliver the perturbed message unchecked (the poison
+  experiment: measures what faults do to an unprotected run);
+- ``detect`` — raise :class:`~repro.resilience.errors.FaultDetectedError`
+  (fail loudly, never return silently wrong centralities);
+- ``repair`` — bounded retransmission of the authoritative content, with
+  the retry traffic charged to dedicated ``recovery`` rounds so the fault
+  overhead shows up in Figure 2-style breakdowns.
+
+Faults and recoveries are emitted as ``fault``/``recovery`` telemetry
+events and counters through :mod:`repro.obs`, so they land in the run's
+event stream and (via :meth:`summary`) in its manifest.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import defaultdict
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro import obs
+from repro.resilience.errors import (
+    FaultDetectedError,
+    HostCrashError,
+    UnrecoverableFaultError,
+)
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.injector import FaultInjector, Item
+from repro.resilience.invariants import InvariantChecker
+from repro.resilience.plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.gluon import GluonSubstrate
+    from repro.engine.stats import EngineRun, RoundStats
+
+MODES = ("off", "detect", "repair")
+
+
+def channel_digest(items: Sequence[Item]) -> int:
+    """Order-sensitive content digest of one channel's item list.
+
+    Models the checksum a real transport would append to each aggregated
+    message; ``repr`` of int/float tuples is deterministic, so the digest
+    is stable across processes.
+    """
+    return zlib.crc32(repr(list(items)).encode("utf-8"))
+
+
+class ResilienceContext:
+    """Fault plan + mode + recovery state for one algorithm run.
+
+    Parameters
+    ----------
+    plan:
+        The fault scenario; ``None`` means no injection (the guard still
+        verifies channels, at digest cost — useful as a pure detector).
+    mode:
+        Channel-guard mode: ``off`` | ``detect`` | ``repair``.
+    invariants:
+        Mode for the state-level round invariants; defaults to ``mode``.
+    max_retries:
+        Retransmission attempts per faulty channel before giving up.
+    max_restarts:
+        Crash restarts per phase before giving up.
+    checkpoint_dir:
+        Persist checkpoints under this directory (in-memory when None).
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan | None = None,
+        mode: str = "detect",
+        invariants: str | None = None,
+        max_retries: int = 5,
+        max_restarts: int = 3,
+        checkpoint_dir: str | None = None,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        self.mode = mode
+        self.invariants = mode if invariants is None else invariants
+        if self.invariants not in MODES:
+            raise ValueError(f"invariants must be one of {MODES}")
+        self.plan = plan if plan is not None else FaultPlan("none")
+        self.injector = FaultInjector(self.plan)
+        self.max_retries = max_retries
+        self.max_restarts = max_restarts
+        self.checkpoints = CheckpointStore(checkpoint_dir)
+        self.run: "EngineRun | None" = None
+        self._last_rs: "RoundStats | None" = None
+        # -- ground-truth tallies (kept even when telemetry is off).
+        self.detected_by_kind: dict[str, int] = defaultdict(int)
+        self.recovered_by_kind: dict[str, int] = defaultdict(int)
+        self.invariant_violations: dict[str, int] = defaultdict(int)
+        self.retransmits = 0
+        self.recovery_rounds = 0
+        self.stall_rounds = 0
+        self.crash_restarts = 0
+        self.first_inject_round: int | None = None
+        self.first_detect_round: int | None = None
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach_run(self, run: "EngineRun") -> None:
+        """Bind the engine-statistics run recovery rounds are charged to."""
+        self.run = run
+
+    def new_invariant_checker(self) -> InvariantChecker | None:
+        """A fresh per-batch state checker, or None when invariants are off."""
+        if self.invariants == "off":
+            return None
+        return InvariantChecker(self.invariants, self)
+
+    # -- telemetry -------------------------------------------------------------
+
+    def _note_injected(
+        self, kinds: list[str], rnd: int, sender: int, receiver: int | None, op: str
+    ) -> None:
+        if self.first_inject_round is None:
+            self.first_inject_round = rnd
+        tele = obs.current()
+        for kind in kinds:
+            if tele.enabled:
+                tele.emit(
+                    obs.KIND_FAULT,
+                    "fault.injected",
+                    fault=kind,
+                    op=op,
+                    round=rnd,
+                    sender=sender,
+                    receiver=receiver,
+                )
+                tele.metrics.counter("resilience.faults_injected", kind=kind).inc()
+
+    def _note_detected(
+        self,
+        kinds: list[str],
+        rnd: int,
+        sender: int,
+        receiver: int | None,
+        op: str,
+        expected: int,
+        got: int,
+    ) -> None:
+        if self.first_detect_round is None:
+            self.first_detect_round = rnd
+        tele = obs.current()
+        for kind in kinds:
+            self.detected_by_kind[kind] += 1
+            if tele.enabled:
+                tele.emit(
+                    obs.KIND_FAULT,
+                    "fault.detected",
+                    fault=kind,
+                    op=op,
+                    round=rnd,
+                    sender=sender,
+                    receiver=receiver,
+                    expected_items=expected,
+                    got_items=got,
+                )
+                tele.metrics.counter("resilience.faults_detected", kind=kind).inc()
+
+    def _note_recovered(self, action: str, rnd: int, **attrs: Any) -> None:
+        self.recovered_by_kind[action] += 1
+        tele = obs.current()
+        if tele.enabled:
+            tele.emit(obs.KIND_RECOVERY, f"recovery.{action}", round=rnd, **attrs)
+            tele.metrics.counter("resilience.recoveries", action=action).inc()
+
+    def record_invariant_violation(
+        self, invariant: str, rnd: int, detail: str, repaired: bool
+    ) -> None:
+        """Called by :class:`InvariantChecker` for every violation."""
+        if self.first_detect_round is None:
+            self.first_detect_round = rnd
+        self.invariant_violations[invariant] += 1
+        self.detected_by_kind[f"invariant:{invariant}"] += 1
+        tele = obs.current()
+        if tele.enabled:
+            tele.emit(
+                obs.KIND_FAULT,
+                "fault.detected",
+                fault="invariant",
+                invariant=invariant,
+                round=rnd,
+                detail=detail,
+            )
+            tele.metrics.counter(
+                "resilience.invariant_violations", invariant=invariant
+            ).inc()
+        if repaired:
+            self._note_recovered("state_rollback", rnd, invariant=invariant)
+
+    # -- the channel guard (BSP/Gluon side) ------------------------------------
+
+    def guard_sync(
+        self,
+        substrate: "GluonSubstrate",
+        per_pair: dict[tuple[int, int], list[Item]],
+        payload_bytes: int,
+        batch_width: int,
+        rs: "RoundStats",
+    ) -> dict[tuple[int, int], list[Item]]:
+        """Inject, verify, and (per mode) repair one sync's pair messages."""
+        if rs is not self._last_rs:
+            self._last_rs = rs
+            self._host_events(rs)
+        if not self.injector.has_message_faults:
+            return per_pair
+        out: dict[tuple[int, int], list[Item]] = {}
+        retransmits: list[tuple[int, int, list[Item], int]] = []
+        for (sender, receiver), items in per_pair.items():
+            if sender == receiver:
+                out[(sender, receiver)] = items
+                continue
+            delivered = self._guard_channel(
+                rs.round_index, sender, receiver, items, "sync", retransmits
+            )
+            if delivered:
+                out[(sender, receiver)] = delivered
+        if retransmits:
+            self._charge_retransmits(substrate, retransmits, payload_bytes, batch_width)
+        return out
+
+    def _guard_channel(
+        self,
+        rnd: int,
+        sender: int,
+        receiver: int,
+        items: list[Item],
+        op: str,
+        retransmits: list[tuple[int, int, list[Item], int]] | None,
+    ) -> list[Item]:
+        delivered, injected = self.injector.perturb_channel(
+            rnd, sender, receiver, items
+        )
+        if injected:
+            self._note_injected(injected, rnd, sender, receiver, op)
+        if self.mode == "off":
+            return delivered
+        # Integrity check: count + order-sensitive content digest.
+        if len(delivered) == len(items) and channel_digest(delivered) == channel_digest(
+            items
+        ):
+            return delivered
+        kinds = injected or ["unknown"]
+        self._note_detected(
+            kinds, rnd, sender, receiver, op, len(items), len(delivered)
+        )
+        if self.mode == "detect":
+            raise FaultDetectedError(kinds, rnd, sender, receiver, op)
+        # Repair: bounded retransmission over the same lossy network.
+        for attempt in range(1, self.max_retries + 1):
+            self.retransmits += 1
+            redelivered, inj2 = self.injector.perturb_channel(
+                rnd, sender, receiver, items
+            )
+            if inj2:
+                self._note_injected(inj2, rnd, sender, receiver, f"{op}:retransmit")
+                continue
+            if len(redelivered) == len(items) and channel_digest(
+                redelivered
+            ) == channel_digest(items):
+                self._note_recovered(
+                    "retransmit",
+                    rnd,
+                    sender=sender,
+                    receiver=receiver,
+                    attempts=attempt,
+                )
+                if retransmits is not None:
+                    retransmits.append((sender, receiver, items, attempt))
+                return list(items)
+        raise UnrecoverableFaultError(
+            f"channel {sender}->{receiver} still faulty after "
+            f"{self.max_retries} retransmissions in round {rnd}"
+        )
+
+    def _charge_retransmits(
+        self,
+        substrate: "GluonSubstrate",
+        retransmits: list[tuple[int, int, list[Item], int]],
+        payload_bytes: int,
+        batch_width: int,
+    ) -> None:
+        """Charge successful retransmissions to one dedicated recovery round."""
+        if self.run is None:
+            return
+        rr = self.run.new_round("recovery", recovery=True)
+        self.recovery_rounds += 1
+        for sender, receiver, items, _attempts in retransmits:
+            vertices: dict[int, int] = defaultdict(int)
+            for it in items:
+                vertices[it[0]] += 1
+            nbytes = substrate._message_bytes(
+                sender, receiver, vertices, payload_bytes, batch_width
+            )
+            rr.pair_messages += 1
+            rr.items_synced += len(items)
+            rr.proxies_synced += len(vertices)
+            rr.bytes_out[sender] += nbytes
+            rr.bytes_in[receiver] += nbytes
+            rr.msgs_out[sender] += 1
+            rr.msgs_in[receiver] += 1
+
+    # -- host-scope faults -----------------------------------------------------
+
+    def _host_events(self, rs: "RoundStats") -> None:
+        rnd = rs.round_index
+        for spec in self.injector.due_host_events(rnd):
+            self._note_injected([spec.kind], rnd, int(spec.host or 0), None, "host")
+            if spec.kind == "stall":
+                self._note_detected(
+                    ["stall"], rnd, int(spec.host or 0), None, "host", 0, 0
+                )
+                # BSP semantics: the barrier waits for the straggler — the
+                # stall costs whole rounds of idle time.
+                if self.run is not None:
+                    for _ in range(spec.duration):
+                        self.run.new_round("recovery", recovery=True)
+                    self.recovery_rounds += spec.duration
+                self.stall_rounds += spec.duration
+                self._note_recovered(
+                    "stall_wait", rnd, host=int(spec.host or 0), rounds=spec.duration
+                )
+            elif spec.kind == "crash":
+                self._note_detected(
+                    ["crash"], rnd, int(spec.host or 0), None, "host", 0, 0
+                )
+                raise HostCrashError(int(spec.host or 0), rnd)
+
+    def on_crash(self, err: HostCrashError, attempt: int) -> None:
+        """Driver hook after catching a crash: re-raise or allow a restart."""
+        if self.mode != "repair":
+            raise err
+        if attempt > self.max_restarts:
+            raise UnrecoverableFaultError(
+                f"host {err.host} crashed and {self.max_restarts} restarts "
+                "were exhausted"
+            ) from err
+        self.crash_restarts = max(self.crash_restarts, attempt)
+        self._note_recovered(
+            "restart", err.round_index, host=err.host, attempt=attempt
+        )
+
+    # -- CONGEST side ----------------------------------------------------------
+
+    def guard_congest(
+        self, rnd: int, sender: int, target: int, payloads: list[Item]
+    ) -> list[Item]:
+        """Guard one CONGEST channel's payload list for round ``rnd``."""
+        return self._guard_channel(rnd, sender, target, payloads, "congest", None)
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def faults_injected(self) -> int:
+        return self.injector.total_injected
+
+    @property
+    def faults_detected(self) -> int:
+        return sum(self.detected_by_kind.values())
+
+    @property
+    def recoveries(self) -> int:
+        return sum(self.recovered_by_kind.values())
+
+    def detection_latency_rounds(self) -> int | None:
+        """Rounds between the first injection and its first detection."""
+        if self.first_inject_round is None or self.first_detect_round is None:
+            return None
+        return max(0, self.first_detect_round - self.first_inject_round)
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-able report block (lands in the run manifest's extras)."""
+        # The attached run is authoritative for recovery rounds: it also
+        # sees post-crash replays, which the context's own tally (covering
+        # retransmit and stall rounds it appended itself) does not.
+        recovery_rounds = (
+            self.run.recovery_rounds if self.run is not None else self.recovery_rounds
+        )
+        return {
+            "plan": self.plan.to_dict(),
+            "mode": self.mode,
+            "invariants": self.invariants,
+            "faults_injected": self.faults_injected,
+            "injected_by_kind": dict(self.injector.injected_by_kind),
+            "faults_detected": self.faults_detected,
+            "detected_by_kind": dict(self.detected_by_kind),
+            "recoveries": self.recoveries,
+            "recovered_by_kind": dict(self.recovered_by_kind),
+            "invariant_violations": dict(self.invariant_violations),
+            "retransmits": self.retransmits,
+            "recovery_rounds": recovery_rounds,
+            "stall_rounds": self.stall_rounds,
+            "crash_restarts": self.crash_restarts,
+            "first_inject_round": self.first_inject_round,
+            "first_detect_round": self.first_detect_round,
+            "detection_latency_rounds": self.detection_latency_rounds(),
+        }

@@ -1,0 +1,68 @@
+"""Exception types raised by the resilience subsystem.
+
+The exception hierarchy encodes the contract of the fault modes: in
+``detect`` mode any materialized fault surfaces as a
+:class:`FaultDetectedError` (or :class:`InvariantViolation` when caught by
+a state check rather than the channel guard) instead of poisoning the
+computation silently; in ``repair`` mode only :class:`HostCrashError`
+escapes the communication layer — the driver catches it and restarts from
+a checkpoint — and :class:`UnrecoverableFaultError` signals that bounded
+recovery (retransmits, restarts) was exhausted.
+"""
+
+from __future__ import annotations
+
+
+class ResilienceError(RuntimeError):
+    """Base class for all resilience-subsystem errors."""
+
+
+class FaultDetectedError(ResilienceError):
+    """The channel integrity guard caught a corrupted/lost/duplicated
+    message (``detect`` mode fails loudly rather than computing garbage)."""
+
+    def __init__(
+        self,
+        kinds: list[str],
+        round_index: int,
+        sender: int,
+        receiver: int,
+        op: str,
+    ) -> None:
+        self.kinds = list(kinds)
+        self.round_index = round_index
+        self.sender = sender
+        self.receiver = receiver
+        self.op = op
+        super().__init__(
+            f"fault(s) {self.kinds} detected on channel "
+            f"{sender}->{receiver} during {op!r} in round {round_index}"
+        )
+
+
+class InvariantViolation(ResilienceError):
+    """A self-checking round invariant failed (state-level detection)."""
+
+    def __init__(self, invariant: str, round_index: int, detail: str) -> None:
+        self.invariant = invariant
+        self.round_index = round_index
+        super().__init__(
+            f"invariant {invariant!r} violated in round {round_index}: {detail}"
+        )
+
+
+class HostCrashError(ResilienceError):
+    """An injected host crash: the host's in-memory state is lost.
+
+    Raised out of the communication substrate; resilient drivers catch it,
+    restore from the last checkpoint, and replay.
+    """
+
+    def __init__(self, host: int, round_index: int) -> None:
+        self.host = host
+        self.round_index = round_index
+        super().__init__(f"host {host} crashed in round {round_index}")
+
+
+class UnrecoverableFaultError(ResilienceError):
+    """Bounded recovery (retransmits / restarts) was exhausted."""

@@ -1,0 +1,180 @@
+"""The fault-experiment harness: run an algorithm under a fault plan.
+
+:func:`run_under_faults` wires one :class:`ResilienceContext` into an
+engine algorithm, executes it, and reports the experiment outcome against
+the exact Brandes reference: whether the run survived, how many faults
+were injected/detected/recovered, the detection latency, the recovery
+round overhead, and the maximum BC error.  This is the function behind
+``repro faults`` and the CI fault matrix.
+
+Failure semantics match the guard modes: in ``detect`` mode a materialized
+fault is *supposed* to abort the run — the report records the failure
+instead of raising, so callers can assert on it.  ``off`` mode is the
+poison experiment: the run completes but the BC is typically wrong.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro import obs
+from repro.cluster.model import ClusterModel
+from repro.resilience.context import ResilienceContext
+from repro.resilience.errors import ResilienceError
+from repro.resilience.plan import FaultPlan, get_plan
+
+#: Engine algorithms the harness can run under faults.
+ALGORITHMS = ("mrbc", "sbbc")
+
+
+@dataclass
+class FaultRunReport:
+    """Outcome of one fault experiment."""
+
+    algorithm: str
+    plan: FaultPlan
+    mode: str
+    invariants: str
+    #: ``None`` when the run aborted (detect mode, unrecoverable fault, or
+    #: an engine assertion tripped by an unchecked fault).
+    bc: np.ndarray | None
+    reference_bc: np.ndarray
+    max_abs_error: float | None
+    #: ``"<ErrorType>: <message>"`` when the run aborted, else ``None``.
+    failure: str | None
+    #: ``ctx.summary()`` — injection/detection/recovery tallies.
+    resilience: dict[str, Any]
+    #: Rounds recorded up to completion or abort (includes recovery rounds).
+    rounds: int
+    manifest: "obs.RunManifest | None"
+
+    @property
+    def completed(self) -> bool:
+        return self.failure is None
+
+    @property
+    def correct(self) -> bool:
+        """Completed and matched Brandes within the harness tolerance."""
+        return self.max_abs_error is not None and self.max_abs_error <= self.tol
+
+    tol: float = 1e-9
+
+
+def run_under_faults(
+    algorithm: str,
+    g,
+    sources=None,
+    plan: FaultPlan | str = "drop",
+    mode: str = "repair",
+    invariants: str | None = None,
+    num_hosts: int = 8,
+    batch_size: int = 16,
+    out_dir: str | os.PathLike | None = None,
+    tol: float = 1e-9,
+) -> FaultRunReport:
+    """Execute ``algorithm`` on ``g`` under ``plan`` and report the outcome.
+
+    Parameters
+    ----------
+    algorithm:
+        ``"mrbc"`` or ``"sbbc"``.
+    plan:
+        A :class:`FaultPlan` or the name of a default plan.
+    mode, invariants:
+        Guard modes (see :class:`ResilienceContext`).
+    out_dir:
+        When given, a telemetry session records the run into
+        ``<out_dir>/events.jsonl`` and the manifest (with the resilience
+        summary under ``extra["resilience"]``) into
+        ``<out_dir>/manifest.json``.  Otherwise the ambient session (if
+        any) receives the events.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"algorithm must be one of {ALGORITHMS}")
+    if isinstance(plan, str):
+        plan = get_plan(plan)
+    from repro.baselines.brandes import brandes_bc
+
+    reference = brandes_bc(g, sources=sources)
+    model = ClusterModel(num_hosts)
+    ctx = ResilienceContext(plan=plan, mode=mode, invariants=invariants)
+
+    res = None
+    failure: str | None = None
+
+    def execute() -> None:
+        nonlocal res, failure
+        try:
+            if algorithm == "mrbc":
+                from repro.core.mrbc import mrbc_engine
+
+                res = mrbc_engine(
+                    g,
+                    sources=sources,
+                    batch_size=batch_size,
+                    num_hosts=num_hosts,
+                    resilience=ctx,
+                )
+            else:
+                from repro.baselines.sbbc import sbbc_engine
+
+                res = sbbc_engine(
+                    g, sources=sources, num_hosts=num_hosts, resilience=ctx
+                )
+        except (ResilienceError, AssertionError) as err:
+            # Aborting on a detected fault is the *designed* detect-mode
+            # outcome; engine assertions are the pre-existing last line of
+            # defense for unchecked (off-mode) runs.
+            failure = f"{type(err).__name__}: {err}"
+
+    if out_dir is not None:
+        out_dir = os.fspath(out_dir)
+        os.makedirs(out_dir, exist_ok=True)
+        sink = obs.FileSink(os.path.join(out_dir, "events.jsonl"))
+        with obs.session(sink, model=model):
+            execute()
+    else:
+        execute()
+
+    bc = res.bc if res is not None else None
+    max_err = (
+        float(np.max(np.abs(bc - reference))) if bc is not None else None
+    )
+    run = ctx.run
+    n_sources = int(g.num_vertices if sources is None else len(sources))
+    manifest = None
+    if run is not None and run.rounds:
+        manifest = obs.build_manifest(
+            algorithm,
+            run,
+            model,
+            num_vertices=g.num_vertices,
+            num_edges=g.num_edges,
+            num_hosts=num_hosts,
+            num_sources=n_sources,
+            batch_size=batch_size if algorithm == "mrbc" else None,
+            fault_plan=plan.name,
+            fault_mode=mode,
+            resilience=ctx.summary(),
+        )
+        if out_dir is not None:
+            obs.write_manifest(manifest, os.path.join(out_dir, "manifest.json"))
+
+    return FaultRunReport(
+        algorithm=algorithm,
+        plan=plan,
+        mode=mode,
+        invariants=ctx.invariants,
+        bc=bc,
+        reference_bc=reference,
+        max_abs_error=max_err,
+        failure=failure,
+        resilience=ctx.summary(),
+        rounds=run.num_rounds if run is not None else 0,
+        manifest=manifest,
+        tol=tol,
+    )

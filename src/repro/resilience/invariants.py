@@ -1,0 +1,124 @@
+"""Self-checking round invariants for the MRBC master state.
+
+The channel guard is the first line of defense (it sees messages); these
+checks are the second: they watch the *state* the paper's correctness
+argument depends on, so a fault that slips past the transport (or is
+injected directly into memory) still trips an alarm instead of silently
+poisoning every downstream σ and δ:
+
+- **sent-prefix immutability** (Lemma 2): once an ``L_v`` entry has fired
+  it is immutable — the fired prefix of ``entries`` never changes.
+- **σ monotonicity**: for a fixed ``(v, s)`` the authoritative distance
+  never increases, and at a fixed distance σ never decreases (host
+  contributions only accumulate shortest paths).
+- **timestamp-schedule conformance**: entry ``(d, s)`` at list position
+  ``p`` fires in exactly round ``d + p + 1`` (the flat-map schedule the
+  forward-round bound of Lemma 8 rests on).
+
+Modes: ``off`` (checker not constructed), ``detect`` (violations raise
+:class:`~repro.resilience.errors.InvariantViolation`), ``repair``
+(best-effort rollback to the last known-good recorded value, reported as
+a recovery event; unrepairable violations still raise).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.resilience.errors import InvariantViolation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.mrbc import MasterVertexState
+    from repro.resilience.context import ResilienceContext
+
+
+class InvariantChecker:
+    """Per-batch checker over the masters' authoritative state.
+
+    One instance per batch executor: it records the fired prefixes and
+    best labels it has seen and re-verifies them every round.
+    """
+
+    def __init__(self, mode: str, ctx: "ResilienceContext") -> None:
+        if mode not in ("detect", "repair"):
+            raise ValueError(f"invalid invariant mode {mode!r}")
+        self.mode = mode
+        self.ctx = ctx
+        self._fired: dict[int, list[tuple[int, int]]] = {}
+        self._best: dict[tuple[int, int], tuple[int, float]] = {}
+
+    # -- violation plumbing ----------------------------------------------------
+
+    def _violate(
+        self, invariant: str, rnd: int, detail: str, repaired: bool
+    ) -> None:
+        self.ctx.record_invariant_violation(invariant, rnd, detail, repaired)
+        if not repaired:
+            raise InvariantViolation(invariant, rnd, detail)
+
+    # -- per-round check -------------------------------------------------------
+
+    def check_master_round(
+        self, rnd: int, masters: dict[int, "MasterVertexState"]
+    ) -> None:
+        """Verify every master's state after round ``rnd``'s updates."""
+        for gid, ms in masters.items():
+            self._check_prefix(rnd, gid, ms)
+            self._check_schedule(rnd, gid, ms)
+            self._check_best(rnd, gid, ms)
+
+    def _check_prefix(self, rnd: int, gid: int, ms: "MasterVertexState") -> None:
+        fired = list(ms.entries[: ms.sent_prefix])
+        prev = self._fired.get(gid)
+        if prev is not None and fired[: len(prev)] != prev:
+            repaired = False
+            if self.mode == "repair" and ms.sent_prefix >= len(prev):
+                ms.entries[: len(prev)] = prev
+                fired = list(ms.entries[: ms.sent_prefix])
+                repaired = True
+            self._violate(
+                "sent_prefix_immutability",
+                rnd,
+                f"fired prefix of vertex {gid} changed from {prev} "
+                f"to {fired[:len(prev)] if prev else fired}",
+                repaired,
+            )
+        self._fired[gid] = fired
+
+    def _check_schedule(self, rnd: int, gid: int, ms: "MasterVertexState") -> None:
+        # Newly fired entries must have fired on schedule: τ = d + pos + 1.
+        for pos, (d, si) in enumerate(ms.entries[: ms.sent_prefix]):
+            tau = ms.tau.get(si)
+            if tau is None or tau != d + pos + 1:
+                # A fired entry with the wrong timestamp cannot be rolled
+                # back — the broadcast already went out.
+                self._violate(
+                    "timestamp_schedule",
+                    rnd,
+                    f"vertex {gid} entry {(d, si)} at position {pos} fired "
+                    f"in round {tau}, schedule says {d + pos + 1}",
+                    repaired=False,
+                )
+
+    def _check_best(self, rnd: int, gid: int, ms: "MasterVertexState") -> None:
+        for si, (d, sigma) in list(ms.best.items()):
+            key = (gid, si)
+            old = self._best.get(key)
+            if old is not None:
+                od, osigma = old
+                bad = d > od or (d == od and sigma < osigma)
+                if bad:
+                    repaired = False
+                    if self.mode == "repair":
+                        ms.best[si] = old
+                        repaired = True
+                    self._violate(
+                        "sigma_monotonicity",
+                        rnd,
+                        f"label of (v={gid}, s={si}) regressed from "
+                        f"(d={od}, σ={osigma}) to (d={d}, σ={sigma})",
+                        repaired,
+                    )
+                    if repaired:
+                        continue
+            self._best[key] = (d, sigma)

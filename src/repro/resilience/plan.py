@@ -1,0 +1,163 @@
+"""Deterministic seeded fault plans.
+
+A :class:`FaultPlan` is a named, seeded list of :class:`FaultSpec`
+entries.  Message-scope specs (``drop``, ``duplicate``, ``reorder``,
+``corrupt``) fire per remote channel per synchronization with probability
+``rate``; host-scope specs (``stall``, ``crash``) fire once when the
+global round counter reaches ``round``.  All randomness comes from one
+:class:`numpy.random.Generator` seeded by the plan, and the engines are
+deterministic, so two runs under an identical plan inject *exactly* the
+same faults — the property the reproducibility tests pin down.
+
+Plans serialize to/from plain dicts (and therefore JSON files), so a CI
+matrix or an experiment config can name its fault scenario precisely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Iterable
+
+#: Message-scope fault kinds (perturb one channel's aggregated message).
+MESSAGE_KINDS = ("drop", "duplicate", "reorder", "corrupt")
+#: Host-scope fault kinds (perturb one simulated host).
+HOST_KINDS = ("stall", "crash")
+ALL_KINDS = MESSAGE_KINDS + HOST_KINDS
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault source inside a plan.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`ALL_KINDS`.
+    rate:
+        Per-channel firing probability for message-scope kinds.
+    host, round:
+        Target host and trigger round for host-scope kinds; the spec
+        fires at the first synchronization whose global round index is
+        ``>= round`` and is then consumed.
+    duration:
+        Stall length in rounds (``stall`` only).
+    max_events:
+        Cap on total injections from this spec (``None`` = unlimited).
+        Retransmissions draw from the same budget, so a capped spec
+        guarantees bounded-recovery convergence.
+    """
+
+    kind: str
+    rate: float = 0.0
+    host: int | None = None
+    round: int | None = None
+    duration: int = 1
+    max_events: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind in MESSAGE_KINDS and not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.kind in HOST_KINDS:
+            if self.host is None or self.round is None:
+                raise ValueError(f"{self.kind} spec needs host= and round=")
+            if self.duration < 1:
+                raise ValueError("duration must be >= 1")
+
+    @property
+    def is_message_scope(self) -> bool:
+        return self.kind in MESSAGE_KINDS
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded fault scenario."""
+
+    name: str
+    seed: int = 0
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    @property
+    def message_specs(self) -> tuple[FaultSpec, ...]:
+        return tuple(s for s in self.specs if s.is_message_scope)
+
+    @property
+    def host_specs(self) -> tuple[FaultSpec, ...]:
+        return tuple(s for s in self.specs if not s.is_message_scope)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same scenario under a different random stream."""
+        return replace(self, seed=seed)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "specs": [s.to_dict() for s in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, rec: dict[str, Any]) -> "FaultPlan":
+        specs = tuple(FaultSpec(**s) for s in rec.get("specs", ()))
+        return cls(name=rec["name"], seed=int(rec.get("seed", 0)), specs=specs)
+
+
+def _plans(entries: Iterable[FaultPlan]) -> dict[str, FaultPlan]:
+    return {p.name: p for p in entries}
+
+
+#: The named scenarios the ``repro faults`` CLI and the CI matrix run.
+#: Rates are tuned for the library-scale suite graphs: high enough that a
+#: run always materializes several faults, capped so bounded retransmit
+#: recovery always converges.
+DEFAULT_PLANS: dict[str, FaultPlan] = _plans(
+    [
+        FaultPlan(
+            "drop", seed=0x5EED_D07, specs=(FaultSpec("drop", rate=0.08, max_events=6),)
+        ),
+        FaultPlan(
+            "duplicate",
+            seed=0x5EED_D09,
+            specs=(FaultSpec("duplicate", rate=0.08, max_events=6),),
+        ),
+        FaultPlan(
+            "reorder",
+            seed=0x5EED_D11,
+            specs=(FaultSpec("reorder", rate=0.10, max_events=8),),
+        ),
+        FaultPlan(
+            "corrupt",
+            seed=0x5EED_D13,
+            specs=(FaultSpec("corrupt", rate=0.08, max_events=6),),
+        ),
+        FaultPlan(
+            "stall",
+            seed=0x5EED_D17,
+            specs=(FaultSpec("stall", host=1, round=3, duration=2),),
+        ),
+        FaultPlan(
+            "crash",
+            seed=0x5EED_D19,
+            specs=(FaultSpec("crash", host=1, round=4),),
+        ),
+    ]
+)
+
+
+def get_plan(name: str, seed: int | None = None) -> FaultPlan:
+    """Look up a default plan by name, optionally reseeded."""
+    try:
+        plan = DEFAULT_PLANS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault plan {name!r} "
+            f"(defaults: {', '.join(sorted(DEFAULT_PLANS))})"
+        ) from None
+    return plan if seed is None else plan.with_seed(seed)

@@ -8,6 +8,11 @@ These tests inject faults — dropped messages, corrupted payloads, broken
 schedules — and assert that the library fails loudly (assertion/exception)
 or that validation catches the corruption, rather than returning bad BC
 values as if nothing happened.
+
+Message loss is injected through the first-class fault-plan hook on
+:class:`CongestNetwork` (``resilience=``) rather than by monkey-patching
+delivery; see :mod:`repro.resilience` and tests/test_resilience.py for
+the detect/repair behaviors of the guard itself.
 """
 
 import numpy as np
@@ -18,32 +23,8 @@ from repro.congest.network import CongestNetwork
 from repro.core.apsp import APSPVertexState, DirectedAPSPProgram
 from repro.core.mrbc import MasterVertexState
 from repro.core.mrbc_congest import mrbc_congest
-from repro.utils.prng import make_rng
+from repro.resilience import FaultPlan, FaultSpec, ResilienceContext
 from tests.conftest import some_sources
-
-
-class DroppyNetwork(CongestNetwork):
-    """A network that silently drops a fraction of channel messages."""
-
-    def __init__(self, *args, drop_rate=0.2, seed=0, **kwargs):
-        super().__init__(*args, **kwargs)
-        self._rng = make_rng(seed)
-        self._drop_rate = drop_rate
-
-    def run(self, max_rounds, **kwargs):
-        # Monkey-patch delivery by wrapping each program's handler.
-        for prog in self.programs:
-            original = prog.handle_message
-            rng = self._rng
-            rate = self._drop_rate
-
-            def dropping(rnd, sender, payload, _orig=original):
-                if rng.random() < rate:
-                    return  # message lost
-                _orig(rnd, sender, payload)
-
-            prog.handle_message = dropping  # type: ignore[method-assign]
-        return super().run(max_rounds, **kwargs)
 
 
 class TestMessageLoss:
@@ -51,16 +32,22 @@ class TestMessageLoss:
         """With dropped messages the pipelining invariants break: either a
         runtime assertion fires (missed send / prefix violation) or the
         computed distances disagree with the reference — never a silent
-        pass."""
+        pass.  The guard runs in ``off`` mode: faults are injected but not
+        repaired, so the *algorithm's own* defenses must catch them."""
         g = er_graph
         srcs = frozenset(some_sources(g, 5))
+        plan = FaultPlan(
+            name="lossy-forward",
+            seed=1,
+            specs=(FaultSpec(kind="drop", rate=0.3),),
+        )
+        ctx = ResilienceContext(plan=plan, mode="off", invariants="off")
         detected = False
         try:
-            net = DroppyNetwork(
+            net = CongestNetwork(
                 g,
                 lambda v: DirectedAPSPProgram(sources=srcs),
-                drop_rate=0.3,
-                seed=1,
+                resilience=ctx,
             )
             net.run(2 * g.num_vertices, detect_quiescence=True)
             # If no assertion fired, validation must catch the corruption.
@@ -75,6 +62,7 @@ class TestMessageLoss:
                         detected = True
         except AssertionError:
             detected = True
+        assert ctx.faults_injected > 0, "fault plan never fired"
         assert detected, "message loss went completely unnoticed"
 
 

@@ -180,7 +180,7 @@ class TestExactSizes:
         from repro.core import mrbc as mrbc_mod
 
         orig = mrbc_mod.GluonSubstrate
-        mrbc_mod.GluonSubstrate = lambda p: GS(p, exact_sizes=True)
+        mrbc_mod.GluonSubstrate = lambda p, **kw: GS(p, exact_sizes=True, **kw)
         try:
             exact = mrbc_engine(g, sources=srcs, batch_size=4, partition=pg)
         finally:

@@ -1,0 +1,562 @@
+"""Tests for the fault-injection & recovery subsystem (repro.resilience).
+
+Covers the three tentpole pieces — deterministic fault plans with
+first-class injection hooks, checkpoint/restart, and self-checking round
+invariants — plus the persistence v2 format, the recovery-phase time
+attribution, and the ``repro faults`` CLI.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.baselines.brandes import brandes_bc
+from repro.cluster.model import ClusterModel
+from repro.core.mrbc import MasterVertexState, mrbc_engine
+from repro.engine.persist import (
+    load_checkpoint,
+    load_run,
+    save_checkpoint,
+    save_run,
+)
+from repro.engine.stats import EngineRun
+from repro.graph import generators as gen
+from repro.resilience import (
+    CheckpointStore,
+    FaultDetectedError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InvariantChecker,
+    InvariantViolation,
+    ResilienceContext,
+    get_plan,
+    run_under_faults,
+)
+from repro.resilience.plan import DEFAULT_PLANS
+from tests.conftest import some_sources
+
+HOSTS = 4
+BATCH = 8
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gen.erdos_renyi(40, 3.0, seed=11)
+
+
+@pytest.fixture(scope="module")
+def sources(graph):
+    return some_sources(graph, 6)
+
+
+@pytest.fixture(scope="module")
+def reference(graph, sources):
+    return brandes_bc(graph, sources=sources)
+
+
+@pytest.fixture(scope="module")
+def fault_free(graph, sources):
+    """The no-faults MRBC run the recovered runs must match bit-for-bit."""
+    return mrbc_engine(
+        graph, sources=sources, batch_size=BATCH, num_hosts=HOSTS
+    )
+
+
+# -- fault plans --------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_dict_round_trip(self):
+        plan = get_plan("drop")
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again == plan
+        assert json.loads(json.dumps(plan.to_dict())) == plan.to_dict()
+
+    def test_with_seed(self):
+        plan = get_plan("corrupt", seed=123)
+        assert plan.seed == 123
+        assert plan.specs == get_plan("corrupt").specs
+
+    def test_unknown_plan(self):
+        with pytest.raises(KeyError):
+            get_plan("meteor-strike")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="gremlins")
+        with pytest.raises(ValueError):
+            FaultSpec(kind="drop", rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="crash")  # host faults need host + round
+
+    def test_default_plans_have_distinct_seeds(self):
+        seeds = [p.seed for p in DEFAULT_PLANS.values()]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_perturbations(self):
+        items = [(7, 0, 2, 1.5), (8, 1, 3, 2.5), (9, 0, 1, 0.5)]
+        plan = FaultPlan(
+            name="t", seed=42,
+            specs=(FaultSpec(kind="reorder", rate=0.5),
+                   FaultSpec(kind="corrupt", rate=0.5)),
+        )
+        seqs = []
+        for _ in range(2):
+            inj = FaultInjector(plan)
+            seq = [
+                inj.perturb_channel(rnd, 0, 1, list(items))
+                for rnd in range(1, 20)
+            ]
+            seqs.append(seq)
+        assert seqs[0] == seqs[1]
+        assert FaultInjector(plan).total_injected == 0
+
+    def test_different_seed_diverges(self):
+        items = [(7, 0, 2, 1.5), (8, 1, 3, 2.5)]
+        out = []
+        for seed in (1, 2):
+            inj = FaultInjector(get_plan("drop").with_seed(seed))
+            out.append(
+                [inj.perturb_channel(r, 0, 1, list(items)) for r in range(30)]
+            )
+        assert out[0] != out[1]
+
+
+# -- end-to-end fault experiments ---------------------------------------------
+
+
+class TestRepairMode:
+    @pytest.mark.parametrize("plan", sorted(DEFAULT_PLANS))
+    def test_mrbc_recovers_every_default_plan(
+        self, graph, sources, reference, fault_free, plan
+    ):
+        report = run_under_faults(
+            "mrbc", graph, sources=sources, plan=plan, mode="repair",
+            num_hosts=HOSTS, batch_size=BATCH,
+        )
+        s = report.resilience
+        assert report.completed, report.failure
+        assert s["faults_injected"] >= 1
+        assert s["faults_detected"] >= 1
+        assert s["recoveries"] >= 1
+        assert report.max_abs_error <= 1e-9
+        # Recovery must reproduce the fault-free result exactly, not just
+        # approximately: retransmits deliver the same items, restarts
+        # replay the same rounds.
+        assert np.array_equal(report.bc, fault_free.bc)
+
+    def test_sbbc_recovers(self, graph, sources):
+        report = run_under_faults(
+            "sbbc", graph, sources=sources, plan="drop", mode="repair",
+            num_hosts=HOSTS,
+        )
+        assert report.completed, report.failure
+        assert report.resilience["recoveries"] >= 1
+        assert report.max_abs_error <= 1e-9
+
+    def test_manifest_records_resilience(self, graph, sources, tmp_path):
+        report = run_under_faults(
+            "mrbc", graph, sources=sources, plan="corrupt", mode="repair",
+            num_hosts=HOSTS, batch_size=BATCH, out_dir=tmp_path,
+        )
+        man = report.manifest.to_dict()
+        res = man["extra"]["resilience"]
+        assert man["extra"]["fault_plan"] == "corrupt"
+        assert res["faults_detected"] >= 1
+        assert res["recoveries"] >= 1
+        assert (tmp_path / "manifest.json").exists()
+        assert (tmp_path / "events.jsonl").exists()
+        on_disk = json.loads((tmp_path / "manifest.json").read_text())
+        assert on_disk["extra"]["resilience"]["faults_detected"] >= 1
+
+    def test_recovery_rounds_attributed_to_recovery_phase(
+        self, graph, sources
+    ):
+        report = run_under_faults(
+            "mrbc", graph, sources=sources, plan="drop", mode="repair",
+            num_hosts=HOSTS, batch_size=BATCH,
+        )
+        run = report.manifest  # manifest groups by effective phase
+        phases = {p["phase"] for p in run.to_dict()["phases"]}
+        assert "recovery" in phases
+
+
+class TestDetectMode:
+    def test_detect_fails_loudly(self, graph, sources):
+        report = run_under_faults(
+            "mrbc", graph, sources=sources, plan="drop", mode="detect",
+            num_hosts=HOSTS, batch_size=BATCH,
+        )
+        assert not report.completed
+        assert "FaultDetectedError" in report.failure
+        assert report.bc is None
+        assert report.resilience["faults_detected"] >= 1
+
+    def test_detect_raises_outside_harness(self, graph, sources):
+        ctx = ResilienceContext(plan=get_plan("corrupt"), mode="detect")
+        with pytest.raises(FaultDetectedError):
+            mrbc_engine(
+                graph, sources=sources, batch_size=BATCH,
+                num_hosts=HOSTS, resilience=ctx,
+            )
+
+
+class TestOffMode:
+    def test_off_mode_does_not_mask_faults(self, graph, sources):
+        """Unchecked faults must surface as an engine assertion or a wrong
+        answer — the guard in ``off`` mode must not quietly fix things."""
+        report = run_under_faults(
+            "mrbc", graph, sources=sources, plan="drop", mode="off",
+            invariants="off", num_hosts=HOSTS, batch_size=BATCH,
+        )
+        assert report.resilience["faults_injected"] >= 1
+        assert report.resilience["recoveries"] == 0
+        poisoned = (
+            not report.completed
+            or report.max_abs_error > 1e-9
+        )
+        assert poisoned, "dropped messages went completely unnoticed"
+
+
+# -- crash / checkpoint / restart ---------------------------------------------
+
+
+def crash_plan(round_index, host=1):
+    return FaultPlan(
+        name=f"crash@{round_index}",
+        seed=7,
+        specs=(FaultSpec(kind="crash", host=host, round=round_index),),
+    )
+
+
+class TestCrashRestart:
+    def test_crash_mid_forward_resumes_bit_for_bit(
+        self, graph, sources, fault_free, reference
+    ):
+        report = run_under_faults(
+            "mrbc", graph, sources=sources, plan=crash_plan(3),
+            mode="repair", num_hosts=HOSTS, batch_size=BATCH,
+        )
+        assert report.completed, report.failure
+        assert report.resilience["crash_restarts"] >= 1
+        assert np.array_equal(report.bc, fault_free.bc)
+        assert float(np.max(np.abs(report.bc - reference))) <= 1e-9
+
+    def test_crash_mid_backward_resumes_bit_for_bit(
+        self, graph, sources, fault_free, reference
+    ):
+        # Forward rounds of the (single-batch) fault-free run; a crash two
+        # rounds later lands in the backward phase and must restore the
+        # forward state from its checkpoint.
+        fwd = fault_free.run.rounds_in_phase("forward")
+        assert fault_free.run.rounds_in_phase("backward") > 2
+        report = run_under_faults(
+            "mrbc", graph, sources=sources, plan=crash_plan(fwd + 2),
+            mode="repair", num_hosts=HOSTS, batch_size=BATCH,
+        )
+        assert report.completed, report.failure
+        assert report.resilience["crash_restarts"] >= 1
+        assert report.resilience["recovery_rounds"] >= 1
+        assert np.array_equal(report.bc, fault_free.bc)
+        assert float(np.max(np.abs(report.bc - reference))) <= 1e-9
+
+    def test_crash_detect_mode_aborts(self, graph, sources):
+        report = run_under_faults(
+            "mrbc", graph, sources=sources, plan=crash_plan(3),
+            mode="detect", num_hosts=HOSTS, batch_size=BATCH,
+        )
+        assert not report.completed
+        assert "HostCrashError" in report.failure
+
+    def test_bsp_sssp_crash_recovery(self):
+        from repro.engine.bsp import sssp_engine
+        from repro.graph.weighted import with_random_weights
+
+        g = gen.erdos_renyi(50, 3.5, seed=61)
+        wg = with_random_weights(g, 1, 7, integer=True, seed=62)
+        clean, _ = sssp_engine(wg, source=0, num_hosts=HOSTS)
+        ctx = ResilienceContext(plan=crash_plan(4), mode="repair")
+        dist, res = sssp_engine(
+            wg, source=0, num_hosts=HOSTS, resilience=ctx
+        )
+        assert ctx.crash_restarts >= 1
+        assert np.array_equal(dist, clean)
+        assert res.run.recovery_rounds >= 1
+
+
+class TestCheckpointStore:
+    def test_memory_round_trip_is_isolated(self):
+        store = CheckpointStore()
+        arr = np.arange(5, dtype=np.float64)
+        store.save("t0", {"kind": "x", "n": 5}, {"a": arr})
+        arr[0] = 99.0  # mutating the caller's array must not leak in
+        meta, arrays = store.load("t0")
+        assert meta == {"kind": "x", "n": 5}
+        assert arrays["a"][0] == 0.0
+        arrays["a"][1] = 77.0  # nor mutating the loaded copy leak back
+        _, again = store.load("t0")
+        assert again["a"][1] == 1.0
+
+    def test_disk_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("batch0", {"kind": "y"}, {"b": np.ones(3)})
+        assert store.latest() == "batch0"
+        meta, arrays = store.load("batch0")
+        assert meta["kind"] == "y"
+        assert np.array_equal(arrays["b"], np.ones(3))
+        assert list(tmp_path.glob("*.ckpt.npz"))
+
+    def test_checkpoint_file_round_trip(self, tmp_path):
+        path = tmp_path / "c.npz"
+        meta = {"kind": "bsp", "round": 7, "fires": [[1, 2], [3, 4]]}
+        arrays = {"d": np.array([1.5, 2.5]), "i": np.arange(4)}
+        save_checkpoint(path, meta, arrays)
+        m2, a2 = load_checkpoint(path)
+        assert m2 == meta
+        assert np.array_equal(a2["d"], arrays["d"])
+        assert np.array_equal(a2["i"], arrays["i"])
+
+
+# -- invariants ----------------------------------------------------------------
+
+
+class TestInvariants:
+    def _master(self):
+        ms = MasterVertexState()
+        ms.apply_contribution(0, host=1, d=1, sigma=2.0)
+        assert ms.next_fire(2) == (1, 0, 2.0)
+        return ms
+
+    def test_detect_raises_on_prefix_mutation(self):
+        ctx = ResilienceContext(mode="detect")
+        chk = InvariantChecker("detect", ctx)
+        ms = self._master()
+        chk.check_master_round(2, {5: ms})
+        ms.entries[0] = (0, 0)  # tamper with the fired prefix
+        with pytest.raises(InvariantViolation):
+            chk.check_master_round(3, {5: ms})
+        assert ctx.invariant_violations["sent_prefix_immutability"] == 1
+
+    def test_repair_rolls_back_prefix(self):
+        ctx = ResilienceContext(mode="repair")
+        chk = InvariantChecker("repair", ctx)
+        ms = self._master()
+        chk.check_master_round(2, {5: ms})
+        ms.entries[0] = (0, 0)
+        chk.check_master_round(3, {5: ms})  # repaired, no raise
+        assert ms.entries[0] == (1, 0)
+        assert ctx.recovered_by_kind.get("state_rollback", 0) == 1
+
+    def test_detect_raises_on_sigma_regression(self):
+        ctx = ResilienceContext(mode="detect")
+        chk = InvariantChecker("detect", ctx)
+        ms = self._master()
+        chk.check_master_round(2, {5: ms})
+        ms.best[0] = (1, 1.0)  # σ shrank at the same distance
+        with pytest.raises(InvariantViolation):
+            chk.check_master_round(3, {5: ms})
+
+    def test_schedule_violation_not_repairable(self):
+        ctx = ResilienceContext(mode="repair")
+        chk = InvariantChecker("repair", ctx)
+        ms = self._master()
+        ms.tau[0] = 9  # fired timestamp off schedule: cannot roll back
+        with pytest.raises(InvariantViolation):
+            chk.check_master_round(2, {5: ms})
+
+
+# -- persistence v2 ------------------------------------------------------------
+
+
+def _toy_run(phases):
+    run = EngineRun(num_hosts=2)
+    for i, (phase, recovery) in enumerate(phases):
+        rs = run.new_round(phase, recovery=recovery)
+        rs.bytes_out[:] = (10 * (i + 1), 20 * (i + 1))
+        rs.bytes_in[:] = rs.bytes_out[::-1]
+        rs.pair_messages = i
+        rs.items_synced = 2 * i
+        rs.compute[0].vertex_ops = 3 * i
+    return run
+
+
+class TestPersistV2:
+    def test_round_trip_preserves_custom_phases_and_recovery(self, tmp_path):
+        run = _toy_run([
+            ("forward", False),
+            ("wavefront-sweep", False),  # not in the fixed v1 table
+            ("forward", True),
+            ("backward", False),
+        ])
+        path = tmp_path / "run.npz"
+        save_run(run, path)
+        back = load_run(path)
+        assert [r.phase for r in back.rounds] == [
+            "forward", "wavefront-sweep", "forward", "backward"
+        ]
+        assert [r.recovery for r in back.rounds] == [False, False, True, False]
+        assert back.recovery_rounds == 1
+        assert back.phases() == ["forward", "wavefront-sweep", "recovery",
+                                 "backward"]
+        assert back.total_bytes == run.total_bytes
+
+    def test_v1_archives_still_load(self, tmp_path):
+        from repro.engine.persist import _V1_PHASES
+
+        run = _toy_run([("forward", False), ("backward", False)])
+        path = tmp_path / "v1.npz"
+        save_run(run, path)
+        # Rewrite the archive as a v1 producer would have: fixed phase
+        # table, no phase_names / recovery arrays.
+        with np.load(path) as data:
+            legacy = {k: data[k] for k in data.files
+                      if k not in ("phase_names", "recovery", "version",
+                                   "phases")}
+            legacy["version"] = np.int64(1)
+            legacy["phases"] = np.array(
+                [_V1_PHASES.index("forward"), _V1_PHASES.index("backward")],
+                dtype=np.int64,
+            )
+        np.savez_compressed(path, **legacy)
+        back = load_run(path)
+        assert [r.phase for r in back.rounds] == ["forward", "backward"]
+        assert all(not r.recovery for r in back.rounds)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        run = _toy_run([("forward", False)])
+        path = tmp_path / "vX.npz"
+        save_run(run, path)
+        with np.load(path) as data:
+            bad = {k: data[k] for k in data.files}
+        bad["version"] = np.int64(99)
+        np.savez_compressed(path, **bad)
+        with pytest.raises(ValueError):
+            load_run(path)
+
+
+# -- reproducibility & accounting ---------------------------------------------
+
+
+def _stripped(events):
+    out = []
+    for e in events:
+        if e.kind not in ("fault", "recovery", "round"):
+            continue
+        attrs = {k: v for k, v in e.attrs.items() if k != "parent_id"}
+        out.append((e.kind, e.name, attrs))
+    return out
+
+
+class TestReproducibility:
+    def test_same_seed_bit_identical_event_stream(self, graph, sources):
+        streams, summaries, rounds = [], [], []
+        for _ in range(2):
+            sink = obs.MemorySink()
+            with obs.session(sink, model=ClusterModel(HOSTS)):
+                report = run_under_faults(
+                    "mrbc", graph, sources=sources, plan="duplicate",
+                    mode="repair", num_hosts=HOSTS, batch_size=BATCH,
+                )
+            streams.append(_stripped(sink.events))
+            summaries.append(report.resilience)
+            rounds.append(report.rounds)
+        assert streams[0] == streams[1]
+        assert summaries[0] == summaries[1]
+        assert rounds[0] == rounds[1]
+        assert any(k == "fault" for k, _, _ in streams[0])
+        assert any(k == "recovery" for k, _, _ in streams[0])
+
+    def test_reseeded_plan_changes_injections(self, graph, sources):
+        streams = []
+        for seed in (1, 2):
+            sink = obs.MemorySink()
+            with obs.session(sink):
+                report = run_under_faults(
+                    "mrbc", graph, sources=sources,
+                    plan=get_plan("drop", seed=seed), mode="repair",
+                    num_hosts=HOSTS, batch_size=BATCH,
+                )
+            assert report.max_abs_error <= 1e-9
+            streams.append(
+                [(e.name, e.attrs) for e in sink.of_kind("fault")]
+            )
+        # Different seeds hit different channels/rounds (deterministically).
+        assert streams[0] != streams[1]
+
+
+class TestRecoveryAccounting:
+    def test_time_by_phase_has_recovery_phase(self, graph, sources):
+        ctx = ResilienceContext(plan=get_plan("drop"), mode="repair")
+        res = mrbc_engine(
+            graph, sources=sources, batch_size=BATCH, num_hosts=HOSTS,
+            resilience=ctx,
+        )
+        assert ctx.recoveries >= 1
+        split = ClusterModel(HOSTS).time_by_phase(res.run)
+        assert "recovery" in split
+        assert split["recovery"].total > 0
+        assert res.run.recovery_rounds >= 1
+        # The split still sums to the whole run.
+        total = sum(t.total for t in split.values())
+        assert total == pytest.approx(
+            ClusterModel(HOSTS).time_run(res.run).total
+        )
+
+    def test_detection_latency_reported(self, graph, sources):
+        report = run_under_faults(
+            "mrbc", graph, sources=sources, plan="corrupt", mode="repair",
+            num_hosts=HOSTS, batch_size=BATCH,
+        )
+        lat = report.resilience["detection_latency_rounds"]
+        assert lat is not None and lat >= 0
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+class TestFaultsCLI:
+    def test_repair_run_passes(self, capsys, tmp_path):
+        from repro.cli import main
+
+        rc = main([
+            "faults", "drop", "--graph", "er:30:3", "--sources", "6",
+            "--hosts", "4", "--out", str(tmp_path), "-q",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verdict: PASS" in out
+        assert (tmp_path / "manifest.json").exists()
+
+    def test_detect_run_passes_by_aborting(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "faults", "corrupt", "--graph", "er:30:3", "--sources", "6",
+            "--hosts", "4", "--mode", "detect", "-q",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "FaultDetectedError" in out
+
+    def test_json_plan_file(self, capsys, tmp_path):
+        from repro.cli import main
+
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(json.dumps(get_plan("duplicate").to_dict()))
+        rc = main([
+            "faults", str(plan_file), "--graph", "er:30:3", "--sources",
+            "6", "--hosts", "4", "-q",
+        ])
+        assert rc == 0
+        assert "duplicate" in capsys.readouterr().out
+
+    def test_unknown_plan_errors(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["faults", "gremlins", "--graph", "er:30:3", "-q"])
