@@ -7,6 +7,7 @@ comparisons can be regenerated with a single pytest invocation.
 
 from __future__ import annotations
 
+import json
 import math
 from collections.abc import Iterable, Sequence
 
@@ -38,7 +39,36 @@ def format_table(
     return "\n".join(lines)
 
 
-def render_phase_breakdown(manifest: dict) -> str:
+def phase_breakdown_dict(manifest: dict) -> dict:
+    """The phase breakdown as plain data (the ``--format json`` payload).
+
+    The machine-readable twin of :func:`render_phase_breakdown`, consumed
+    by ``repro bench``/CI: identity fields, one record per phase, and the
+    manifest's whole-run totals, all JSON-serializable.
+    """
+    return {
+        "algorithm": manifest.get("algorithm"),
+        "graph_spec": manifest.get("graph_spec"),
+        "num_hosts": manifest.get("num_hosts"),
+        "num_sources": manifest.get("num_sources"),
+        "git_sha": manifest.get("git_sha"),
+        "phases": [
+            {
+                "phase": p["phase"],
+                "rounds": p["rounds"],
+                "computation_s": float(p["computation_s"]),
+                "communication_s": float(p["communication_s"]),
+                "total_s": float(p["computation_s"]) + float(p["communication_s"]),
+                "bytes": p["bytes"],
+                "pair_messages": p["pair_messages"],
+            }
+            for p in manifest.get("phases", [])
+        ],
+        "totals": manifest.get("totals", {}),
+    }
+
+
+def render_phase_breakdown(manifest: dict, fmt: str = "table") -> str:
     """Figure 2-style per-phase computation/communication table.
 
     ``manifest`` is a :class:`repro.obs.manifest.RunManifest` in dict form
@@ -46,7 +76,13 @@ def render_phase_breakdown(manifest: dict) -> str:
     plus a TOTAL row taken from the manifest's whole-run totals — the same
     numbers ``ClusterModel.time_run`` reports, so the table reproduces the
     paper's computation-vs-communication split from a recorded run alone.
+    ``fmt="json"`` returns :func:`phase_breakdown_dict` serialized instead
+    of the aligned text table.
     """
+    if fmt == "json":
+        return json.dumps(phase_breakdown_dict(manifest), indent=2, sort_keys=True)
+    if fmt != "table":
+        raise ValueError(f"unknown breakdown format {fmt!r} (table|json)")
     headers = [
         "phase",
         "rounds",
@@ -56,22 +92,21 @@ def render_phase_breakdown(manifest: dict) -> str:
         "volume (B)",
         "msgs",
     ]
+    doc = phase_breakdown_dict(manifest)
     rows: list[list[object]] = []
-    for p in manifest.get("phases", []):
-        comp = float(p["computation_s"])
-        comm = float(p["communication_s"])
+    for p in doc["phases"]:
         rows.append(
             [
                 p["phase"],
                 p["rounds"],
-                f"{comp:.5f}",
-                f"{comm:.5f}",
-                f"{comp + comm:.5f}",
+                f"{p['computation_s']:.5f}",
+                f"{p['communication_s']:.5f}",
+                f"{p['total_s']:.5f}",
                 p["bytes"],
                 p["pair_messages"],
             ]
         )
-    totals = manifest.get("totals", {})
+    totals = doc["totals"]
     if totals:
         rows.append(
             [
@@ -84,8 +119,8 @@ def render_phase_breakdown(manifest: dict) -> str:
                 totals["pair_messages"],
             ]
         )
-    algo = manifest.get("algorithm", "?")
-    hosts = manifest.get("num_hosts", "?")
+    algo = doc["algorithm"] if doc["algorithm"] is not None else "?"
+    hosts = doc["num_hosts"] if doc["num_hosts"] is not None else "?"
     title = f"phase breakdown: {algo} on {hosts} hosts"
     return format_table(headers, rows, title=title)
 

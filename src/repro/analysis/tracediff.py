@@ -1,0 +1,332 @@
+"""Trace analytics: straggler attribution and run-to-run diffing.
+
+Two consumers of a recorded run's artifacts (``events.jsonl`` +
+``manifest.json``) that answer the questions a single
+:func:`~repro.analysis.reporting.render_phase_breakdown` table cannot:
+
+- :func:`phase_stragglers` — walks the columnar ``round`` events and
+  attributes each BSP round to the host that bounds it (the max-ops host
+  when the round is computation-bound under the cluster model, the
+  max-bytes host when communication-bound), plus the within-phase load
+  imbalance trend.  In BSP the slowest host *is* the critical path, so
+  "which host bounds how many rounds" is the per-phase critical-path
+  attribution.
+- :func:`diff_runs` / ``repro compare`` — phase-by-phase deltas between
+  two manifests (rounds, volume, messages, simulated split), with
+  critical-host shifts when both runs carry event streams.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.events import KIND_ROUND, Event, read_events
+from repro.obs.manifest import load_manifest
+
+# -- straggler / critical-path attribution -----------------------------------------
+
+
+@dataclass
+class PhaseStragglers:
+    """Critical-path attribution for one phase's rounds."""
+
+    phase: str
+    rounds: int = 0
+    comp_bound_rounds: int = 0
+    comm_bound_rounds: int = 0
+    #: host -> number of rounds that host bounded (was the critical path).
+    bound_by_host: dict[int, int] = field(default_factory=dict)
+    #: Per-round max/mean compute imbalance, in execution order.
+    imbalance: list[float] = field(default_factory=list)
+
+    @property
+    def critical_host(self) -> int | None:
+        """The host bounding the most rounds of this phase."""
+        if not self.bound_by_host:
+            return None
+        return max(sorted(self.bound_by_host), key=self.bound_by_host.get)
+
+    @property
+    def critical_share(self) -> float:
+        """Fraction of rounds bounded by :attr:`critical_host`."""
+        h = self.critical_host
+        if h is None or self.rounds == 0:
+            return 0.0
+        return self.bound_by_host[h] / self.rounds
+
+    def imbalance_halves(self) -> tuple[float, float]:
+        """Mean imbalance over the first and second half of the rounds.
+
+        A rising second half means the load balance *degrades* as the
+        phase progresses (e.g. the frontier concentrating on few hosts).
+        """
+        if not self.imbalance:
+            return (1.0, 1.0)
+        mid = max(1, len(self.imbalance) // 2)
+        first = self.imbalance[:mid]
+        second = self.imbalance[mid:] or first
+        return (sum(first) / len(first), sum(second) / len(second))
+
+    def to_dict(self) -> dict[str, Any]:
+        first, second = self.imbalance_halves()
+        return {
+            "phase": self.phase,
+            "rounds": self.rounds,
+            "comp_bound_rounds": self.comp_bound_rounds,
+            "comm_bound_rounds": self.comm_bound_rounds,
+            "bound_by_host": {str(h): n for h, n in sorted(self.bound_by_host.items())},
+            "critical_host": self.critical_host,
+            "critical_share": round(self.critical_share, 4),
+            "imbalance_first_half": round(first, 4),
+            "imbalance_second_half": round(second, 4),
+        }
+
+
+def phase_stragglers(events: "list[Event]") -> list[PhaseStragglers]:
+    """Aggregate the columnar ``round`` events into per-phase attribution."""
+    by_phase: dict[str, PhaseStragglers] = {}
+    order: list[str] = []
+    for e in sorted(
+        (e for e in events if e.kind == KIND_ROUND), key=lambda e: e.seq
+    ):
+        a = e.attrs
+        phase = str(a.get("phase", "?"))
+        ps = by_phase.get(phase)
+        if ps is None:
+            ps = by_phase[phase] = PhaseStragglers(phase)
+            order.append(phase)
+        ops = a.get("host_ops") or []
+        b_out = a.get("host_bytes_out") or []
+        b_in = a.get("host_bytes_in") or []
+        byts = [
+            (b_out[h] if h < len(b_out) else 0)
+            + (b_in[h] if h < len(b_in) else 0)
+            for h in range(max(len(ops), len(b_out), len(b_in)))
+        ]
+        comp_s = a.get("sim_computation_s")
+        comm_s = a.get("sim_communication_s")
+        if comp_s is not None and comm_s is not None:
+            comp_bound = comp_s >= comm_s
+        else:  # no cluster model attached: fall back to count dominance
+            comp_bound = (max(ops, default=0)) >= (max(byts, default=0))
+        ps.rounds += 1
+        if comp_bound:
+            ps.comp_bound_rounds += 1
+            bounding = ops
+        else:
+            ps.comm_bound_rounds += 1
+            bounding = byts
+        if bounding and max(bounding) > 0:
+            h = int(max(range(len(bounding)), key=bounding.__getitem__))
+            ps.bound_by_host[h] = ps.bound_by_host.get(h, 0) + 1
+        if ops:
+            mean = sum(ops) / len(ops)
+            if mean > 0:
+                ps.imbalance.append(max(ops) / mean)
+    return [by_phase[p] for p in order]
+
+
+def render_stragglers(reports: list[PhaseStragglers]) -> str:
+    """Text table: who bounds each phase, and how the imbalance trends."""
+    from repro.analysis.reporting import format_table
+
+    rows: list[list[object]] = []
+    for ps in reports:
+        h = ps.critical_host
+        first, second = ps.imbalance_halves()
+        trend = (
+            "worsening" if second > first * 1.05
+            else "improving" if second < first * 0.95
+            else "stable"
+        )
+        rows.append(
+            [
+                ps.phase,
+                ps.rounds,
+                ps.comp_bound_rounds,
+                ps.comm_bound_rounds,
+                "-" if h is None else f"h{h} ({ps.critical_share:.0%})",
+                f"{first:.2f} -> {second:.2f} ({trend})",
+            ]
+        )
+    return format_table(
+        ["phase", "rounds", "comp-bound", "comm-bound", "critical host",
+         "imbalance (1st half -> 2nd half)"],
+        rows,
+        title="straggler / critical-path attribution",
+    )
+
+
+# -- run loading -------------------------------------------------------------------
+
+
+def load_run(path: str | os.PathLike) -> tuple[dict[str, Any], "list[Event] | None"]:
+    """Load a recorded run: a trace directory or a bare manifest file.
+
+    A directory must hold ``manifest.json`` and may hold ``events.jsonl``;
+    a ``.json`` file is read as the manifest alone.  Returns the manifest
+    as a dict plus the parsed events (or ``None`` when absent).
+    """
+    path = os.fspath(path)
+    if os.path.isdir(path):
+        man = load_manifest(os.path.join(path, "manifest.json")).to_dict()
+        events_path = os.path.join(path, "events.jsonl")
+        events = read_events(events_path) if os.path.exists(events_path) else None
+        return man, events
+    return load_manifest(path).to_dict(), None
+
+
+# -- manifest / run diffing --------------------------------------------------------
+
+
+def _phase_map(man: dict[str, Any]) -> dict[str, dict[str, Any]]:
+    return {p["phase"]: p for p in man.get("phases", [])}
+
+
+def _delta_row(name: str, a: dict[str, Any] | None, b: dict[str, Any] | None) -> dict[str, Any]:
+    def get(d: dict[str, Any] | None, key: str) -> float:
+        return d.get(key, 0) if d else 0
+
+    row: dict[str, Any] = {"phase": name}
+    for key, out in (
+        ("rounds", "rounds"),
+        ("bytes", "bytes"),
+        ("pair_messages", "pair_messages"),
+        ("computation_s", "computation_s"),
+        ("communication_s", "communication_s"),
+    ):
+        va, vb = get(a, key), get(b, key)
+        row[f"{out}_a"] = va
+        row[f"{out}_b"] = vb
+        row[f"{out}_delta"] = vb - va
+    ta = row["computation_s_a"] + row["communication_s_a"]
+    tb = row["computation_s_b"] + row["communication_s_b"]
+    row["total_s_a"] = ta
+    row["total_s_b"] = tb
+    row["total_s_delta"] = tb - ta
+    row["total_s_pct"] = ((tb - ta) / ta * 100.0) if ta else None
+    return row
+
+
+def diff_runs(
+    man_a: dict[str, Any],
+    man_b: dict[str, Any],
+    events_a: "list[Event] | None" = None,
+    events_b: "list[Event] | None" = None,
+) -> dict[str, Any]:
+    """Phase-by-phase delta document between two recorded runs.
+
+    The ``phases`` rows cover the union of both runs' phases in run-A
+    execution order (run-B-only phases appended); ``totals`` diffs the
+    manifests' whole-run blocks.  When both event streams are given, a
+    ``stragglers`` block records each phase's critical host in A and B.
+    """
+    pa, pb = _phase_map(man_a), _phase_map(man_b)
+    order = [p["phase"] for p in man_a.get("phases", [])]
+    order += [p for p in pb if p not in pa]
+    doc: dict[str, Any] = {
+        "a": {k: man_a.get(k) for k in
+              ("algorithm", "graph_spec", "num_hosts", "num_sources", "git_sha")},
+        "b": {k: man_b.get(k) for k in
+              ("algorithm", "graph_spec", "num_hosts", "num_sources", "git_sha")},
+        "phases": [_delta_row(p, pa.get(p), pb.get(p)) for p in order],
+    }
+    ta, tb = man_a.get("totals", {}), man_b.get("totals", {})
+    doc["totals"] = {
+        key: {
+            "a": ta.get(key, 0),
+            "b": tb.get(key, 0),
+            "delta": tb.get(key, 0) - ta.get(key, 0),
+        }
+        for key in ("rounds", "bytes", "pair_messages", "total_s",
+                    "computation_s", "communication_s", "load_imbalance")
+    }
+    if events_a is not None and events_b is not None:
+        sa = {s.phase: s for s in phase_stragglers(events_a)}
+        sb = {s.phase: s for s in phase_stragglers(events_b)}
+        doc["stragglers"] = [
+            {
+                "phase": p,
+                "a": sa[p].to_dict() if p in sa else None,
+                "b": sb[p].to_dict() if p in sb else None,
+            }
+            for p in order
+            if p in sa or p in sb
+        ]
+    return doc
+
+
+def _fmt_delta(v: float, as_int: bool = False) -> str:
+    if as_int:
+        return f"{int(v):+d}" if v else "0"
+    return f"{v:+.5f}" if v else "0"
+
+
+def render_run_diff(doc: dict[str, Any]) -> str:
+    """Text rendering of a :func:`diff_runs` document."""
+    from repro.analysis.reporting import format_table
+
+    a, b = doc["a"], doc["b"]
+    title = (
+        f"compare: A={a.get('algorithm')}({a.get('graph_spec')}, "
+        f"{a.get('num_hosts')} hosts) vs B={b.get('algorithm')}"
+        f"({b.get('graph_spec')}, {b.get('num_hosts')} hosts)"
+    )
+    rows: list[list[object]] = []
+    for r in doc["phases"]:
+        pct = r.get("total_s_pct")
+        rows.append(
+            [
+                r["phase"],
+                f"{r['rounds_a']} -> {r['rounds_b']}",
+                _fmt_delta(r["rounds_delta"], as_int=True),
+                _fmt_delta(r["bytes_delta"], as_int=True),
+                _fmt_delta(r["pair_messages_delta"], as_int=True),
+                _fmt_delta(r["computation_s_delta"]),
+                _fmt_delta(r["communication_s_delta"]),
+                "-" if pct is None else f"{pct:+.1f}%",
+            ]
+        )
+    t = doc.get("totals", {})
+    if t:
+        tot = t.get("total_s", {})
+        ta, tb = tot.get("a", 0), tot.get("b", 0)
+        rows.append(
+            [
+                "TOTAL",
+                f"{t['rounds']['a']} -> {t['rounds']['b']}",
+                _fmt_delta(t["rounds"]["delta"], as_int=True),
+                _fmt_delta(t["bytes"]["delta"], as_int=True),
+                _fmt_delta(t["pair_messages"]["delta"], as_int=True),
+                _fmt_delta(t["computation_s"]["delta"]),
+                _fmt_delta(t["communication_s"]["delta"]),
+                "-" if not ta else f"{(tb - ta) / ta * 100.0:+.1f}%",
+            ]
+        )
+    out = [
+        format_table(
+            ["phase", "rounds", "Δrounds", "Δbytes", "Δmsgs",
+             "Δcomp (s)", "Δcomm (s)", "Δtotal"],
+            rows,
+            title=title,
+        )
+    ]
+    for s in doc.get("stragglers", []):
+        sa, sb = s.get("a"), s.get("b")
+
+        def crit(d: dict[str, Any] | None) -> str:
+            if not d or d.get("critical_host") is None:
+                return "-"
+            return f"h{d['critical_host']} ({d['critical_share']:.0%})"
+
+        out.append(
+            f"critical host [{s['phase']}]: {crit(sa)} -> {crit(sb)}"
+        )
+    return "\n".join(out)
+
+
+def render_run_diff_json(doc: dict[str, Any]) -> str:
+    return json.dumps(doc, indent=2, sort_keys=True)

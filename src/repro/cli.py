@@ -20,6 +20,20 @@ verify the result against exact Brandes (exit code is the verdict)::
 
     python -m repro faults drop --algorithm mrbc --graph er:30:3 --sources 6
 
+Run the pinned benchmark suite, snapshot it at the repo root, and gate
+against a stored baseline (exit code is the verdict)::
+
+    python -m repro bench --smoke --compare benchmarks/baselines/BENCH_smoke.json
+
+Profile a run phase by phase (cProfile hotspots / tracemalloc peaks)::
+
+    python -m repro profile mrbc --graph rmat:8:8 --sources 16 --mode all
+
+Diff two recorded runs, or export one for Perfetto::
+
+    python -m repro compare traceA/ traceB/
+    python -m repro trace mrbc --graph rmat:8:8 --chrome out.trace.json
+
 Diagnostics go through :mod:`logging` (logger ``repro``); ``--verbose``
 enables debug output and ``--quiet`` silences everything below errors, so
 CLI chatter composes with the telemetry sinks instead of interleaving raw
@@ -29,6 +43,7 @@ stderr writes with them.
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import os
 import sys
@@ -84,18 +99,10 @@ def setup_logging(verbose: bool = False, quiet: bool = False) -> None:
 
 def _generate(spec: str) -> DiGraph:
     """Build a graph from a ``kind:arg:arg`` spec, e.g. ``rmat:8:8``."""
-    kind, *args = spec.split(":")
-    vals = [int(a) for a in args]
-    if kind == "rmat":
-        return generators.rmat(*vals)
-    if kind == "grid":
-        return generators.grid_road(*vals)
-    if kind == "webcrawl":
-        return generators.web_crawl_like(*vals)
-    if kind == "er":
-        return generators.erdos_renyi(vals[0], float(vals[1]))
-    raise SystemExit(f"unknown generator kind {kind!r} "
-                     "(options: rmat, grid, webcrawl, er)")
+    try:
+        return generators.from_spec(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _load_graph_arg(spec: str) -> DiGraph:
@@ -165,6 +172,13 @@ def trace_main(argv: list[str]) -> int:
     p.add_argument("--seed", type=int, default=0, help="sampling seed")
     p.add_argument("--out", "-o", default="trace-out", metavar="DIR",
                    help="output directory for events.jsonl + manifest.json")
+    p.add_argument("--format", choices=("table", "json"), default="table",
+                   help="phase breakdown output format (default: table)")
+    p.add_argument("--chrome", metavar="PATH", default=None,
+                   help="also export a Chrome trace-event file "
+                        "(open at https://ui.perfetto.dev)")
+    p.add_argument("--stragglers", action="store_true",
+                   help="also print per-phase straggler/critical-path attribution")
     add_logging_flags(p)
     args = p.parse_args(argv)
     setup_logging(args.verbose, args.quiet)
@@ -217,7 +231,30 @@ def trace_main(argv: list[str]) -> int:
     obs.write_manifest(man, manifest_path)
     log.info("wrote %d events to %s", sink.events_written, events_path)
     log.info("wrote manifest to %s", manifest_path)
-    print(render_phase_breakdown(man.to_dict()))
+    if args.chrome:
+        doc = obs.export_chrome_trace(events_path, args.chrome)
+        log.info(
+            "wrote Chrome trace (%d events) to %s — open at "
+            "https://ui.perfetto.dev",
+            len(doc["traceEvents"]), args.chrome,
+        )
+    if args.format == "json":
+        from repro.analysis.reporting import phase_breakdown_dict
+
+        doc = phase_breakdown_dict(man.to_dict())
+        if args.stragglers:
+            from repro.analysis.tracediff import phase_stragglers
+
+            doc["stragglers"] = [
+                s.to_dict() for s in phase_stragglers(obs.read_events(events_path))
+            ]
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_phase_breakdown(man.to_dict()))
+        if args.stragglers:
+            from repro.analysis.tracediff import phase_stragglers, render_stragglers
+
+            print(render_stragglers(phase_stragglers(obs.read_events(events_path))))
     return 0
 
 
@@ -352,6 +389,262 @@ def faults_main(argv: list[str]) -> int:
     return 0 if ok else 1
 
 
+# -- repro bench ----------------------------------------------------------------
+
+
+def bench_main(argv: list[str]) -> int:
+    """``repro bench``: run the pinned suite, snapshot it, gate regressions.
+
+    Runs the pinned engine-configuration matrix (``--smoke`` for the
+    CI-sized subset), writes a versioned ``BENCH_<git-sha>.json`` at the
+    repo root (or ``--out``), and prints the per-case table.  With
+    ``--compare BASELINE`` the fresh snapshot is diffed against the stored
+    one — any change to the deterministic counts (rounds, bytes, pair
+    messages) fails, as does a wall-clock median regression beyond the
+    noise threshold — and the exit code is the verdict.
+    """
+    from repro.obs import bench
+
+    p = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run the pinned benchmark suite and gate regressions",
+    )
+    p.add_argument("--smoke", action="store_true",
+                   help="run the small CI suite instead of the default one")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timed repetitions per case (default: 3)")
+    p.add_argument("--warmup", type=int, default=1,
+                   help="untimed warmup runs per case (default: 1)")
+    p.add_argument("--cases", metavar="SUBSTR", default=None,
+                   help="only run cases whose name contains SUBSTR")
+    p.add_argument("--out", "-o", default=None, metavar="PATH",
+                   help="snapshot path (default: <repo root>/BENCH_<sha>.json)")
+    p.add_argument("--compare", metavar="BASELINE", default=None,
+                   help="diff against a stored snapshot; exit 1 on regression")
+    p.add_argument("--wall", choices=("auto", "always", "never"), default="auto",
+                   help="wall-clock gating: auto skips when the baseline "
+                        "came from a different machine (default: auto)")
+    p.add_argument("--wall-threshold", type=float, default=3.0,
+                   help="fail when the median grows by more than this many "
+                        "IQRs of noise (default: 3.0)")
+    add_logging_flags(p)
+    args = p.parse_args(argv)
+    setup_logging(args.verbose, args.quiet)
+
+    suite = bench.SMOKE_SUITE if args.smoke else bench.DEFAULT_SUITE
+    suite_name = "smoke" if args.smoke else "default"
+    if args.cases:
+        suite = tuple(c for c in suite if args.cases in c.name)
+        if not suite:
+            p.error(f"no bench case name contains {args.cases!r}")
+
+    doc = bench.run_suite(
+        suite,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        suite_name=suite_name,
+        progress=lambda c: log.info(
+            "bench case %s (%s on %s, %d hosts)",
+            c.name, c.algorithm, c.graph, c.hosts,
+        ),
+    )
+    out = args.out or os.path.join(
+        bench.repo_root(), bench.bench_filename(doc["git_sha"])
+    )
+    bench.write_bench(doc, out)
+    log.info("wrote bench snapshot to %s", out)
+
+    rows = [
+        [
+            c["name"],
+            c["deterministic"]["rounds"],
+            c["deterministic"]["bytes"],
+            c["deterministic"]["pair_messages"],
+            f"{c['deterministic']['sim_total_s']:.5f}",
+            f"{c['wall_s']['median']:.4f}",
+            f"{c['wall_s']['iqr']:.4f}",
+        ]
+        for c in doc["cases"]
+    ]
+    print(format_table(
+        ["case", "rounds", "bytes", "msgs", "sim (s)",
+         "wall p50 (s)", "IQR (s)"],
+        rows,
+        title=f"bench suite: {suite_name} ({args.repeats} repeats, "
+              f"sha {(doc['git_sha'] or 'nogit')[:12]})",
+    ))
+
+    if args.compare is None:
+        return 0
+    baseline = bench.load_bench(args.compare)
+    cmp = bench.compare_bench(
+        doc, baseline, wall=args.wall, wall_threshold=args.wall_threshold
+    )
+    print(bench.render_comparison(cmp))
+    return 0 if cmp.ok else 1
+
+
+# -- repro profile ---------------------------------------------------------------
+
+
+def profile_main(argv: list[str]) -> int:
+    """``repro profile <algo>``: run with phase-scoped profiling and report.
+
+    Runs the engine with the opt-in profiler attached (cProfile and/or
+    tracemalloc scoped to phase spans), then prints the per-phase top-N
+    hotspot / peak-memory digests and the metrics summary.
+    """
+    from repro.obs.profile import aggregate_profile_events
+
+    p = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Run an engine algorithm under the phase-scoped profiler",
+    )
+    p.add_argument("algorithm", choices=TRACEABLE,
+                   help="engine algorithm to profile")
+    p.add_argument("--graph", required=True, metavar="SPEC",
+                   help="edge-list file, or generator spec "
+                        "(rmat:scale:ef | grid:r:c | webcrawl:core:tails | er:n:deg)")
+    p.add_argument("--sources", "-k", type=int, default=None,
+                   help="number of sampled sources (default: all vertices)")
+    p.add_argument("--hosts", type=int, default=8, help="simulated hosts")
+    p.add_argument("--batch", type=int, default=16, help="MRBC batch size")
+    p.add_argument("--seed", type=int, default=0, help="sampling seed")
+    p.add_argument("--mode", choices=("cpu", "memory", "all"), default="cpu",
+                   help="what to profile (default: cpu)")
+    p.add_argument("--top", type=int, default=10,
+                   help="hotspots / allocation sites per phase (default: 10)")
+    p.add_argument("--out", "-o", default=None, metavar="DIR",
+                   help="also record events.jsonl (with profile events) into DIR")
+    add_logging_flags(p)
+    args = p.parse_args(argv)
+    setup_logging(args.verbose, args.quiet)
+
+    g = _load_graph_arg(args.graph)
+    log.info("graph: %s", g)
+    if args.sources is None:
+        sources = np.arange(g.num_vertices, dtype=np.int64)
+    else:
+        sources = sample_sources(g, args.sources, seed=args.seed)
+    model = ClusterModel(args.hosts)
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        sink = obs.FileSink(os.path.join(args.out, "events.jsonl"))
+    else:
+        sink = obs.MemorySink()
+
+    with obs.session(
+        sink, model=model, profile=args.mode, profile_top=args.top
+    ) as tele:
+        with tele.span(
+            f"run:{args.algorithm}", kind="run", algorithm=args.algorithm,
+            graph=args.graph, hosts=args.hosts,
+        ):
+            if args.algorithm == "sbbc":
+                sbbc_engine(g, sources=sources, num_hosts=args.hosts)
+            else:
+                mrbc_engine(g, sources=sources, batch_size=args.batch,
+                            num_hosts=args.hosts)
+
+    if isinstance(sink, obs.MemorySink):
+        events = sink.events
+    else:
+        events = obs.read_events(sink.path)
+    digests = aggregate_profile_events(events)
+    if not digests:
+        log.warning("no profile events recorded")
+        return 1
+    print(f"profile: {args.algorithm} on {args.hosts} hosts "
+          f"(mode={args.mode}, top {args.top})")
+    for phase, agg in digests.items():
+        print()
+        if agg["hotspots"]:
+            rows = [
+                [h["function"], h["location"], h["ncalls"],
+                 f"{h['tottime_s']:.4f}", f"{h['cumtime_s']:.4f}"]
+                for h in agg["hotspots"][: args.top]
+            ]
+            print(format_table(
+                ["function", "location", "ncalls", "tottime (s)", "cumtime (s)"],
+                rows,
+                title=f"phase {phase}: hotspots "
+                      f"({agg['spans']} span(s), wall {agg['wall_s']:.4f}s)",
+            ))
+        if agg["memory"] is not None:
+            mem = agg["memory"]
+            rows = [
+                [a["location"], a["size_diff_bytes"], a["count_diff"]]
+                for a in mem["allocations"][: args.top]
+            ]
+            print(format_table(
+                ["allocation site", "Δbytes", "Δblocks"],
+                rows,
+                title=f"phase {phase}: memory "
+                      f"(peak {mem['peak_bytes']} traced bytes)",
+            ))
+
+    summary = tele.metrics.summary()
+    if summary:
+        rows = []
+        for row in summary:
+            labels = ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
+            name = f"{row['name']}{{{labels}}}" if labels else row["name"]
+            if row["type"] == "histogram":
+                rows.append([name, row["type"], row["count"],
+                             f"{row['mean']:.3f}", f"{row['p50']:.3f}",
+                             f"{row['p90']:.3f}", f"{row['max']:.3f}"])
+            else:
+                rows.append([name, row["type"], "-",
+                             f"{row['value']:.3f}", "-", "-", "-"])
+        print()
+        print(format_table(
+            ["series", "type", "count", "mean/value", "p50", "p90", "max"],
+            rows,
+            title="metrics summary",
+        ))
+    return 0
+
+
+# -- repro compare ---------------------------------------------------------------
+
+
+def compare_main(argv: list[str]) -> int:
+    """``repro compare <runA> <runB>``: phase-by-phase delta of two runs.
+
+    Each argument is a trace directory (``manifest.json`` +
+    ``events.jsonl``) or a bare manifest file.  Prints the per-phase
+    rounds/volume/time deltas, and — when both runs carry event streams —
+    the critical-host shift per phase.
+    """
+    from repro.analysis.tracediff import (
+        diff_runs,
+        load_run,
+        render_run_diff,
+        render_run_diff_json,
+    )
+
+    p = argparse.ArgumentParser(
+        prog="repro compare",
+        description="Diff two recorded runs phase by phase",
+    )
+    p.add_argument("run_a", help="trace directory or manifest.json of run A")
+    p.add_argument("run_b", help="trace directory or manifest.json of run B")
+    p.add_argument("--format", choices=("table", "json"), default="table",
+                   help="output format (default: table)")
+    add_logging_flags(p)
+    args = p.parse_args(argv)
+    setup_logging(args.verbose, args.quiet)
+
+    man_a, events_a = load_run(args.run_a)
+    man_b, events_b = load_run(args.run_b)
+    doc = diff_runs(man_a, man_b, events_a, events_b)
+    if args.format == "json":
+        print(render_run_diff_json(doc))
+    else:
+        print(render_run_diff(doc))
+    return 0
+
+
 # -- legacy run command ----------------------------------------------------------
 
 
@@ -424,6 +717,12 @@ def main(argv: list[str] | None = None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "faults":
         return faults_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return bench_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
+    if argv and argv[0] == "compare":
+        return compare_main(argv[1:])
     return run_main(argv)
 
 

@@ -176,6 +176,23 @@ class EngineRun:
                 ratios.append(r.max_compute_ops() / mean)
         return float(np.mean(ratios)) if ratios else 1.0
 
+    def deterministic_signature(self) -> dict[str, int | float]:
+        """The run's machine-comparable identity: counts only, no clocks.
+
+        Same graph + sources + configuration ⇒ bit-identical signature;
+        the bench trajectory (``repro bench``) stores and gates on these
+        fields, so any change to rounds or communication volume is a
+        loud diff rather than a silent drift.
+        """
+        return {
+            "rounds": self.num_rounds,
+            "bytes": self.total_bytes,
+            "pair_messages": self.total_pair_messages,
+            "items_synced": self.total_items_synced,
+            "proxies_synced": self.total_proxies_synced,
+            "load_imbalance": round(self.load_imbalance(), 9),
+        }
+
     def phases(self) -> list[str]:
         """Distinct attributed phase labels in first-execution order."""
         seen: list[str] = []

@@ -33,6 +33,28 @@ def _finish(n: int, src: np.ndarray, dst: np.ndarray) -> DiGraph:
     return DiGraph(n, src[keep], dst[keep])
 
 
+def from_spec(spec: str, seed: int | None = None) -> DiGraph:
+    """Build a graph from a ``kind:arg:arg`` CLI/bench spec.
+
+    Understood kinds: ``rmat:scale:ef``, ``grid:rows:cols``,
+    ``webcrawl:core:tails``, ``er:n:avg_degree``.  Deterministic for a
+    given ``(spec, seed)`` — ``seed=None`` uses the library default seed,
+    never OS entropy — which is what lets the bench suite pin its inputs.
+    """
+    kind, *args = spec.split(":")
+    if kind == "rmat":
+        return rmat(*[int(a) for a in args], seed=seed)
+    if kind == "grid":
+        return grid_road(*[int(a) for a in args], seed=seed)
+    if kind == "webcrawl":
+        return web_crawl_like(*[int(a) for a in args], seed=seed)
+    if kind == "er":
+        return erdos_renyi(int(args[0]), float(args[1]), seed=seed)
+    raise ValueError(
+        f"unknown generator kind {kind!r} (options: rmat, grid, webcrawl, er)"
+    )
+
+
 def erdos_renyi(
     n: int, avg_degree: float, seed: int | None = None, symmetric: bool = False
 ) -> DiGraph:

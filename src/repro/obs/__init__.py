@@ -32,9 +32,24 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator
 
+from repro.obs.bench import (
+    BENCH_VERSION,
+    DEFAULT_SUITE,
+    SMOKE_SUITE,
+    BenchCase,
+    BenchComparison,
+    compare_bench,
+    deterministic_view,
+    load_bench,
+    run_case,
+    run_suite,
+    write_bench,
+)
+from repro.obs.chrome import chrome_trace, export_chrome_trace
 from repro.obs.events import (
     EVENT_SCHEMA_VERSION,
     KIND_FAULT,
+    KIND_PROFILE,
     KIND_RECOVERY,
     Event,
     iter_jsonl,
@@ -50,7 +65,8 @@ from repro.obs.manifest import (
     load_manifest,
     write_manifest,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, quantile
+from repro.obs.profile import PhaseProfiler, aggregate_profile_events
 from repro.obs.sinks import FileSink, MemorySink, NullSink, Sink
 from repro.obs.spans import Span, SpanTracer
 from repro.obs.session import Telemetry
@@ -59,10 +75,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.model import ClusterModel
 
 __all__ = [
+    "BENCH_VERSION",
+    "DEFAULT_SUITE",
     "EVENT_SCHEMA_VERSION",
     "KIND_FAULT",
+    "KIND_PROFILE",
     "KIND_RECOVERY",
     "MANIFEST_VERSION",
+    "SMOKE_SUITE",
+    "BenchCase",
+    "BenchComparison",
     "Counter",
     "Event",
     "FileSink",
@@ -71,20 +93,31 @@ __all__ = [
     "MemorySink",
     "MetricsRegistry",
     "NullSink",
+    "PhaseProfiler",
     "PhaseTotals",
     "RunManifest",
     "Sink",
     "Span",
     "SpanTracer",
     "Telemetry",
+    "aggregate_profile_events",
     "build_manifest",
+    "chrome_trace",
+    "compare_bench",
     "current",
+    "deterministic_view",
+    "export_chrome_trace",
     "git_sha",
     "iter_jsonl",
+    "load_bench",
     "load_manifest",
     "parse_jsonl",
+    "quantile",
     "read_events",
+    "run_case",
+    "run_suite",
     "session",
+    "write_bench",
     "write_manifest",
 ]
 
@@ -101,17 +134,23 @@ def current() -> Telemetry:
 
 @contextmanager
 def session(
-    sink: Sink | None = None, model: "ClusterModel | None" = None
+    sink: Sink | None = None,
+    model: "ClusterModel | None" = None,
+    profile: str | None = None,
+    profile_top: int = 10,
 ) -> Iterator[Telemetry]:
     """Install a telemetry session as current for the ``with`` block.
 
     The session is closed on exit (metrics flushed into the sink, file
     handles released) and the previous session restored.  Sessions do not
     nest usefully — the inner one simply shadows the outer for its
-    duration.
+    duration.  ``profile`` opts into phase-scoped profiling (see
+    :class:`repro.obs.profile.PhaseProfiler`).
     """
     global _current
-    tele = Telemetry(sink=sink, model=model)
+    tele = Telemetry(
+        sink=sink, model=model, profile=profile, profile_top=profile_top
+    )
     prev = _current
     _current = tele
     try:

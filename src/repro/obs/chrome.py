@@ -1,0 +1,172 @@
+"""Chrome trace-event export: view a recorded run in Perfetto.
+
+Converts a telemetry event stream (``events.jsonl``) into the Chrome
+trace-event JSON format that https://ui.perfetto.dev (and legacy
+``chrome://tracing``) load directly.  Two process tracks:
+
+- **wall clock** (pid 1) — the run/phase span tree as nested ``X``
+  slices, timestamps rebased so the trace starts at zero;
+- **simulated cluster** (pid 2) — the columnar ``round`` events laid out
+  on the simulated-time axis: one "rounds" track (tid 0) with a slice
+  per BSP round, and one thread per host (tid = host + 1) whose slice
+  width is that host's share of the round — computation scaled by its op
+  count, communication by its byte traffic — so BSP stragglers are
+  literally the longest bars in each round.  Counter tracks chart bytes
+  and pair messages per round.
+
+Only derived from the event stream; nothing here touches the engines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable
+
+from repro.obs.events import KIND_ROUND, KIND_SPAN, Event, read_events
+
+PID_WALL = 1
+PID_SIM = 2
+
+#: Fallback duration (seconds) for rounds recorded without a cluster model.
+FALLBACK_ROUND_S = 1e-3
+
+
+def _scalar_args(attrs: dict[str, Any]) -> dict[str, Any]:
+    return {
+        k: v
+        for k, v in attrs.items()
+        if isinstance(v, (str, int, float, bool)) and k not in ("ts_start", "wall_s")
+    }
+
+
+def chrome_trace(events: Iterable[Event]) -> dict[str, Any]:
+    """Build a Chrome trace-event document from telemetry events."""
+    events = list(events)
+    spans = [e for e in events if e.kind == KIND_SPAN]
+    rounds = sorted(
+        (e for e in events if e.kind == KIND_ROUND), key=lambda e: e.seq
+    )
+    trace: list[dict[str, Any]] = [
+        {"ph": "M", "pid": PID_WALL, "tid": 0, "name": "process_name",
+         "args": {"name": "wall clock (run/phase spans)"}},
+        {"ph": "M", "pid": PID_WALL, "tid": 0, "name": "thread_name",
+         "args": {"name": "spans"}},
+        {"ph": "M", "pid": PID_SIM, "tid": 0, "name": "process_name",
+         "args": {"name": "simulated cluster"}},
+        {"ph": "M", "pid": PID_SIM, "tid": 0, "name": "thread_name",
+         "args": {"name": "rounds"}},
+    ]
+
+    # Wall-clock spans, rebased to the earliest span start.
+    t0 = min((e.attrs["ts_start"] for e in spans), default=0.0)
+    for e in spans:
+        trace.append(
+            {
+                "ph": "X",
+                "pid": PID_WALL,
+                "tid": 0,
+                "name": e.name,
+                "cat": str(e.attrs.get("span_kind", "span")),
+                "ts": (e.attrs["ts_start"] - t0) * 1e6,
+                "dur": max(e.attrs.get("wall_s", 0.0), 0.0) * 1e6,
+                "args": _scalar_args(e.attrs),
+            }
+        )
+
+    # Simulated timeline: rounds sequentially, hosts as threads.
+    cursor_us = 0.0
+    hosts_seen: set[int] = set()
+    for e in rounds:
+        a = e.attrs
+        comp = a.get("sim_computation_s")
+        comm = a.get("sim_communication_s")
+        total_s = (
+            comp + comm if comp is not None and comm is not None
+            else FALLBACK_ROUND_S
+        )
+        dur_us = max(total_s, 0.0) * 1e6
+        label = f"{a.get('phase', '?')} r{a.get('round', '?')}"
+        trace.append(
+            {
+                "ph": "X",
+                "pid": PID_SIM,
+                "tid": 0,
+                "name": label,
+                "cat": "round",
+                "ts": cursor_us,
+                "dur": dur_us,
+                "args": _scalar_args(a),
+            }
+        )
+        ops = a.get("host_ops", [])
+        b_out = a.get("host_bytes_out", [])
+        b_in = a.get("host_bytes_in", [])
+        byts = [
+            (b_out[h] if h < len(b_out) else 0)
+            + (b_in[h] if h < len(b_in) else 0)
+            for h in range(len(ops))
+        ]
+        max_ops = max(ops) if ops and max(ops) > 0 else 1
+        max_b = max(byts) if byts and max(byts) > 0 else 1
+        for h, op in enumerate(ops):
+            if comp is not None and comm is not None:
+                h_dur = (comp * op / max_ops + comm * byts[h] / max_b) * 1e6
+            else:
+                h_dur = dur_us * op / max_ops
+            if h_dur <= 0:
+                continue
+            hosts_seen.add(h)
+            trace.append(
+                {
+                    "ph": "X",
+                    "pid": PID_SIM,
+                    "tid": h + 1,
+                    "name": f"h{h} {a.get('phase', '?')}",
+                    "cat": "host-round",
+                    "ts": cursor_us,
+                    "dur": h_dur,
+                    "args": {"ops": int(op), "bytes": int(byts[h])},
+                }
+            )
+        trace.append(
+            {"ph": "C", "pid": PID_SIM, "name": "bytes/round",
+             "ts": cursor_us, "args": {"bytes": a.get("bytes", 0)}}
+        )
+        trace.append(
+            {"ph": "C", "pid": PID_SIM, "name": "pair_messages/round",
+             "ts": cursor_us, "args": {"messages": a.get("pair_messages", 0)}}
+        )
+        cursor_us += dur_us
+
+    for h in sorted(hosts_seen):
+        trace.append(
+            {"ph": "M", "pid": PID_SIM, "tid": h + 1, "name": "thread_name",
+             "args": {"name": f"host {h}"}}
+        )
+
+    return {
+        "traceEvents": trace,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs.chrome",
+            "spans": len(spans),
+            "rounds": len(rounds),
+        },
+    }
+
+
+def export_chrome_trace(
+    events: "str | os.PathLike | Iterable[Event]",
+    out_path: str | os.PathLike,
+) -> dict[str, Any]:
+    """Convert ``events.jsonl`` (path or parsed events) to a trace file."""
+    if isinstance(events, (str, os.PathLike)):
+        events = read_events(events)
+    doc = chrome_trace(events)
+    parent = os.path.dirname(os.fspath(out_path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+    return doc

@@ -30,6 +30,8 @@ KIND_LOG = "log"
 #: Resilience subsystem: injected/detected faults and recovery actions.
 KIND_FAULT = "fault"
 KIND_RECOVERY = "recovery"
+#: Opt-in phase-scoped profiler output (cProfile hotspots, memory peaks).
+KIND_PROFILE = "profile"
 
 
 @dataclass

@@ -21,6 +21,7 @@ import json
 import os
 import subprocess
 from dataclasses import asdict, dataclass, field
+from functools import lru_cache
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -31,8 +32,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 MANIFEST_VERSION = 1
 
 
-def git_sha(repo_dir: str | None = None) -> str | None:
-    """Current git commit SHA, or None when unavailable (no git / no repo)."""
+def git_sha(repo_dir: str | None = None, refresh: bool = False) -> str | None:
+    """Current git commit SHA, or None when unavailable (no git / no repo).
+
+    Cached per process per ``repo_dir``: every :func:`build_manifest` (and
+    every bench repetition) calls this, and the answer cannot change under
+    a running process short of a concurrent commit — pass ``refresh=True``
+    to drop the cache in that case.
+    """
+    if refresh:
+        _git_sha_uncached.cache_clear()
+    return _git_sha_uncached(repo_dir)
+
+
+@lru_cache(maxsize=None)
+def _git_sha_uncached(repo_dir: str | None) -> str | None:
     try:
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"],

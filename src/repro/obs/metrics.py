@@ -30,6 +30,28 @@ def _label_key(labels: dict[str, Any]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def quantile(values: "list[float]", q: float) -> float:
+    """Linear-interpolation quantile of raw samples (``q`` in [0, 1]).
+
+    The shared sample-quantile math for the bench/profile renderers, so
+    median/IQR tables do not each re-implement it.  Raises on an empty
+    sample set.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile q must be in [0, 1], got {q}")
+    if not values:
+        raise ValueError("quantile of empty sequence")
+    vals = sorted(float(v) for v in values)
+    if len(vals) == 1:
+        return vals[0]
+    pos = q * (len(vals) - 1)
+    lo = int(pos)
+    frac = pos - lo
+    if frac == 0.0:
+        return vals[lo]
+    return vals[lo] + (vals[lo + 1] - vals[lo]) * frac
+
+
 @dataclass
 class Counter:
     """Monotonically increasing count."""
@@ -94,6 +116,35 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]) from the buckets.
+
+        Within the bucket containing the target rank the value is linearly
+        interpolated between the bucket bounds, clamped to the observed
+        ``[min, max]`` range (which also bounds the open-ended overflow
+        bucket).  Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        assert self.min is not None and self.max is not None
+        target = q * self.count
+        cum = 0
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            prev = cum
+            cum += n
+            if cum >= target:
+                lo = self.bounds[i - 1] if i > 0 else self.min
+                hi = self.bounds[i] if i < len(self.bounds) else self.max
+                lo = min(max(lo, self.min), self.max)
+                hi = min(max(hi, self.min), self.max)
+                frac = (target - prev) / n
+                return lo + (hi - lo) * frac
+        return self.max  # pragma: no cover - defensive (count says non-empty)
+
     def snapshot(self) -> dict[str, Any]:
         return {
             "type": "histogram",
@@ -151,6 +202,36 @@ class MetricsRegistry:
             if inst is not None:
                 return inst.value
         return 0.0
+
+    def summary(self) -> list[dict[str, Any]]:
+        """One flat row per series for latency/hotspot tables.
+
+        Counters and gauges report their value; histograms report count,
+        mean, p50/p90/max via :meth:`Histogram.percentile` — the single
+        place bucket math is done, so renderers (``repro profile``,
+        ``repro bench``) just format the rows.
+        """
+        rows = []
+        for (kind, name, labels), inst in sorted(
+            self._series.items(), key=lambda kv: kv[0]
+        ):
+            row: dict[str, Any] = {
+                "name": name,
+                "labels": dict(labels),
+                "type": kind,
+            }
+            if kind == "histogram":
+                row.update(
+                    count=inst.count,
+                    mean=inst.mean(),
+                    p50=inst.percentile(0.50),
+                    p90=inst.percentile(0.90),
+                    max=inst.max if inst.max is not None else 0.0,
+                )
+            else:
+                row["value"] = inst.value
+            rows.append(row)
+        return rows
 
     def snapshot(self) -> list[dict[str, Any]]:
         """Serializable state of every series."""

@@ -1,0 +1,245 @@
+"""Opt-in phase-scoped profiling: cProfile hotspots and tracemalloc peaks.
+
+A :class:`PhaseProfiler` hooks into the span tracer (see
+:meth:`repro.obs.spans.SpanTracer.add_hooks`) and profiles the code that
+runs inside each *outermost* phase span: CPU via a per-phase
+:class:`cProfile.Profile` (top-N functions by cumulative time), memory
+via :mod:`tracemalloc` (peak traced bytes and top allocation sites per
+phase).  Each phase closes with one ``profile`` event carrying the
+digest; ``repro profile`` renders them.
+
+Strictly opt-in: a profiler is only constructed when a telemetry session
+is created with ``profile=...`` *and* a recording sink — with the default
+:class:`~repro.obs.sinks.NullSink` no profiler exists, no tracemalloc
+tracing is started, and the engines' hot paths are untouched.  cProfile
+cannot nest, so when phase spans nest only the outermost one is profiled.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+from typing import Any, Callable
+
+from repro.obs.events import KIND_PROFILE
+from repro.obs.spans import KIND_PHASE, Span
+
+#: Accepted values for the ``profile=`` session argument.
+PROFILE_MODES = ("cpu", "memory", "all")
+
+
+def _short_path(path: str) -> str:
+    """Last two path components — enough to identify a repro module."""
+    parts = path.replace(os.sep, "/").split("/")
+    return "/".join(parts[-2:]) if len(parts) > 1 else path
+
+
+class PhaseProfiler:
+    """Profiles outermost phase spans and emits one ``profile`` event each.
+
+    Parameters
+    ----------
+    emit:
+        ``Telemetry.emit``-shaped callable the digests are sent through.
+    mode:
+        ``"cpu"`` (cProfile), ``"memory"`` (tracemalloc), or ``"all"``.
+    top_n:
+        Hotspots / allocation sites kept per phase.
+    """
+
+    def __init__(
+        self,
+        emit: Callable[..., None],
+        mode: str = "cpu",
+        top_n: int = 10,
+    ) -> None:
+        if mode not in PROFILE_MODES:
+            raise ValueError(
+                f"unknown profile mode {mode!r} (options: {', '.join(PROFILE_MODES)})"
+            )
+        self._emit = emit
+        self.mode = mode
+        self.cpu = mode in ("cpu", "all")
+        self.memory = mode in ("memory", "all")
+        self.top_n = top_n
+        self._active_span_id: int | None = None
+        self._prof: cProfile.Profile | None = None
+        self._mem_before: Any = None
+        self._mem_started_here = False
+        if self.memory:
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._mem_started_here = True
+
+    # -- tracer hooks ----------------------------------------------------------
+
+    def on_span_start(self, span: Span) -> None:
+        if span.kind != KIND_PHASE or self._active_span_id is not None:
+            return
+        self._active_span_id = span.span_id
+        if self.memory:
+            import tracemalloc
+
+            tracemalloc.reset_peak()
+            self._mem_before = tracemalloc.take_snapshot()
+        if self.cpu:
+            self._prof = cProfile.Profile()
+            self._prof.enable()
+
+    def on_span_end(self, span: Span) -> None:
+        if span.span_id != self._active_span_id:
+            return
+        self._active_span_id = None
+        phase = span.attrs.get("phase", span.name)
+        attrs: dict[str, Any] = {
+            "parent_id": span.span_id,
+            "phase": phase,
+            "wall_s": span.wall_s,
+        }
+        if self.cpu and self._prof is not None:
+            self._prof.disable()
+            attrs["hotspots"] = self._hotspots(self._prof)
+            self._prof = None
+        if self.memory:
+            import tracemalloc
+
+            current, peak = tracemalloc.get_traced_memory()
+            top = []
+            if self._mem_before is not None:
+                diffs = tracemalloc.take_snapshot().compare_to(
+                    self._mem_before, "lineno"
+                )
+                for d in diffs:
+                    if len(top) >= self.top_n:
+                        break
+                    frame = d.traceback[0]
+                    # Skip the profiling machinery's own allocations.
+                    if any(
+                        s in frame.filename
+                        for s in ("tracemalloc.py", "cProfile.py", "pstats.py")
+                    ):
+                        continue
+                    top.append(
+                        {
+                            "location": f"{_short_path(frame.filename)}:{frame.lineno}",
+                            "size_diff_bytes": d.size_diff,
+                            "count_diff": d.count_diff,
+                        }
+                    )
+                self._mem_before = None
+            attrs["memory"] = {
+                "peak_bytes": peak,
+                "current_bytes": current,
+                "top_allocations": top,
+            }
+        span.set(profiled=True)
+        self._emit(KIND_PROFILE, f"profile:{phase}", **attrs)
+
+    # -- digests ---------------------------------------------------------------
+
+    def _hotspots(self, prof: cProfile.Profile) -> list[dict[str, Any]]:
+        """Top-N functions by cumulative time, profiler frames excluded."""
+        stats = pstats.Stats(prof)
+        rows = []
+        for (path, line, func), (cc, nc, tt, ct, _callers) in stats.stats.items():
+            if "_lsprof" in func or "_lsprof" in path:
+                continue
+            rows.append(
+                {
+                    "function": func,
+                    "location": f"{_short_path(path)}:{line}" if line else path,
+                    "ncalls": nc,
+                    "tottime_s": round(tt, 6),
+                    "cumtime_s": round(ct, 6),
+                }
+            )
+        rows.sort(key=lambda r: r["cumtime_s"], reverse=True)
+        return rows[: self.top_n]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop tracemalloc if this profiler started it (idempotent)."""
+        if self._prof is not None:  # phase span leaked; disable defensively
+            self._prof.disable()
+            self._prof = None
+        if self._mem_started_here:
+            import tracemalloc
+
+            if tracemalloc.is_tracing():
+                tracemalloc.stop()
+            self._mem_started_here = False
+
+
+def aggregate_profile_events(events: "list[Any]") -> dict[str, dict[str, Any]]:
+    """Merge ``profile`` events into one digest per phase name.
+
+    Engines open the same phase many times (one ``forward`` span per
+    source batch), so a recorded run carries many profile events per
+    phase.  This merges them: hotspot rows summed by ``(function,
+    location)`` and re-ranked by cumulative time, memory peaks maxed,
+    allocation deltas summed by site.  Keys are phase names in
+    first-appearance order (dicts preserve insertion order).
+    """
+    phases: dict[str, dict[str, Any]] = {}
+    for e in events:
+        if e.kind != KIND_PROFILE:
+            continue
+        a = e.attrs
+        phase = str(a.get("phase", "?"))
+        agg = phases.setdefault(
+            phase,
+            {"phase": phase, "spans": 0, "wall_s": 0.0,
+             "hotspots": {}, "memory": None},
+        )
+        agg["spans"] += 1
+        agg["wall_s"] += a.get("wall_s") or 0.0
+        for row in a.get("hotspots", []):
+            key = (row["function"], row["location"])
+            tot = agg["hotspots"].setdefault(
+                key,
+                {"function": row["function"], "location": row["location"],
+                 "ncalls": 0, "tottime_s": 0.0, "cumtime_s": 0.0},
+            )
+            tot["ncalls"] += row["ncalls"]
+            tot["tottime_s"] += row["tottime_s"]
+            tot["cumtime_s"] += row["cumtime_s"]
+        mem = a.get("memory")
+        if mem is not None:
+            m = agg["memory"]
+            if m is None:
+                m = agg["memory"] = {"peak_bytes": 0, "allocations": {}}
+            m["peak_bytes"] = max(m["peak_bytes"], mem.get("peak_bytes", 0))
+            for site in mem.get("top_allocations", []):
+                s = m["allocations"].setdefault(
+                    site["location"], {"location": site["location"],
+                                       "size_diff_bytes": 0, "count_diff": 0},
+                )
+                s["size_diff_bytes"] += site["size_diff_bytes"]
+                s["count_diff"] += site["count_diff"]
+    out: dict[str, dict[str, Any]] = {}
+    for phase, agg in phases.items():
+        hotspots = sorted(
+            agg["hotspots"].values(), key=lambda r: r["cumtime_s"], reverse=True
+        )
+        mem = agg["memory"]
+        if mem is not None:
+            mem = {
+                "peak_bytes": mem["peak_bytes"],
+                "allocations": sorted(
+                    mem["allocations"].values(),
+                    key=lambda s: abs(s["size_diff_bytes"]),
+                    reverse=True,
+                ),
+            }
+        out[phase] = {
+            "phase": phase,
+            "spans": agg["spans"],
+            "wall_s": agg["wall_s"],
+            "hotspots": hotspots,
+            "memory": mem,
+        }
+    return out

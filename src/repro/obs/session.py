@@ -40,16 +40,35 @@ class Telemetry:
     model:
         Optional :class:`~repro.cluster.model.ClusterModel` used to
         attribute simulated cluster time to round events and phase spans.
+    profile:
+        Opt-in phase-scoped profiling: ``"cpu"`` (cProfile hotspots),
+        ``"memory"`` (tracemalloc peaks), or ``"all"``.  Ignored — no
+        profiler object is even constructed — when the sink is disabled,
+        so the default null session stays allocation-free.
+    profile_top:
+        Hotspots / allocation sites kept per phase digest.
     """
 
     def __init__(
-        self, sink: Sink | None = None, model: "ClusterModel | None" = None
+        self,
+        sink: Sink | None = None,
+        model: "ClusterModel | None" = None,
+        profile: str | None = None,
+        profile_top: int = 10,
     ) -> None:
         self.sink = sink if sink is not None else NullSink()
         self.enabled = self.sink.enabled
         self.model = model
         self.tracer = SpanTracer(self.sink)
         self.metrics = MetricsRegistry()
+        self.profiler = None
+        if profile is not None and self.enabled:
+            from repro.obs.profile import PhaseProfiler
+
+            self.profiler = PhaseProfiler(self.emit, mode=profile, top_n=profile_top)
+            self.tracer.add_hooks(
+                self.profiler.on_span_start, self.profiler.on_span_end
+            )
         self._closed = False
 
     # -- metric shortcuts ------------------------------------------------------
@@ -218,6 +237,8 @@ class Telemetry:
         if self._closed:
             return
         self._closed = True
+        if self.profiler is not None:
+            self.profiler.close()
         if self.enabled:
             self.metrics.emit_to(self.sink, self.tracer.next_seq)
         self.sink.close()

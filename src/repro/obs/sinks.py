@@ -26,8 +26,17 @@ class Sink:
     def emit(self, event: Event) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def flush(self) -> None:
+        """Push buffered events to durable storage (no-op by default)."""
+
     def close(self) -> None:
         """Flush and release resources (idempotent)."""
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
 
 class NullSink(Sink):
@@ -54,23 +63,43 @@ class MemorySink(Sink):
 
 
 class FileSink(Sink):
-    """Appends events to a JSONL file, one line per event."""
+    """Appends events to a JSONL file, one line per event.
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    Usable as a context manager (``with FileSink(p) as sink: ...``).  The
+    buffer is pushed to the OS every ``flush_every`` events (default:
+    every event — the stream is O(rounds), so the cost is negligible), so
+    a crashed run leaves a readable events.jsonl prefix instead of an
+    empty file; :meth:`flush` forces it at any point.
+    """
+
+    def __init__(self, path: str | os.PathLike, flush_every: int = 1) -> None:
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
         self.path = os.fspath(path)
+        self.flush_every = flush_every
         parent = os.path.dirname(self.path)
         if parent:
             os.makedirs(parent, exist_ok=True)
         self._fh = open(self.path, "w", encoding="utf-8")
         self.events_written = 0
+        self._unflushed = 0
 
     def emit(self, event: Event) -> None:
         if self._fh is None:
             raise RuntimeError("FileSink is closed")
         self._fh.write(event.to_json_line() + "\n")
         self.events_written += 1
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            self._unflushed = 0
 
     def close(self) -> None:
         if self._fh is not None:
+            self._fh.flush()
             self._fh.close()
             self._fh = None

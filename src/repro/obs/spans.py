@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.obs.events import KIND_SPAN, Event
 from repro.obs.sinks import Sink
@@ -67,6 +67,25 @@ class SpanTracer:
         self._next_id = 1
         self._seq = 0
         self._stack: list[Span] = []
+        self._start_hooks: list[Callable[[Span], None]] = []
+        self._end_hooks: list[Callable[[Span], None]] = []
+
+    def add_hooks(
+        self,
+        on_start: Callable[[Span], None] | None = None,
+        on_end: Callable[[Span], None] | None = None,
+    ) -> None:
+        """Register observers called at span open / close.
+
+        Start hooks run right after the span is pushed; end hooks run
+        after the span's timing is final but *before* its event is
+        emitted, so a hook may still attach attributes (this is how the
+        opt-in phase profiler annotates phase spans).
+        """
+        if on_start is not None:
+            self._start_hooks.append(on_start)
+        if on_end is not None:
+            self._end_hooks.append(on_end)
 
     # -- sequence numbers are shared with the owning session -------------------
 
@@ -99,6 +118,8 @@ class SpanTracer:
         )
         self._next_id += 1
         self._stack.append(span)
+        for hook in self._start_hooks:
+            hook(span)
         return span
 
     def end(self, span: Span) -> Span:
@@ -112,6 +133,8 @@ class SpanTracer:
         self._stack.pop()
         span.ts_end = time.time()
         span.wall_s = time.perf_counter() - span._t0
+        for hook in self._end_hooks:
+            hook(span)
         self._sink.emit(
             Event(
                 kind=KIND_SPAN,
