@@ -81,7 +81,7 @@ class _AccumulationPhase(VertexProgram):
         if self._fire_round and rnd == self._fire_round and not self._fired:
             self._fired = True
             coeff = (1.0 + self.delta) / self._bfs.sigma
-            return [(u, ("acc", coeff)) for u in set(self._bfs.preds)]
+            return [(u, ("acc", coeff)) for u in sorted(set(self._bfs.preds))]
         return []
 
     def handle_message(self, rnd: int, sender: int, payload: tuple[Any, ...]) -> None:

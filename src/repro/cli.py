@@ -34,6 +34,11 @@ Diff two recorded runs, or export one for Perfetto::
     python -m repro compare traceA/ traceB/
     python -m repro trace mrbc --graph rmat:8:8 --chrome out.trace.json
 
+Statically check determinism / CONGEST protocol / delayed-sync
+invariants against the committed baseline (exit code is the verdict)::
+
+    python -m repro lint src tests --format json
+
 Diagnostics go through :mod:`logging` (logger ``repro``); ``--verbose``
 enables debug output and ``--quiet`` silences everything below errors, so
 CLI chatter composes with the telemetry sinks instead of interleaving raw
@@ -723,6 +728,10 @@ def main(argv: list[str] | None = None) -> int:
         return profile_main(argv[1:])
     if argv and argv[0] == "compare":
         return compare_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.lint import lint_main
+
+        return lint_main(argv[1:])
     return run_main(argv)
 
 

@@ -87,7 +87,7 @@ class AccumulationProgram(VertexProgram):
         if not preds:
             return []
         m = (1.0 + self.delta[s]) / fwd.sigma[s]
-        return [(u, ("acc", s, m)) for u in preds]
+        return [(u, ("acc", s, m)) for u in sorted(preds)]
 
     def handle_message(self, rnd: int, sender: int, payload: tuple[Any, ...]) -> None:
         tag, s, m = payload

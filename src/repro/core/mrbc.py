@@ -288,7 +288,7 @@ class _BatchExecutor:
             items = pending_reduce[h]
             oc = rs.compute[h]
             done: list[int] = []
-            for lid in st.unsent:
+            for lid in sorted(st.unsent):
                 lst = st.local_lists[lid]
                 gid = int(part.gids[lid])
                 all_sent = True

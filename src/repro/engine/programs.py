@@ -22,6 +22,7 @@ studied with the same cluster model.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -29,6 +30,9 @@ from repro.engine.gluon import TARGET_ALL_PROXIES, GluonSubstrate
 from repro.engine.partition import PartitionedGraph, partition_graph
 from repro.engine.stats import EngineRun
 from repro.graph.digraph import DiGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.context import ResilienceContext
 
 INF = np.iinfo(np.int64).max
 
@@ -47,6 +51,7 @@ def bfs_engine(
     source: int,
     num_hosts: int = 8,
     partition: PartitionedGraph | None = None,
+    resilience: "ResilienceContext | None" = None,
 ) -> VertexProgramResult:
     """Level-synchronous BFS distances from ``source`` on the engine."""
     if not 0 <= source < g.num_vertices:
@@ -54,8 +59,10 @@ def bfs_engine(
     if partition is None:
         partition = partition_graph(g, num_hosts, "cvc")
     pg = partition
-    gluon = GluonSubstrate(pg)
+    gluon = GluonSubstrate(pg, resilience=resilience)
     run = EngineRun(num_hosts=pg.num_hosts)
+    if resilience is not None:
+        resilience.attach_run(run)
 
     H = pg.num_hosts
     local_dist = [np.full(p.num_local, INF, dtype=np.int64) for p in pg.parts]
@@ -114,6 +121,7 @@ def wcc_engine(
     g: DiGraph,
     num_hosts: int = 8,
     partition: PartitionedGraph | None = None,
+    resilience: "ResilienceContext | None" = None,
 ) -> VertexProgramResult:
     """Weakly connected components by min-label propagation.
 
@@ -124,8 +132,10 @@ def wcc_engine(
     if partition is None:
         partition = partition_graph(g, num_hosts, "cvc")
     pg = partition
-    gluon = GluonSubstrate(pg)
+    gluon = GluonSubstrate(pg, resilience=resilience)
     run = EngineRun(num_hosts=pg.num_hosts)
+    if resilience is not None:
+        resilience.attach_run(run)
     H = pg.num_hosts
     n = g.num_vertices
 
@@ -178,7 +188,9 @@ def wcc_engine(
                 if lab < master_label[gid]:
                     master_label[gid] = lab
                     changed_set.add(gid)
-        changed = np.fromiter(changed_set, dtype=np.int64, count=len(changed_set))
+        changed = np.fromiter(
+            sorted(changed_set), dtype=np.int64, count=len(changed_set)
+        )
 
     return VertexProgramResult(values=master_label, run=run, rounds=rounds)
 
@@ -190,6 +202,7 @@ def pagerank_engine(
     max_iters: int = 200,
     num_hosts: int = 8,
     partition: PartitionedGraph | None = None,
+    resilience: "ResilienceContext | None" = None,
 ) -> VertexProgramResult:
     """Topology-driven PageRank with per-iteration sum reduction.
 
@@ -202,8 +215,10 @@ def pagerank_engine(
     if partition is None:
         partition = partition_graph(g, num_hosts, "cvc")
     pg = partition
-    gluon = GluonSubstrate(pg)
+    gluon = GluonSubstrate(pg, resilience=resilience)
     run = EngineRun(num_hosts=pg.num_hosts)
+    if resilience is not None:
+        resilience.attach_run(run)
     H = pg.num_hosts
     n = g.num_vertices
     out_deg = g.out_degrees().astype(np.float64)
@@ -262,6 +277,7 @@ def kcore_engine(
     k: int,
     num_hosts: int = 8,
     partition: PartitionedGraph | None = None,
+    resilience: "ResilienceContext | None" = None,
 ) -> VertexProgramResult:
     """k-core decomposition by synchronous peeling (undirected degrees).
 
@@ -276,8 +292,10 @@ def kcore_engine(
     if partition is None:
         partition = partition_graph(g, num_hosts, "cvc")
     pg = partition
-    gluon = GluonSubstrate(pg)
+    gluon = GluonSubstrate(pg, resilience=resilience)
     run = EngineRun(num_hosts=pg.num_hosts)
+    if resilience is not None:
+        resilience.attach_run(run)
     H = pg.num_hosts
     n = g.num_vertices
 
@@ -323,7 +341,7 @@ def kcore_engine(
                     degree[gid] -= c
                     decremented.add(gid)
                     oc.struct_ops += 1
-        newly = [v for v in decremented if alive[v] and degree[v] < k]
+        newly = [v for v in sorted(decremented) if alive[v] and degree[v] < k]
         alive[newly] = False
         newly_dead = np.asarray(newly, dtype=np.int64)
 

@@ -1,0 +1,106 @@
+"""Committed-baseline support: suppress pre-existing findings only.
+
+The baseline is a JSON file mapping finding fingerprints (see
+:meth:`repro.lint.findings.Finding.fingerprint`) to an occurrence count
+plus a human-readable locator.  CI runs ``repro lint --baseline``: a
+finding whose fingerprint appears in the baseline (up to its recorded
+count) is suppressed; anything *new* fails the build.  Fingerprints
+ignore line numbers, so unrelated edits do not churn the file.
+
+The file is regenerated with ``repro lint --write-baseline`` and is
+meant to be reviewed in diffs — shrinking is progress, growing needs a
+justification (the dogfooding policy prefers an inline pragma with a
+comment over a silent baseline entry).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+#: Default location, relative to the project root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """In-memory view of a baseline file."""
+
+    def __init__(self, entries: dict[str, dict[str, object]] | None = None) -> None:
+        #: fingerprint -> {"count": int, "code": str, "where": str}
+        self.entries: dict[str, dict[str, object]] = dict(entries or {})
+        #: fingerprint -> matches consumed during this run
+        self._used: dict[str, int] = {}
+
+    # -- persistence -----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if data.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path} (expected {_FORMAT_VERSION})"
+            )
+        return cls(entries=data.get("findings", {}))
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        entries: dict[str, dict[str, object]] = {}
+        for f in findings:
+            fp = f.fingerprint()
+            if fp in entries:
+                entries[fp]["count"] = int(entries[fp]["count"]) + 1
+            else:
+                entries[fp] = {
+                    "count": 1,
+                    "code": f.code,
+                    "where": f"{f.path}::{f.symbol or '<module>'}",
+                }
+        return cls(entries=entries)
+
+    def dump(self, path: str | Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "comment": (
+                "Pre-existing repro-lint findings suppressed in CI. "
+                "Regenerate with: repro lint src tests --write-baseline. "
+                "Prefer fixing or pragma-annotating over growing this file."
+            ),
+            "findings": {
+                fp: self.entries[fp] for fp in sorted(self.entries)
+            },
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    # -- matching --------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear per-run match bookkeeping (called at the start of a run)."""
+        self._used = {}
+
+    def matches(self, finding: Finding) -> bool:
+        """Consume one baseline slot for this finding if available."""
+        fp = finding.fingerprint()
+        entry = self.entries.get(fp)
+        if entry is None:
+            return False
+        used = self._used.get(fp, 0)
+        if used >= int(entry.get("count", 0)):
+            return False
+        self._used[fp] = used + 1
+        return True
+
+    def stale_entries(self) -> dict[str, dict[str, object]]:
+        """Entries never (fully) matched this run — candidates for removal."""
+        out: dict[str, dict[str, object]] = {}
+        for fp, entry in self.entries.items():
+            if self._used.get(fp, 0) < int(entry.get("count", 0)):
+                out[fp] = entry
+        return out

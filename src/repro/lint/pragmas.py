@@ -1,0 +1,61 @@
+"""Per-line ``# repro-lint: disable=CODE`` suppression pragmas.
+
+Two placements are honored, mirroring the common linter conventions:
+
+- trailing, on the flagged line itself::
+
+      arrays[k] = st.fin_dist.copy()  # repro-lint: disable=RL301 -- snapshot
+
+- on a comment-only line directly above the flagged line (for lines that
+  are already long)::
+
+      # repro-lint: disable=RL101 -- order provably irrelevant here
+      for lid in st.unsent:
+
+Codes may be a comma-separated list, or the word ``all``.  Anything
+after the code list (a justification, strongly encouraged — the
+dogfooding policy is "pragma with a comment, not a silent baseline
+entry") is ignored by the parser.
+"""
+
+from __future__ import annotations
+
+import re
+
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+_CODE_RE = re.compile(r"^(?:RL\d+|all)$")
+
+#: Sentinel meaning "every rule".
+ALL = "all"
+
+
+def parse_pragmas(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the codes suppressed *on that line*.
+
+    A pragma on a comment-only line is attributed to the next line as
+    well, so it can sit above the code it suppresses.
+    """
+    out: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _PRAGMA_RE.search(line)
+        if not m:
+            continue
+        codes = {
+            tok.strip()
+            for tok in m.group(1).split(",")
+            if _CODE_RE.match(tok.strip())
+        }
+        if not codes:
+            continue
+        out.setdefault(lineno, set()).update(codes)
+        if line.lstrip().startswith("#"):
+            out.setdefault(lineno + 1, set()).update(codes)
+    return {ln: frozenset(codes) for ln, codes in out.items()}
+
+
+def is_suppressed(
+    pragmas: dict[int, frozenset[str]], line: int, code: str
+) -> bool:
+    """Whether ``code`` is pragma-disabled at ``line``."""
+    codes = pragmas.get(line)
+    return codes is not None and (code in codes or ALL in codes)

@@ -102,8 +102,11 @@ def mrbc_forward_snapshot(
     }
     arrays: dict[str, np.ndarray] = {}
     for h, st in enumerate(ex.hosts):
-        arrays[f"fin_dist_{h}"] = st.fin_dist.copy()
-        arrays[f"fin_sigma_{h}"] = st.fin_sigma.copy()
+        # Checkpoints deliberately capture proxies *as-is*, provisional or
+        # final — restore puts back the identical bytes, so the delayed-sync
+        # contract is preserved across a recovery, not re-established.
+        arrays[f"fin_dist_{h}"] = st.fin_dist.copy()  # repro-lint: disable=RL301
+        arrays[f"fin_sigma_{h}"] = st.fin_sigma.copy()  # repro-lint: disable=RL301
     return meta, arrays
 
 

@@ -163,7 +163,8 @@ class TestFileSink:
 
     def test_bad_flush_every_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="flush_every"):
-            FileSink(tmp_path / "ev.jsonl", flush_every=0)
+            # Constructor raises before a file handle exists; nothing leaks.
+            FileSink(tmp_path / "ev.jsonl", flush_every=0)  # repro-lint: disable=RL402
 
 
 # -- git_sha caching -------------------------------------------------------------
