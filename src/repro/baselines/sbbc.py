@@ -29,16 +29,12 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro import obs
-from repro.engine.gluon import (
-    TARGET_ALL_PROXIES,
-    TARGET_IN_EDGES,
-    GluonSubstrate,
-)
-from repro.engine.partition import PartitionedGraph, partition_graph
+from repro.engine.gluon import TARGET_ALL_PROXIES, TARGET_IN_EDGES
+from repro.engine.partition import PartitionedGraph
 from repro.engine.stats import EngineRun
 from repro.graph.digraph import DiGraph
-from repro.resilience.errors import HostCrashError
+from repro.runtime.plane import GluonPlane, resolve_partition
+from repro.runtime.superstep import SuperstepRuntime
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.context import ResilienceContext
@@ -80,7 +76,7 @@ class _SourceExecutor:
     def __init__(
         self,
         pg: PartitionedGraph,
-        gluon: GluonSubstrate,
+        gluon: GluonPlane,
         run: EngineRun,
         source: int,
     ) -> None:
@@ -104,17 +100,17 @@ class _SourceExecutor:
         self.settled: dict[int, tuple[int, float]] = {}
         self.delta: dict[int, float] = {}
 
-    def run_forward(self) -> int:
+    def run_forward(self, runtime: "SuperstepRuntime | None" = None) -> int:
+        if runtime is None:
+            runtime = SuperstepRuntime(run=self.run)
         pg, gluon = self.pg, self.gluon
         s = self.source
         pending: list[list[tuple]] = [[] for _ in range(self.H)]
         # Round 1 settles the source itself.
         newly_settled: dict[int, tuple[int, float]] = {s: (0, 1.0)}
-        rnd = 0
-        while True:
-            rnd += 1
-            rs = self.run.new_round("forward")
 
+        def step(rnd: int, rs) -> bool:
+            nonlocal pending, newly_settled
             inbox = gluon.reduce_to_masters(pending, FWD_PAYLOAD_BYTES, 1, rs)
             pending = [[] for _ in range(self.H)]
             for h, items in enumerate(inbox):
@@ -193,11 +189,13 @@ class _SourceExecutor:
                         items.append((g, d, sg))
                     self.dirty[h][:] = False
 
-            if not any_activity:
-                break
-        return rnd
+            return any_activity
 
-    def run_backward(self) -> int:
+        return runtime.run_loop("forward", step)
+
+    def run_backward(self, runtime: "SuperstepRuntime | None" = None) -> int:
+        if runtime is None:
+            runtime = SuperstepRuntime(run=self.run)
         pg, gluon = self.pg, self.gluon
         levels: dict[int, list[int]] = {}
         max_level = 0
@@ -209,11 +207,9 @@ class _SourceExecutor:
         self.delta = {gid: 0.0 for gid in self.settled}
 
         pending: list[list[tuple]] = [[] for _ in range(self.H)]
-        rnd = 0
-        while True:
-            rnd += 1
-            rs = self.run.new_round("backward")
 
+        def step(rnd: int, rs) -> bool:
+            nonlocal pending
             inbox = gluon.reduce_to_masters(pending, BWD_PAYLOAD_BYTES, 1, rs)
             pending = [[] for _ in range(self.H)]
             for h, items in enumerate(inbox):
@@ -267,9 +263,9 @@ class _SourceExecutor:
                     self.partial_delta[h][rows] = 0.0
                     self.delta_dirty[h][:] = False
 
-            if not any_dirty and rnd >= max_level:
-                break
-        return rnd
+            return any_dirty
+
+        return runtime.run_loop("backward", step, min_rounds=max_level)
 
 
 def sbbc_engine(
@@ -292,11 +288,7 @@ def sbbc_engine(
     sources have already banked their BC contributions.  Replayed rounds
     are marked as recovery overhead.
     """
-    if partition is None:
-        partition = partition_graph(g, num_hosts, policy)
-    elif partition.graph is not g:
-        raise ValueError("partition was built for a different graph")
-    pg = partition
+    pg = resolve_partition(g, partition, num_hosts, policy)
     if sources is None:
         src = np.arange(g.num_vertices, dtype=np.int64)
     else:
@@ -304,34 +296,32 @@ def sbbc_engine(
     if src.size == 0:
         raise ValueError("need at least one source")
 
-    gluon = GluonSubstrate(pg, resilience=resilience)
-    run = EngineRun(num_hosts=pg.num_hosts)
-    if resilience is not None:
-        resilience.attach_run(run)
+    runtime = SuperstepRuntime(
+        plane=GluonPlane(pg, resilience=resilience), resilience=resilience
+    )
+    gluon = runtime.plane
+    run = runtime.run
     n = g.num_vertices
     bc = np.zeros(n, dtype=np.float64)
     dist = np.full((src.size, n), -1, dtype=np.int64)
     sigma = np.zeros((src.size, n), dtype=np.float64)
     fwd = 0
     bwd = 0
-    tele = obs.current()
     for i, s in enumerate(src.tolist()):
-        attempt = 0
-        while True:
-            attempt += 1
-            ex = _SourceExecutor(pg, gluon, run, int(s))
-            mark = len(run.rounds)
-            try:
-                with tele.phase("forward", run, source=int(s)):
-                    f = ex.run_forward()
-                with tele.phase("backward", run, source=int(s)):
-                    b = ex.run_backward()
-                break
-            except HostCrashError as err:
-                assert resilience is not None
-                resilience.on_crash(err, attempt)
-                # Replay this source; the redone rounds are recovery cost.
-                run.replay_countdown = len(run.rounds) - mark
+        # The source is SBBC's recovery unit: on an injected crash the
+        # in-flight source replays from scratch (redone rounds are
+        # charged to the recovery phase by the runtime policy).
+        def prepare(attempt: int, s: int = int(s)) -> _SourceExecutor:
+            return _SourceExecutor(pg, gluon, run, s)
+
+        def both_phases(ex: _SourceExecutor, s: int = int(s)) -> tuple[int, int]:
+            with runtime.phase("forward", source=s):
+                f = ex.run_forward(runtime)
+            with runtime.phase("backward", source=s):
+                b = ex.run_backward(runtime)
+            return f, b
+
+        ex, (f, b) = runtime.run_with_restart(prepare, both_phases)
         fwd += f
         bwd += b
         for gid, (d, sg) in ex.settled.items():

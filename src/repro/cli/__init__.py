@@ -1,0 +1,103 @@
+"""Command-line interface: run any BC algorithm on an edge-list file.
+
+Examples
+--------
+Compute exact BC with MRBC on a generated graph and print the top ranks::
+
+    python -m repro --generate rmat:8:8 --algorithm mrbc --top 10
+
+Compare algorithms on an edge-list file with 16 sampled sources::
+
+    python -m repro graph.txt --algorithm mrbc sbbc --sources 16 --hosts 8
+
+Record a traced run — JSONL event stream, run manifest, and a Figure 2
+style per-phase computation/communication breakdown::
+
+    python -m repro trace mrbc --graph rmat:8:8 --sources 16 --out trace/
+
+Run a fault experiment — inject a deterministic fault plan, recover, and
+verify the result against exact Brandes (exit code is the verdict)::
+
+    python -m repro faults drop --algorithm mrbc --graph er:30:3 --sources 6
+
+Run the pinned benchmark suite, snapshot it at the repo root, and gate
+against a stored baseline (exit code is the verdict)::
+
+    python -m repro bench --smoke --compare benchmarks/baselines/BENCH_smoke.json
+
+Profile a run phase by phase (cProfile hotspots / tracemalloc peaks)::
+
+    python -m repro profile mrbc --graph rmat:8:8 --sources 16 --mode all
+
+Diff two recorded runs, or export one for Perfetto::
+
+    python -m repro compare traceA/ traceB/
+    python -m repro trace mrbc --graph rmat:8:8 --chrome out.trace.json
+
+Statically check determinism / CONGEST protocol / delayed-sync
+invariants against the committed baseline (exit code is the verdict)::
+
+    python -m repro lint src tests --format json
+
+Each subcommand lives in its own module (:mod:`repro.cli.run`,
+:mod:`repro.cli.trace`, :mod:`repro.cli.faults`, :mod:`repro.cli.bench`,
+:mod:`repro.cli.profile`, :mod:`repro.cli.compare`,
+:mod:`repro.cli.lint`); shared flags and graph loading are in
+:mod:`repro.cli.common`.  This package re-exports every historical
+``repro.cli`` name, so imports written against the old single-module CLI
+keep working.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli.bench import bench_main
+from repro.cli.common import (
+    ALGORITHMS,
+    TRACEABLE,
+    _generate as _generate,  # historical import site (tests, scripts)
+    _load_graph_arg as _load_graph_arg,
+    add_logging_flags,
+    log,
+    setup_logging,
+)
+from repro.cli.compare import compare_main
+from repro.cli.faults import faults_main
+from repro.cli.profile import profile_main
+from repro.cli.run import _run_one as _run_one, run_main
+from repro.cli.trace import trace_main
+
+__all__ = [
+    "ALGORITHMS",
+    "TRACEABLE",
+    "add_logging_flags",
+    "bench_main",
+    "compare_main",
+    "faults_main",
+    "log",
+    "main",
+    "profile_main",
+    "run_main",
+    "setup_logging",
+    "trace_main",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
+    if argv and argv[0] == "faults":
+        return faults_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return bench_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
+    if argv and argv[0] == "compare":
+        return compare_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.cli.lint import lint_main
+
+        return lint_main(argv[1:])
+    return run_main(argv)

@@ -1,0 +1,65 @@
+"""Shared helpers for the ``repro`` CLI subcommands.
+
+Diagnostics go through :mod:`logging` (logger ``repro``); ``--verbose``
+enables debug output and ``--quiet`` silences everything below errors, so
+CLI chatter composes with the telemetry sinks instead of interleaving raw
+stderr writes with them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import os
+import sys
+
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+from repro.graph.io import read_edge_list
+
+ALGORITHMS = ("mrbc", "sbbc", "abbc", "mfbc", "brandes")
+#: Algorithms that run on the engine and can therefore be traced.
+TRACEABLE = ("mrbc", "sbbc")
+
+log = logging.getLogger("repro")
+
+
+def add_logging_flags(p: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--verbose``/``--quiet`` diagnostics flags."""
+    g = p.add_mutually_exclusive_group()
+    g.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="debug-level diagnostics on stderr",
+    )
+    g.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress diagnostics below errors",
+    )
+
+
+def setup_logging(verbose: bool = False, quiet: bool = False) -> None:
+    """Configure the ``repro`` logger for CLI use (stderr, level by flags)."""
+    level = (
+        logging.ERROR if quiet else logging.DEBUG if verbose else logging.INFO
+    )
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    root = logging.getLogger("repro")
+    root.handlers[:] = [handler]
+    root.setLevel(level)
+    root.propagate = False
+
+
+def _generate(spec: str) -> DiGraph:
+    """Build a graph from a ``kind:arg:arg`` spec, e.g. ``rmat:8:8``."""
+    try:
+        return generators.from_spec(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _load_graph_arg(spec: str) -> DiGraph:
+    """A ``--graph`` value: an edge-list path if it exists, else a spec."""
+    if os.path.exists(spec):
+        return read_edge_list(spec)
+    return _generate(spec)

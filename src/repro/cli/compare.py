@@ -1,0 +1,44 @@
+"""``repro compare``: phase-by-phase delta of two recorded runs."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli.common import add_logging_flags, setup_logging
+
+
+def compare_main(argv: list[str]) -> int:
+    """``repro compare <runA> <runB>``: phase-by-phase delta of two runs.
+
+    Each argument is a trace directory (``manifest.json`` +
+    ``events.jsonl``) or a bare manifest file.  Prints the per-phase
+    rounds/volume/time deltas, and — when both runs carry event streams —
+    the critical-host shift per phase.
+    """
+    from repro.analysis.tracediff import (
+        diff_runs,
+        load_run,
+        render_run_diff,
+        render_run_diff_json,
+    )
+
+    p = argparse.ArgumentParser(
+        prog="repro compare",
+        description="Diff two recorded runs phase by phase",
+    )
+    p.add_argument("run_a", help="trace directory or manifest.json of run A")
+    p.add_argument("run_b", help="trace directory or manifest.json of run B")
+    p.add_argument("--format", choices=("table", "json"), default="table",
+                   help="output format (default: table)")
+    add_logging_flags(p)
+    args = p.parse_args(argv)
+    setup_logging(args.verbose, args.quiet)
+
+    man_a, events_a = load_run(args.run_a)
+    man_b, events_b = load_run(args.run_b)
+    doc = diff_runs(man_a, man_b, events_a, events_b)
+    if args.format == "json":
+        print(render_run_diff_json(doc))
+    else:
+        print(render_run_diff(doc))
+    return 0

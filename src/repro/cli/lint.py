@@ -1,0 +1,16 @@
+"""``repro lint``: thin dispatch shim for the static analyzer.
+
+The analyzer and its own argument parser live in :mod:`repro.lint`; this
+module exists so every subcommand has a home under :mod:`repro.cli` and
+so the dispatcher can import it lazily (the linter pulls in ``ast``
+machinery unneeded by every other command).
+"""
+
+from __future__ import annotations
+
+
+def lint_main(argv: list[str]) -> int:
+    """``repro lint [paths]``: run the domain-aware static analyzer."""
+    from repro.lint import lint_main as _lint_main
+
+    return _lint_main(argv)

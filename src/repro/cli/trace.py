@@ -1,0 +1,133 @@
+"""``repro trace``: record a run with full telemetry."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+import numpy as np
+
+from repro import obs
+from repro.analysis.reporting import render_phase_breakdown
+from repro.baselines.sbbc import sbbc_engine
+from repro.cli.common import (
+    TRACEABLE,
+    _load_graph_arg,
+    add_logging_flags,
+    log,
+    setup_logging,
+)
+from repro.cluster.model import ClusterModel
+from repro.core.mrbc import mrbc_engine
+from repro.core.sampling import sample_sources
+
+
+def trace_main(argv: list[str]) -> int:
+    """``repro trace <algo>``: record a run with full telemetry.
+
+    Writes ``events.jsonl`` (spans, per-round samples, metric snapshots)
+    and ``manifest.json`` (versioned run manifest with per-phase totals)
+    into ``--out``, then prints the per-phase computation/communication
+    breakdown — the Figure 2 split — derived from the manifest.
+    """
+    p = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run an engine algorithm with telemetry recording on",
+    )
+    p.add_argument("algorithm", choices=TRACEABLE,
+                   help="engine algorithm to trace")
+    p.add_argument("--graph", required=True, metavar="SPEC",
+                   help="edge-list file, or generator spec "
+                        "(rmat:scale:ef | grid:r:c | webcrawl:core:tails | er:n:deg)")
+    p.add_argument("--sources", "-k", type=int, default=None,
+                   help="number of sampled sources (default: all vertices)")
+    p.add_argument("--hosts", type=int, default=8, help="simulated hosts")
+    p.add_argument("--batch", type=int, default=16, help="MRBC batch size")
+    p.add_argument("--seed", type=int, default=0, help="sampling seed")
+    p.add_argument("--out", "-o", default="trace-out", metavar="DIR",
+                   help="output directory for events.jsonl + manifest.json")
+    p.add_argument("--format", choices=("table", "json"), default="table",
+                   help="phase breakdown output format (default: table)")
+    p.add_argument("--chrome", metavar="PATH", default=None,
+                   help="also export a Chrome trace-event file "
+                        "(open at https://ui.perfetto.dev)")
+    p.add_argument("--stragglers", action="store_true",
+                   help="also print per-phase straggler/critical-path attribution")
+    add_logging_flags(p)
+    args = p.parse_args(argv)
+    setup_logging(args.verbose, args.quiet)
+
+    g = _load_graph_arg(args.graph)
+    log.info("graph: %s", g)
+    if args.sources is None:
+        sources = np.arange(g.num_vertices, dtype=np.int64)
+    else:
+        sources = sample_sources(g, args.sources, seed=args.seed)
+    model = ClusterModel(args.hosts)
+    os.makedirs(args.out, exist_ok=True)
+    events_path = os.path.join(args.out, "events.jsonl")
+    manifest_path = os.path.join(args.out, "manifest.json")
+
+    sink = obs.FileSink(events_path)
+    with obs.session(sink, model=model) as tele:
+        with tele.span(
+            f"run:{args.algorithm}",
+            kind="run",
+            algorithm=args.algorithm,
+            graph=args.graph,
+            hosts=args.hosts,
+            sources=int(sources.size),
+        ):
+            if args.algorithm == "sbbc":
+                res = sbbc_engine(g, sources=sources, num_hosts=args.hosts)
+            else:
+                res = mrbc_engine(
+                    g,
+                    sources=sources,
+                    batch_size=args.batch,
+                    num_hosts=args.hosts,
+                )
+        model.time_by_phase(res.run)  # emits per-phase sim_time events
+
+    man = obs.build_manifest(
+        args.algorithm,
+        res.run,
+        model,
+        graph_spec=args.graph,
+        num_vertices=g.num_vertices,
+        num_edges=g.num_edges,
+        num_hosts=args.hosts,
+        num_sources=int(sources.size),
+        batch_size=args.batch if args.algorithm == "mrbc" else None,
+        partition_policy="cvc",
+        seed=args.seed,
+    )
+    obs.write_manifest(man, manifest_path)
+    log.info("wrote %d events to %s", sink.events_written, events_path)
+    log.info("wrote manifest to %s", manifest_path)
+    if args.chrome:
+        doc = obs.export_chrome_trace(events_path, args.chrome)
+        log.info(
+            "wrote Chrome trace (%d events) to %s — open at "
+            "https://ui.perfetto.dev",
+            len(doc["traceEvents"]), args.chrome,
+        )
+    if args.format == "json":
+        from repro.analysis.reporting import phase_breakdown_dict
+
+        doc = phase_breakdown_dict(man.to_dict())
+        if args.stragglers:
+            from repro.analysis.tracediff import phase_stragglers
+
+            doc["stragglers"] = [
+                s.to_dict() for s in phase_stragglers(obs.read_events(events_path))
+            ]
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_phase_breakdown(man.to_dict()))
+        if args.stragglers:
+            from repro.analysis.tracediff import phase_stragglers, render_stragglers
+
+            print(render_stragglers(phase_stragglers(obs.read_events(events_path))))
+    return 0

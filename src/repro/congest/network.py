@@ -10,25 +10,28 @@ order within a round.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro import obs
-from repro.congest.messages import MAX_COMBINED_VALUES, MessageStats
-from repro.congest.program import BROADCAST, VertexContext, VertexProgram
+from repro.congest.messages import MessageStats
+from repro.congest.program import VertexContext, VertexProgram
 from repro.graph.digraph import DiGraph
+from repro.runtime.errors import ChannelCapacityError, NotAChannelError
+from repro.runtime.plane import CongestPlane
+from repro.runtime.superstep import SuperstepRuntime
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.stats import EngineRun
     from repro.resilience.context import ResilienceContext
 
-
-class ChannelCapacityError(RuntimeError):
-    """A vertex tried to exceed the per-channel combining cap in one round."""
-
-
-class NotAChannelError(RuntimeError):
-    """A vertex tried to send to a non-neighbor."""
+__all__ = [
+    "ChannelCapacityError",  # canonical home: repro.runtime.errors
+    "CongestNetwork",
+    "NetworkRunResult",
+    "NotAChannelError",  # canonical home: repro.runtime.errors
+]
 
 
 @dataclass
@@ -102,6 +105,7 @@ class CongestNetwork:
         max_rounds: int,
         detect_quiescence: bool = False,
         detect_stopped: bool = False,
+        run: "EngineRun | None" = None,
     ) -> NetworkRunResult:
         """Execute rounds ``1 .. max_rounds`` (or fewer on termination).
 
@@ -109,7 +113,14 @@ class CongestNetwork:
         stop after a round with no sends and no vertex reporting pending
         work.  ``detect_stopped`` halts once every program reports
         :meth:`~repro.congest.program.VertexProgram.is_stopped` (Algorithm 4
-        semantics).
+        semantics).  Pass an :class:`~repro.engine.stats.EngineRun` as
+        ``run`` to record one persistable round record per CONGEST round
+        (phase ``"congest"``).
+
+        The round loop itself lives in the shared
+        :class:`~repro.runtime.superstep.SuperstepRuntime`, exchanging
+        through a :class:`~repro.runtime.plane.CongestPlane` over this
+        network.
         """
         result = NetworkRunResult(rounds_executed=0, last_send_round=0, terminated_by="round_limit")
         programs = self.programs
@@ -117,8 +128,21 @@ class CongestNetwork:
         with tele.span(
             "congest.run", kind="run", vertices=len(programs)
         ) as sp:
-            self._run_rounds(max_rounds, detect_quiescence, detect_stopped,
-                             result, tele)
+            plane = CongestPlane(self)
+            runtime = SuperstepRuntime(plane=plane, run=run)
+
+            def step(rnd: int, rs) -> bool:
+                return plane.exchange_round(
+                    rnd, result, tele, rs, detect_quiescence
+                )
+
+            stop = (
+                (lambda: all(p.is_stopped() for p in programs))
+                if detect_stopped
+                else None
+            )
+            runtime.run_loop("congest", step, stop=stop, max_rounds=max_rounds)
+            result.terminated_by = runtime.terminated_by
             if sp is not None:
                 sp.set(
                     rounds=result.rounds_executed,
@@ -126,86 +150,4 @@ class CongestNetwork:
                     terminated_by=result.terminated_by,
                     messages=result.stats.messages,
                 )
-        return result
-
-    def _run_rounds(
-        self,
-        max_rounds: int,
-        detect_quiescence: bool,
-        detect_stopped: bool,
-        result: NetworkRunResult,
-        tele,
-    ) -> None:
-        programs = self.programs
-        for rnd in range(1, max_rounds + 1):
-            # -- send phase: collect and validate this round's messages.
-            # outbox maps (sender, target) -> list of payloads (combined).
-            outbox: dict[tuple[int, int], list[tuple[Any, ...]]] = {}
-            any_send = False
-            for v, prog in enumerate(programs):
-                if prog.is_stopped():
-                    continue
-                sends = prog.compute_sends(rnd)
-                if not sends:
-                    continue
-                for target, payload in sends:
-                    if target == BROADCAST:
-                        targets = self.channel_neighbors[v]
-                    else:
-                        if target not in self._channel_sets[v]:
-                            raise NotAChannelError(
-                                f"vertex {v} has no channel to {target}"
-                            )
-                        targets = (target,)
-                    for t in targets:
-                        key = (v, int(t))
-                        bucket = outbox.setdefault(key, [])
-                        if len(bucket) >= MAX_COMBINED_VALUES:
-                            raise ChannelCapacityError(
-                                f"vertex {v} exceeded channel capacity to {t} "
-                                f"in round {rnd}"
-                            )
-                        bucket.append(payload)
-                        any_send = True
-
-            result.sends_per_round.append(len(outbox))
-            if any_send:
-                result.last_send_round = rnd
-                for payloads in outbox.values():
-                    result.stats.record_channel(payloads)
-            if tele.enabled:
-                tele.emit(
-                    "round",
-                    "round:congest",
-                    round=rnd,
-                    phase="congest",
-                    channels=len(outbox),
-                    values=sum(len(p) for p in outbox.values()),
-                )
-
-            # -- delivery phase: receivers process during this round.
-            for (sender, target), payloads in outbox.items():
-                if self.resilience is not None:
-                    payloads = self.resilience.guard_congest(
-                        rnd, sender, target, payloads
-                    )
-                handler = programs[target].handle_message
-                for payload in payloads:
-                    handler(rnd, sender, payload)
-
-            for prog in programs:
-                prog.end_of_round(rnd)
-
-            result.rounds_executed = rnd
-
-            if detect_stopped and all(p.is_stopped() for p in programs):
-                result.terminated_by = "stopped"
-                break
-            if (
-                detect_quiescence
-                and not any_send
-                and not any(p.has_pending_work(rnd) for p in programs)
-            ):
-                result.terminated_by = "quiescence"
-                break
         return result

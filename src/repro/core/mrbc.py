@@ -45,19 +45,16 @@ import numpy as np
 from repro import obs
 from repro.core.batching import iter_batches
 from repro.core.sampling import sample_sources
-from repro.engine.gluon import (
-    TARGET_ALL_PROXIES,
-    TARGET_IN_EDGES,
-    GluonSubstrate,
-)
-from repro.engine.partition import PartitionedGraph, partition_graph
+from repro.engine.gluon import TARGET_ALL_PROXIES, TARGET_IN_EDGES
+from repro.engine.partition import PartitionedGraph
 from repro.engine.stats import EngineRun, RoundStats
 from repro.graph.digraph import DiGraph
 from repro.resilience.checkpoint import (
     mrbc_forward_snapshot,
     restore_mrbc_forward,
 )
-from repro.resilience.errors import HostCrashError
+from repro.runtime.plane import GluonPlane, resolve_partition
+from repro.runtime.superstep import SuperstepRuntime
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.context import ResilienceContext
@@ -205,7 +202,7 @@ class _BatchExecutor:
     def __init__(
         self,
         pg: PartitionedGraph,
-        gluon: GluonSubstrate,
+        gluon: GluonPlane,
         run: EngineRun,
         batch: np.ndarray,
         delayed_sync: bool,
@@ -335,13 +332,14 @@ class _BatchExecutor:
                 st.dirty[:] = False
         return any_dirty
 
-    def run_forward(self) -> int:
+    def run_forward(self, runtime: "SuperstepRuntime | None" = None) -> int:
+        if runtime is None:
+            runtime = SuperstepRuntime(run=self.run)
         pg, gluon = self.pg, self.gluon
         pending_reduce: list[list[tuple]] = [[] for _ in range(self.H)]
-        rnd = 0
-        while True:
-            rnd += 1
-            rs = self.run.new_round("forward")
+
+        def step(rnd: int, rs: RoundStats) -> bool:
+            nonlocal pending_reduce
 
             # -- sync: reduce candidates, then evaluate fires at masters.
             inbox = gluon.reduce_to_masters(
@@ -443,13 +441,15 @@ class _BatchExecutor:
             else:
                 any_work = self._stage_eager(pending_reduce)
 
-            if not any_work and not any_pending:
-                break
-        return rnd
+            return any_work or any_pending
+
+        return runtime.run_loop("forward", step)
 
     # -- backward phase ----------------------------------------------------------
 
-    def run_backward(self) -> int:
+    def run_backward(self, runtime: "SuperstepRuntime | None" = None) -> int:
+        if runtime is None:
+            runtime = SuperstepRuntime(run=self.run)
         pg, gluon = self.pg, self.gluon
         R = max((max(ms.tau.values()) for ms in self.masters.values() if ms.tau), default=1)
         # Fire schedule per master: round -> list of source idx.
@@ -465,10 +465,9 @@ class _BatchExecutor:
             self.delta.setdefault(gid, np.zeros(self.k, dtype=np.float64))
 
         pending_reduce: list[list[tuple]] = [[] for _ in range(self.H)]
-        rnd = 0
-        while True:
-            rnd += 1
-            rs = self.run.new_round("backward")
+
+        def step(rnd: int, rs: RoundStats) -> bool:
+            nonlocal pending_reduce
 
             # -- sync: reduce partial dependencies, then fire broadcasts.
             inbox = gluon.reduce_to_masters(
@@ -531,9 +530,9 @@ class _BatchExecutor:
                     st.partial_delta[rows, cols] = 0.0
                     st.delta_dirty[:] = False
 
-            if not any_dirty and rnd >= R:
-                break
-        return rnd
+            return any_dirty
+
+        return runtime.run_loop("backward", step, min_rounds=R)
 
 
 def mrbc_engine(
@@ -582,11 +581,7 @@ def mrbc_engine(
     Returns per-vertex BC (summed over the sampled sources), per-source
     distances and path counts, and the full engine statistics.
     """
-    if partition is None:
-        partition = partition_graph(g, num_hosts, policy)
-    elif partition.graph is not g:
-        raise ValueError("partition was built for a different graph")
-    pg = partition
+    pg = resolve_partition(g, partition, num_hosts, policy)
     if sources is None:
         if num_sources is None:
             src = np.arange(g.num_vertices, dtype=np.int64)
@@ -597,10 +592,11 @@ def mrbc_engine(
     if src.size == 0:
         raise ValueError("need at least one source")
 
-    gluon = GluonSubstrate(pg, resilience=resilience)
-    run = EngineRun(num_hosts=pg.num_hosts)
-    if resilience is not None:
-        resilience.attach_run(run)
+    runtime = SuperstepRuntime(
+        plane=GluonPlane(pg, resilience=resilience), resilience=resilience
+    )
+    gluon = runtime.plane
+    run = runtime.run
     n = g.num_vertices
     bc = np.zeros(n, dtype=np.float64)
     dist = np.full((src.size, n), -1, dtype=np.int64)
@@ -610,22 +606,19 @@ def mrbc_engine(
 
     tele = obs.current()
     for b0, batch in enumerate(iter_batches(src, batch_size)):
-        # -- forward, restarting the batch from scratch on a host crash.
-        attempt = 0
-        while True:
-            attempt += 1
-            ex = _BatchExecutor(pg, gluon, run, batch, delayed_sync, resilience)
-            mark = len(run.rounds)
-            try:
-                with tele.phase("forward", run, batch=b0, k=int(batch.size)):
-                    fwd_rounds += ex.run_forward()
-                break
-            except HostCrashError as err:
-                assert resilience is not None
-                resilience.on_crash(err, attempt)
-                # The rounds the crashed attempt executed must be redone;
-                # the re-execution is charged to the recovery phase.
-                run.replay_countdown = len(run.rounds) - mark
+        # -- forward, restarting the batch from scratch on a host crash
+        # (redone rounds are charged to the recovery phase by the runtime).
+        def fwd_prepare(attempt: int, batch: np.ndarray = batch) -> _BatchExecutor:
+            return _BatchExecutor(pg, gluon, run, batch, delayed_sync, resilience)
+
+        def fwd_body(
+            ex: _BatchExecutor, b0: int = b0, batch: np.ndarray = batch
+        ) -> int:
+            with runtime.phase("forward", batch=b0, k=int(batch.size)):
+                return ex.run_forward(runtime)
+
+        ex, f = runtime.run_with_restart(fwd_prepare, fwd_body)
+        fwd_rounds += f
         if resilience is not None:
             meta, arrays = mrbc_forward_snapshot(ex)
             resilience.checkpoints.save(f"batch{b0:04d}-forward", meta, arrays)
@@ -638,25 +631,31 @@ def mrbc_engine(
                 hist.observe(len(ms.entries))
         if not forward_only:
             # -- backward, resuming from the forward checkpoint on a crash.
-            attempt = 0
-            while True:
-                attempt += 1
-                mark = len(run.rounds)
-                try:
-                    with tele.phase("backward", run, batch=b0, k=int(batch.size)):
-                        bwd_rounds += ex.run_backward()
-                    break
-                except HostCrashError as err:
-                    assert resilience is not None
-                    resilience.on_crash(err, attempt)
-                    run.replay_countdown = len(run.rounds) - mark
-                    ex = _BatchExecutor(
-                        pg, gluon, run, batch, delayed_sync, resilience
-                    )
-                    meta, arrays = resilience.checkpoints.load(
-                        f"batch{b0:04d}-forward"
-                    )
-                    restore_mrbc_forward(ex, meta, arrays)
+            def bwd_prepare(
+                attempt: int,
+                b0: int = b0,
+                batch: np.ndarray = batch,
+                first: _BatchExecutor = ex,
+            ) -> _BatchExecutor:
+                if attempt == 1:
+                    return first
+                fresh = _BatchExecutor(
+                    pg, gluon, run, batch, delayed_sync, resilience
+                )
+                meta, arrays = resilience.checkpoints.load(
+                    f"batch{b0:04d}-forward"
+                )
+                restore_mrbc_forward(fresh, meta, arrays)
+                return fresh
+
+            def bwd_body(
+                ex: _BatchExecutor, b0: int = b0, batch: np.ndarray = batch
+            ) -> int:
+                with runtime.phase("backward", batch=b0, k=int(batch.size)):
+                    return ex.run_backward(runtime)
+
+            ex, b = runtime.run_with_restart(bwd_prepare, bwd_body)
+            bwd_rounds += b
         base = b0 * batch_size
         for gid, ms in ex.masters.items():
             for si, (d, sg) in ms.best.items():

@@ -25,12 +25,12 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from repro import obs
-from repro.engine.gluon import TARGET_ALL_PROXIES, GluonSubstrate
-from repro.engine.partition import HostPartition, PartitionedGraph, partition_graph
-from repro.engine.stats import EngineRun
+from repro.engine.gluon import TARGET_ALL_PROXIES
+from repro.engine.partition import HostPartition, PartitionedGraph
+from repro.engine.stats import EngineRun, RoundStats
 from repro.graph.weighted import WeightedDiGraph
-from repro.resilience.errors import HostCrashError, UnrecoverableFaultError
+from repro.runtime.plane import GluonPlane, resolve_partition
+from repro.runtime.superstep import CheckpointPolicy, SuperstepRuntime
 from repro.utils.timing import OpCounter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -122,24 +122,37 @@ def run_bsp(
     rounds and an injected host crash (``repair`` mode) resumes from the
     latest checkpoint instead of losing the run.
     """
-    gluon = GluonSubstrate(pg, resilience=resilience)
-    if run is None:
-        run = EngineRun(num_hosts=pg.num_hosts)
-    if resilience is not None:
-        resilience.attach_run(run)
+    runtime = SuperstepRuntime(
+        plane=GluonPlane(pg, resilience=resilience), run=run, resilience=resilience
+    )
+    gluon = runtime.plane
+    run = runtime.run
     H = pg.num_hosts
-    fires_flat = algorithm.initial_fires()
-    rounds = 0
-    with obs.current().phase(algorithm.phase, run, hosts=H):
+    state = {"fires": algorithm.initial_fires()}
+
+    def live() -> bool:
+        return bool(state["fires"])
+
+    with runtime.phase(algorithm.phase, hosts=H):
         if resilience is None:
-            rounds = _bsp_rounds(pg, algorithm, gluon, run, fires_flat, max_rounds)
+
+            def step(rnd: int, rs: RoundStats) -> bool:
+                state["fires"] = _bsp_one_round(
+                    pg, algorithm, gluon, rs, state["fires"]
+                )
+                return True  # termination is the precheck's job
+
+            rounds = runtime.run_loop(
+                algorithm.phase, step, precheck=live, max_rounds=max_rounds
+            )
         else:
             rounds = _bsp_rounds_resilient(
                 pg,
                 algorithm,
                 gluon,
-                run,
-                fires_flat,
+                runtime,
+                state,
+                live,
                 max_rounds,
                 resilience,
                 checkpoint_interval,
@@ -150,13 +163,12 @@ def run_bsp(
 def _bsp_one_round(
     pg: PartitionedGraph,
     algorithm: BSPAlgorithm,
-    gluon: GluonSubstrate,
-    run: EngineRun,
+    gluon: GluonPlane,
+    rs: RoundStats,
     fires_flat: list[tuple],
 ) -> list[tuple]:
     """Execute one broadcast → compute → reduce → master-update round."""
     H = pg.num_hosts
-    rs = run.new_round(algorithm.phase)
     fires: list[list[tuple]] = [[] for _ in range(H)]
     for item in fires_flat:
         fires[int(pg.master_of[item[0]])].append(item)
@@ -181,35 +193,21 @@ def _bsp_one_round(
     return algorithm.master_update(merged, rs.compute)
 
 
-def _bsp_rounds(
-    pg: PartitionedGraph,
-    algorithm: BSPAlgorithm,
-    gluon: GluonSubstrate,
-    run: EngineRun,
-    fires_flat: list[tuple],
-    max_rounds: int,
-) -> int:
-    """The round loop proper (spanned as one phase by :func:`run_bsp`)."""
-    rounds = 0
-    while fires_flat and rounds < max_rounds:
-        rounds += 1
-        fires_flat = _bsp_one_round(pg, algorithm, gluon, run, fires_flat)
-    return rounds
-
-
 def _bsp_rounds_resilient(
     pg: PartitionedGraph,
     algorithm: BSPAlgorithm,
-    gluon: GluonSubstrate,
-    run: EngineRun,
-    fires_flat: list[tuple],
+    gluon: GluonPlane,
+    runtime: SuperstepRuntime,
+    state: dict,
+    live,
     max_rounds: int,
     ctx: "ResilienceContext",
     checkpoint_interval: int,
 ) -> int:
     """The round loop with periodic checkpoints and crash restart."""
+    run = runtime.run
 
-    def checkpoint(at_round: int, fires: list[tuple]) -> bool:
+    def save(at_round: int) -> bool:
         snap = algorithm.snapshot()
         if snap is None:
             return False
@@ -221,38 +219,40 @@ def _bsp_rounds_resilient(
             {
                 "kind": "bsp",
                 "round": at_round,
-                "fires": [list(f) for f in fires],
+                "fires": [list(f) for f in state["fires"]],
                 "algo": meta,
             },
             arrays,
         )
         return True
 
-    can_checkpoint = checkpoint(0, fires_flat)
-    rounds = 0
-    attempt = 0
-    while fires_flat and rounds < max_rounds:
-        try:
-            rounds += 1
-            fires_flat = _bsp_one_round(pg, algorithm, gluon, run, fires_flat)
-            if can_checkpoint and rounds % checkpoint_interval == 0:
-                checkpoint(rounds, fires_flat)
-        except HostCrashError as err:
-            attempt += 1
-            ctx.on_crash(err, attempt)
-            if not can_checkpoint:
-                raise UnrecoverableFaultError(
-                    f"{type(algorithm).__name__} does not implement "
-                    "snapshot(); cannot restart after a crash"
-                ) from err
-            meta, arrays = ctx.checkpoints.load("bsp-latest")
-            algorithm.restore(meta["algo"], arrays)
-            fires_flat = [tuple(f) for f in meta["fires"]]
-            # Rounds since the checkpoint are lost and will be re-executed
-            # as recovery overhead.
-            run.replay_countdown = rounds - int(meta["round"])
-            rounds = int(meta["round"])
-    return rounds
+    def restore() -> int:
+        meta, arrays = ctx.checkpoints.load("bsp-latest")
+        algorithm.restore(meta["algo"], arrays)
+        state["fires"] = [tuple(f) for f in meta["fires"]]
+        return int(meta["round"])
+
+    def body(_rounds: int) -> None:
+        # The round record opens inside the guarded body: a crashed
+        # round's partial stats stay in the run, as a real lost round's
+        # would.
+        rs = run.new_round(algorithm.phase)
+        state["fires"] = _bsp_one_round(pg, algorithm, gluon, rs, state["fires"])
+
+    return runtime.run_guarded(
+        live,
+        body,
+        max_rounds=max_rounds,
+        checkpoint=CheckpointPolicy(
+            save=save,
+            restore=restore,
+            interval=checkpoint_interval,
+            describe=(
+                f"{type(algorithm).__name__} does not implement "
+                "snapshot(); cannot restart after a crash"
+            ),
+        ),
+    )
 
 
 # -- reference algorithm: weighted SSSP -----------------------------------------
@@ -354,8 +354,7 @@ def sssp_engine(
     """
     if not 0 <= source < wg.num_vertices:
         raise ValueError("source out of range")
-    if partition is None:
-        partition = partition_graph(wg.graph, num_hosts, "cvc")
+    partition = resolve_partition(wg.graph, partition, num_hosts)
     algo = _SSSP(wg, partition, source)
     result = run_bsp(partition, algo, resilience=resilience)
     return algo.master_dist.copy(), result

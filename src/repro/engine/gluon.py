@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 from repro import obs
 from repro.engine.partition import PartitionedGraph
 from repro.engine.stats import RoundStats
+from repro.runtime.errors import UnknownBroadcastTargetError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.context import ResilienceContext
@@ -251,7 +252,9 @@ class GluonSubstrate:
         elif targets == TARGET_ALL_PROXIES:
             hosts_of = self.pg.hosts_with_proxy
         else:
-            raise ValueError(f"unknown broadcast target {targets!r}")
+            raise UnknownBroadcastTargetError(
+                f"unknown broadcast target {targets!r}"
+            )
 
         per_pair: dict[tuple[int, int], list[tuple[Any, ...]]] = defaultdict(list)
         for h, items in enumerate(per_host_items):

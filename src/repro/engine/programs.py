@@ -26,10 +26,12 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.engine.gluon import TARGET_ALL_PROXIES, GluonSubstrate
-from repro.engine.partition import PartitionedGraph, partition_graph
+from repro.engine.gluon import TARGET_ALL_PROXIES
+from repro.engine.partition import PartitionedGraph
 from repro.engine.stats import EngineRun
 from repro.graph.digraph import DiGraph
+from repro.runtime.plane import GluonPlane, resolve_partition
+from repro.runtime.superstep import SuperstepRuntime
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.context import ResilienceContext
@@ -56,22 +58,20 @@ def bfs_engine(
     """Level-synchronous BFS distances from ``source`` on the engine."""
     if not 0 <= source < g.num_vertices:
         raise ValueError("source out of range")
-    if partition is None:
-        partition = partition_graph(g, num_hosts, "cvc")
-    pg = partition
-    gluon = GluonSubstrate(pg, resilience=resilience)
-    run = EngineRun(num_hosts=pg.num_hosts)
-    if resilience is not None:
-        resilience.attach_run(run)
+    pg = resolve_partition(g, partition, num_hosts)
+    runtime = SuperstepRuntime(
+        plane=GluonPlane(pg, resilience=resilience), resilience=resilience
+    )
+    gluon = runtime.plane
+    run = runtime.run
 
     H = pg.num_hosts
     local_dist = [np.full(p.num_local, INF, dtype=np.int64) for p in pg.parts]
     master_dist: dict[int, int] = {source: 0}
     newly_settled = [(source, 0)]
-    rounds = 0
-    while True:
-        rounds += 1
-        rs = run.new_round("bfs")
+
+    def step(rnd, rs):
+        nonlocal newly_settled
         fires: list[list[tuple]] = [[] for _ in range(H)]
         for gid, d in newly_settled:
             fires[int(pg.master_of[gid])].append((gid, d))
@@ -108,8 +108,9 @@ def bfs_engine(
                     master_dist[gid] = d
                     newly_settled.append((gid, d))
                 # Level synchrony: later candidates can only be >= cur.
-        if not newly_settled:
-            break
+        return bool(newly_settled)
+
+    rounds = runtime.run_loop("bfs", step)
 
     values = np.full(g.num_vertices, -1, dtype=np.int64)
     for gid, d in master_dist.items():
@@ -129,23 +130,21 @@ def wcc_engine(
     closure of the edges until quiescence.  The returned value per vertex
     is the smallest vertex id in its weak component.
     """
-    if partition is None:
-        partition = partition_graph(g, num_hosts, "cvc")
-    pg = partition
-    gluon = GluonSubstrate(pg, resilience=resilience)
-    run = EngineRun(num_hosts=pg.num_hosts)
-    if resilience is not None:
-        resilience.attach_run(run)
+    pg = resolve_partition(g, partition, num_hosts)
+    runtime = SuperstepRuntime(
+        plane=GluonPlane(pg, resilience=resilience), resilience=resilience
+    )
+    gluon = runtime.plane
+    run = runtime.run
     H = pg.num_hosts
     n = g.num_vertices
 
     master_label = np.arange(n, dtype=np.int64)
     changed = np.arange(n, dtype=np.int64)  # gids whose label changed
     local_label = [p.gids.copy() for p in pg.parts]
-    rounds = 0
-    while changed.size:
-        rounds += 1
-        rs = run.new_round("wcc")
+
+    def step(rnd, rs):
+        nonlocal changed
         fires: list[list[tuple]] = [[] for _ in range(H)]
         for gid in changed.tolist():
             fires[int(pg.master_of[gid])].append((gid, int(master_label[gid])))
@@ -192,6 +191,9 @@ def wcc_engine(
             sorted(changed_set), dtype=np.int64, count=len(changed_set)
         )
 
+    rounds = runtime.run_loop(
+        "wcc", step, precheck=lambda: bool(changed.size)
+    )
     return VertexProgramResult(values=master_label, run=run, rounds=rounds)
 
 
@@ -212,23 +214,21 @@ def pagerank_engine(
     """
     if not 0 < damping < 1:
         raise ValueError("damping must be in (0, 1)")
-    if partition is None:
-        partition = partition_graph(g, num_hosts, "cvc")
-    pg = partition
-    gluon = GluonSubstrate(pg, resilience=resilience)
-    run = EngineRun(num_hosts=pg.num_hosts)
-    if resilience is not None:
-        resilience.attach_run(run)
+    pg = resolve_partition(g, partition, num_hosts)
+    runtime = SuperstepRuntime(
+        plane=GluonPlane(pg, resilience=resilience), resilience=resilience
+    )
+    gluon = runtime.plane
+    run = runtime.run
     H = pg.num_hosts
     n = g.num_vertices
     out_deg = g.out_degrees().astype(np.float64)
     dangling = out_deg == 0
 
     rank = np.full(n, 1.0 / n)
-    rounds = 0
-    for _ in range(max_iters):
-        rounds += 1
-        rs = run.new_round("pagerank")
+
+    def step(rnd, rs):
+        nonlocal rank
         # Masters broadcast each vertex's current contribution r/outdeg.
         fires: list[list[tuple]] = [[] for _ in range(H)]
         contrib = np.where(dangling, 0.0, rank / np.maximum(out_deg, 1.0))
@@ -266,9 +266,9 @@ def pagerank_engine(
         new_rank = (1 - damping) / n + damping * (new_rank + dangling_mass / n)
         residual = float(np.abs(new_rank - rank).sum())
         rank = new_rank
-        if residual < tol:
-            break
+        return residual >= tol
 
+    rounds = runtime.run_loop("pagerank", step, max_rounds=max_iters)
     return VertexProgramResult(values=rank, run=run, rounds=rounds)
 
 
@@ -289,13 +289,12 @@ def kcore_engine(
     """
     if k < 1:
         raise ValueError("k must be >= 1")
-    if partition is None:
-        partition = partition_graph(g, num_hosts, "cvc")
-    pg = partition
-    gluon = GluonSubstrate(pg, resilience=resilience)
-    run = EngineRun(num_hosts=pg.num_hosts)
-    if resilience is not None:
-        resilience.attach_run(run)
+    pg = resolve_partition(g, partition, num_hosts)
+    runtime = SuperstepRuntime(
+        plane=GluonPlane(pg, resilience=resilience), resilience=resilience
+    )
+    gluon = runtime.plane
+    run = runtime.run
     H = pg.num_hosts
     n = g.num_vertices
 
@@ -305,10 +304,9 @@ def kcore_engine(
     alive = np.ones(n, dtype=bool)
     newly_dead = np.nonzero(degree < k)[0]
     alive[newly_dead] = False
-    rounds = 0
-    while newly_dead.size:
-        rounds += 1
-        rs = run.new_round("kcore")
+
+    def step(rnd, rs):
+        nonlocal newly_dead
         fires: list[list[tuple]] = [[] for _ in range(H)]
         for gid in newly_dead.tolist():
             fires[int(pg.master_of[gid])].append((gid, 1))
@@ -345,6 +343,9 @@ def kcore_engine(
         alive[newly] = False
         newly_dead = np.asarray(newly, dtype=np.int64)
 
+    rounds = runtime.run_loop(
+        "kcore", step, precheck=lambda: bool(newly_dead.size)
+    )
     return VertexProgramResult(
         values=alive.astype(np.int64), run=run, rounds=rounds
     )

@@ -144,7 +144,7 @@ CLOCK_EXEMPT_PARTS = (
     "repro/obs/",
     "repro/analysis/",
     "repro/utils/timing.py",
-    "repro/cli.py",
+    "repro/cli/",
     "repro/report.py",
 )
 
@@ -163,9 +163,24 @@ SPAN_OPENERS = frozenset({"span", "phase"})
 #: Modules that implement the telemetry primitives themselves.
 OBS_IMPL_PARTS = ("repro/obs/",)
 
-#: Path fragment identifying the CONGEST simulator (the one module
-#: allowed to invoke vertex-program handlers directly).
-CONGEST_NETWORK_PARTS = ("repro/congest/network.py",)
+#: Path fragments identifying the CONGEST simulator (the modules
+#: allowed to invoke vertex-program handlers directly — the network and
+#: the runtime message plane that drives its exchanges).
+CONGEST_NETWORK_PARTS = (
+    "repro/congest/network.py",
+    "repro/runtime/plane.py",
+)
+
+#: Path fragments identifying the superstep runtime itself — the one
+#: place allowed to own a driver round loop (RL204).
+RUNTIME_IMPL_PARTS = ("repro/runtime/",)
+
+#: Additional paths exempt from RL204: the resilience context opens
+#: synthetic ``recovery`` rounds in a loop to charge stall/retransmit
+#: overhead — a runtime policy, not a driver round loop.
+ROUND_LOOP_EXEMPT_PARTS = RUNTIME_IMPL_PARTS + (
+    "repro/resilience/context.py",
+)
 
 
 def is_test_path(relpath: str) -> bool:

@@ -6,9 +6,10 @@ Rule families (stable codes — baselines and pragmas depend on them):
   gates on :meth:`EngineRun.deterministic_signature`; these rules catch
   constructs that let iteration order, entropy, or wall clocks leak into
   message emission or σ/δ accumulation.
-- ``RL2xx`` **CONGEST protocol** — the O(log n)-bits-per-edge-per-round
-  budget, the simulator-owned handler contract, and the Alg. 3 flat-map
-  schedule ``r = d_sv + ℓ``.
+- ``RL2xx`` **CONGEST protocol & round-loop discipline** — the
+  O(log n)-bits-per-edge-per-round budget, the simulator-owned handler
+  contract, the Alg. 3 flat-map schedule ``r = d_sv + ℓ``, and the rule
+  that driver round loops live in :mod:`repro.runtime` only.
 - ``RL3xx`` **Gluon / delayed synchronization** — §4.3's rule that a
   proxy's finalized label may be read only after the reduce/broadcast
   that proves it final.
@@ -591,6 +592,74 @@ def _rl203(rule: Rule, mod: ModuleInfo) -> Iterator[Finding]:
                     "fire breaks Lemma 2's stable-prefix argument",
                     symbol=scope.qualname,
                 )
+
+
+def _loop_descendants(loop: ast.AST) -> Iterator[ast.AST]:
+    """Every node under ``loop``, not descending into nested defs."""
+    for child in ast.iter_child_nodes(loop):
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        yield child
+        yield from _loop_descendants(child)
+
+
+@register(
+    "RL204",
+    "driver-bypasses-superstep-runtime",
+    SEVERITY_ERROR,
+    "hand-rolled round loop outside repro.runtime — drivers must execute "
+    "rounds through SuperstepRuntime.run_loop",
+)
+def _rl204(rule: Rule, mod: ModuleInfo) -> Iterator[Finding]:
+    if model.is_test_path(mod.relpath) or model.path_matches(
+        mod.relpath, model.ROUND_LOOP_EXEMPT_PARTS
+    ):
+        return
+    for scope in mod.scopes:
+        in_vertex_program = (
+            scope.class_node is not None
+            and scope.class_node.name in mod.vertex_program_classes
+        )
+        for node in scope.walk():
+            if not isinstance(node, (ast.While, ast.For)):
+                continue
+            # Report only the outermost qualifying loop: a parent loop in
+            # this scope contains everything this one does.
+            anc = mod.parent(node)
+            nested = False
+            while anc is not None and anc is not scope.node:
+                if isinstance(anc, (ast.While, ast.For)):
+                    nested = True
+                    break
+                anc = mod.parent(anc)
+            if nested:
+                continue
+            for inner in _loop_descendants(node):
+                if not isinstance(inner, ast.Call):
+                    continue
+                t = terminal_name(inner.func)
+                if t in model.ROUND_OPENERS:
+                    what = f"{t}()"
+                elif t == "compute_sends" and not in_vertex_program:
+                    # A vertex program may delegate to a sub-program's
+                    # compute_sends; outside one, invoking the handler in
+                    # a loop is a hand-rolled CONGEST round driver.
+                    what = "compute_sends()"
+                else:
+                    continue
+                yield rule.finding(
+                    mod,
+                    node,
+                    f"loop in '{scope.qualname}' drives rounds by hand "
+                    f"(calls {what}); round loops live in "
+                    "SuperstepRuntime — pass a step callback to "
+                    "runtime.run_loop(...) so termination, round "
+                    "accounting, and recovery policies stay in one place",
+                    symbol=scope.qualname,
+                )
+                break
 
 
 # -- RL3xx: Gluon / delayed synchronization ------------------------------------

@@ -12,9 +12,16 @@ recovery (retransmits, restarts) was exhausted.
 
 from __future__ import annotations
 
+from repro.runtime.errors import ReproRuntimeError
 
-class ResilienceError(RuntimeError):
-    """Base class for all resilience-subsystem errors."""
+
+class ResilienceError(ReproRuntimeError):
+    """Base class for all resilience-subsystem errors.
+
+    Part of the unified :class:`~repro.runtime.errors.ReproRuntimeError`
+    hierarchy, so ``except ReproRuntimeError`` catches resilience faults
+    alongside plane/engine errors.
+    """
 
 
 class FaultDetectedError(ResilienceError):

@@ -1,0 +1,45 @@
+"""The unified superstep runtime (see ``docs/ARCHITECTURE.md``).
+
+Every driver in the repository — MRBC, SBBC, the general vertex
+programs, the reusable BSP driver, and the CONGEST simulator — runs its
+rounds through one :class:`SuperstepRuntime` over one
+:class:`MessagePlane` (:class:`GluonPlane` for the host-partitioned
+engine, :class:`CongestPlane` for the per-channel model).  The runtime
+owns the round loop and its termination detectors, opens the per-round
+statistics records, creates the :class:`~repro.engine.stats.EngineRun`
+manifest, attaches the resilience context once, and provides the two
+crash-recovery policies (whole-unit restart, checkpointed resume).
+
+:mod:`repro.runtime.errors` is the shared error hierarchy; the historic
+names (``ChannelCapacityError``, ``NotAChannelError``) remain importable
+from their old homes as aliases.
+"""
+
+from repro.runtime.errors import (
+    ChannelCapacityError,
+    NotAChannelError,
+    PartitionMismatchError,
+    ReproRuntimeError,
+    UnknownBroadcastTargetError,
+)
+from repro.runtime.plane import (
+    CongestPlane,
+    GluonPlane,
+    MessagePlane,
+    resolve_partition,
+)
+from repro.runtime.superstep import CheckpointPolicy, SuperstepRuntime
+
+__all__ = [
+    "ChannelCapacityError",
+    "CheckpointPolicy",
+    "CongestPlane",
+    "GluonPlane",
+    "MessagePlane",
+    "NotAChannelError",
+    "PartitionMismatchError",
+    "ReproRuntimeError",
+    "SuperstepRuntime",
+    "UnknownBroadcastTargetError",
+    "resolve_partition",
+]

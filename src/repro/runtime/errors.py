@@ -1,0 +1,34 @@
+"""Shared error hierarchy for the superstep runtime.
+
+Every failure raised by the engines' communication layers derives from
+:class:`ReproRuntimeError`, so callers can catch one base instead of
+memorizing which layer raises what.  Errors that historically were
+``ValueError``\\ s keep that ancestry (multiple inheritance), so existing
+``except ValueError`` call sites — and tests matching on it — continue to
+work unchanged.
+
+This module must stay dependency-free: it sits below every other
+``repro`` package (gluon, congest, resilience) in the import graph.
+"""
+
+from __future__ import annotations
+
+
+class ReproRuntimeError(RuntimeError):
+    """Base class for failures in the superstep runtime and its planes."""
+
+
+class ChannelCapacityError(ReproRuntimeError):
+    """A vertex tried to exceed the per-channel combining cap in one round."""
+
+
+class NotAChannelError(ReproRuntimeError):
+    """A vertex tried to send to a non-neighbor."""
+
+
+class UnknownBroadcastTargetError(ReproRuntimeError, ValueError):
+    """A Gluon broadcast named a target selector that does not exist."""
+
+
+class PartitionMismatchError(ReproRuntimeError, ValueError):
+    """A prebuilt partition was handed to an engine with a different graph."""

@@ -1,0 +1,199 @@
+"""Message planes: the communication substrates the runtime drives.
+
+A *plane* is what one superstep exchanges messages through.  Two
+implementations cover every engine in the repository:
+
+- :class:`GluonPlane` — host-level reduce/broadcast over a partitioned
+  graph (wrapping :class:`~repro.engine.gluon.GluonSubstrate`), used by
+  the BSP drivers (MRBC, SBBC, bfs/wcc/pagerank/kcore, ``run_bsp``);
+- :class:`CongestPlane` — per-channel delivery with capacity and
+  combining caps (wrapping :class:`~repro.congest.network
+  .CongestNetwork`'s channel structures), used by the CONGEST programs.
+
+:func:`resolve_partition` is the shared partition policy every Gluon
+driver previously copied (default-build or validate a prebuilt one).
+
+Import discipline: see :mod:`repro.runtime.superstep` — engine modules
+are imported lazily so this package stays below them in the import
+graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.errors import (
+    ChannelCapacityError,
+    NotAChannelError,
+    PartitionMismatchError,
+)
+
+
+def resolve_partition(g, partition=None, num_hosts: int = 8, policy: str = "cvc"):
+    """Return the partition a Gluon driver should run on.
+
+    Builds one with ``policy`` when none is given; a prebuilt partition
+    must have been built for the same graph object.
+    """
+    from repro.engine.partition import partition_graph
+
+    if partition is None:
+        return partition_graph(g, num_hosts, policy)
+    if partition.graph is not g:
+        raise PartitionMismatchError("partition was built for a different graph")
+    return partition
+
+
+class MessagePlane:
+    """Protocol for a communication substrate driven by the runtime.
+
+    ``num_hosts`` is the plane's host count for manifest creation, or
+    None for planes without a host concept (CONGEST: processors *are*
+    vertices).  Concrete planes add their own exchange primitives — the
+    step functions call them directly, so the protocol stays minimal.
+    """
+
+    num_hosts: int | None = None
+
+
+class GluonPlane(MessagePlane):
+    """Host-level reduce/broadcast over a partitioned graph.
+
+    Delegates to a :class:`~repro.engine.gluon.GluonSubstrate` (pass a
+    prebuilt ``substrate`` to share or customize one, e.g. exact wire
+    sizes); the delayed-synchronization optimization passes through
+    unchanged because callers decide *which* items each round reduces.
+    """
+
+    def __init__(
+        self,
+        pg,
+        *,
+        resilience=None,
+        exact_sizes: bool = False,
+        substrate=None,
+    ) -> None:
+        if substrate is None:
+            from repro.engine.gluon import GluonSubstrate
+
+            substrate = GluonSubstrate(
+                pg, exact_sizes=exact_sizes, resilience=resilience
+            )
+        self.pg = pg
+        self.substrate = substrate
+        self.num_hosts = pg.num_hosts
+
+    def reduce_to_masters(self, per_host_items, payload_bytes, batch_width, rs):
+        """Send each host's updated items to the owning masters."""
+        return self.substrate.reduce_to_masters(
+            per_host_items, payload_bytes, batch_width, rs
+        )
+
+    def broadcast_from_masters(
+        self, per_host_items, targets, payload_bytes, batch_width, rs
+    ):
+        """Send master-side items to the hosts holding relevant proxies."""
+        return self.substrate.broadcast_from_masters(
+            per_host_items, targets, payload_bytes, batch_width, rs
+        )
+
+
+class CongestPlane(MessagePlane):
+    """One CONGEST round: validated sends, accounting, delivery.
+
+    Owns the send/validate/record/deliver sequence that used to live in
+    ``CongestNetwork._run_rounds`` — channel membership and the
+    per-channel combining cap are enforced here, message statistics and
+    per-round telemetry are recorded here, and the resilience channel
+    guard runs between accounting and delivery.  The network object
+    keeps the graph-shaped state (channels, programs).
+    """
+
+    num_hosts = None
+
+    def __init__(self, network) -> None:
+        from repro.congest.messages import MAX_COMBINED_VALUES
+        from repro.congest.program import BROADCAST
+
+        self.network = network
+        self._broadcast = BROADCAST
+        self._max_combined = MAX_COMBINED_VALUES
+
+    def exchange_round(self, rnd, result, tele, rs, detect_quiescence) -> bool:
+        """Execute CONGEST round ``rnd``; return whether work may remain.
+
+        The return value feeds Lemma 8's global termination detector:
+        with ``detect_quiescence`` it is true while this round sent
+        anything or any program reports pending work; otherwise always
+        true (the caller's round budget terminates the run).
+        """
+        net = self.network
+        programs = net.programs
+        # -- send phase: collect and validate this round's messages.
+        # outbox maps (sender, target) -> list of payloads (combined).
+        outbox: dict[tuple[int, int], list[tuple[Any, ...]]] = {}
+        any_send = False
+        for v, prog in enumerate(programs):
+            if prog.is_stopped():
+                continue
+            sends = prog.compute_sends(rnd)
+            if not sends:
+                continue
+            for target, payload in sends:
+                if target == self._broadcast:
+                    targets = net.channel_neighbors[v]
+                else:
+                    if target not in net._channel_sets[v]:
+                        raise NotAChannelError(
+                            f"vertex {v} has no channel to {target}"
+                        )
+                    targets = (target,)
+                for t in targets:
+                    key = (v, int(t))
+                    bucket = outbox.setdefault(key, [])
+                    if len(bucket) >= self._max_combined:
+                        raise ChannelCapacityError(
+                            f"vertex {v} exceeded channel capacity to {t} "
+                            f"in round {rnd}"
+                        )
+                    bucket.append(payload)
+                    any_send = True
+
+        result.sends_per_round.append(len(outbox))
+        if any_send:
+            result.last_send_round = rnd
+            for payloads in outbox.values():
+                result.stats.record_channel(payloads)
+        if tele.enabled:
+            tele.emit(
+                "round",
+                "round:congest",
+                round=rnd,
+                phase="congest",
+                channels=len(outbox),
+                values=sum(len(p) for p in outbox.values()),
+            )
+        if rs is not None:
+            # An EngineRun is attached (persistable CONGEST runs): a
+            # channel is the congest analogue of a pair message.
+            rs.pair_messages += len(outbox)
+            rs.items_synced += sum(len(p) for p in outbox.values())
+
+        # -- delivery phase: receivers process during this round.
+        for (sender, target), payloads in outbox.items():
+            if net.resilience is not None:
+                payloads = net.resilience.guard_congest(
+                    rnd, sender, target, payloads
+                )
+            handler = programs[target].handle_message
+            for payload in payloads:
+                handler(rnd, sender, payload)
+
+        for prog in programs:
+            prog.end_of_round(rnd)
+
+        result.rounds_executed = rnd
+
+        if not detect_quiescence:
+            return True
+        return any_send or any(p.has_pending_work(rnd) for p in programs)

@@ -1,0 +1,217 @@
+"""The unified superstep round loop shared by every driver.
+
+Before this module existed the repository re-implemented the same
+scaffolding in seven places: ``mrbc_engine``, ``sbbc_engine``, the four
+vertex programs in :mod:`repro.engine.programs`, ``run_bsp``, and the
+CONGEST simulator each rebuilt partition → substrate → round loop →
+obs/resilience plumbing by hand.  :class:`SuperstepRuntime` owns that
+scaffolding exactly once:
+
+- the **round loop** (:meth:`SuperstepRuntime.run_loop`) with the three
+  termination shapes the engines use — run-until-quiescence, fixed
+  horizon (round budget), and stop-callback (Algorithm 4 semantics) —
+  and the ``terminated_by`` vocabulary the CONGEST results report;
+- **stats accumulation**: one :class:`~repro.engine.stats.RoundStats`
+  record is opened per round and handed to the step function, so no
+  driver calls ``run.new_round`` in a hand-rolled loop (lint rule RL204
+  enforces this);
+- **one-time wiring**: the :class:`~repro.engine.stats.EngineRun`
+  manifest is created here, the
+  :class:`~repro.resilience.context.ResilienceContext` is attached to it
+  here, and phase spans open through :meth:`SuperstepRuntime.phase`;
+- **crash recovery policies**: :meth:`run_with_restart` (replay a unit
+  of work from scratch — MRBC batches, SBBC sources) and
+  :meth:`run_guarded` (periodic :class:`CheckpointPolicy` snapshots with
+  resume — the BSP driver), both charging replayed rounds to the
+  recovery phase via ``EngineRun.replay_countdown``.
+
+Import discipline: this package sits *below* the engines (they import
+it), so everything outside :mod:`repro.runtime.errors` is imported
+lazily inside the methods that need it — the module itself has no
+``repro`` dependencies at import time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass
+class CheckpointPolicy:
+    """How :meth:`SuperstepRuntime.run_guarded` snapshots and resumes.
+
+    ``save(round)`` captures the driver's state, returning False when the
+    algorithm cannot checkpoint at all (the run is then unrecoverable and
+    a crash raises with ``describe`` as the message).  ``restore()``
+    reloads the latest snapshot and returns the round to resume from.
+    """
+
+    save: Callable[[int], bool]
+    restore: Callable[[], int]
+    interval: int = 4
+    describe: str = "algorithm does not support checkpointing"
+
+
+class SuperstepRuntime:
+    """One round loop, one message plane, one-time obs/resilience wiring.
+
+    Parameters
+    ----------
+    plane:
+        The :class:`~repro.runtime.plane.MessagePlane` the driver
+        exchanges messages through.  Only consulted here for
+        ``num_hosts`` (manifest creation); the step functions use it
+        directly.
+    run:
+        An existing :class:`~repro.engine.stats.EngineRun` to append
+        rounds to, or None — a fresh one is created when the plane is
+        host-based, and left None for planes without hosts (CONGEST).
+    resilience:
+        Optional :class:`~repro.resilience.context.ResilienceContext`;
+        attached to the run exactly once, and consulted by the restart
+        policies.
+    """
+
+    def __init__(self, plane=None, run=None, resilience=None) -> None:
+        self.plane = plane
+        self.resilience = resilience
+        if run is None and plane is not None and getattr(plane, "num_hosts", None):
+            from repro.engine.stats import EngineRun
+
+            run = EngineRun(num_hosts=plane.num_hosts)
+        self.run = run
+        if resilience is not None and run is not None:
+            resilience.attach_run(run)
+        #: How the most recent :meth:`run_loop` ended:
+        #: ``"quiescence"`` | ``"stopped"`` | ``"round_limit"``.
+        self.terminated_by = "round_limit"
+
+    # -- obs policy ----------------------------------------------------------
+
+    def phase(self, name: str, **attrs: Any):
+        """Open a phase span on the current telemetry session for this run."""
+        from repro import obs
+
+        return obs.current().phase(name, self.run, **attrs)
+
+    # -- the round loop ------------------------------------------------------
+
+    def run_loop(
+        self,
+        phase: str,
+        step: Callable[[int, Any], Any],
+        *,
+        precheck: Callable[[], bool] | None = None,
+        stop: Callable[[], bool] | None = None,
+        min_rounds: int = 0,
+        max_rounds: int | None = None,
+    ) -> int:
+        """Drive ``step`` once per round until termination; return rounds run.
+
+        ``step(rnd, rs)`` executes round ``rnd`` (1-based) against a fresh
+        :class:`~repro.engine.stats.RoundStats` record (None when the
+        runtime has no :class:`~repro.engine.stats.EngineRun`) and returns
+        truthy while there may be more work.
+
+        Termination, setting :attr:`terminated_by`:
+
+        - ``precheck`` (evaluated *before* each round) false →
+          ``"quiescence"`` — the ``while work:`` loop shape (WCC, k-core,
+          BSP fires);
+        - ``stop`` (evaluated *after* each round) true → ``"stopped"`` —
+          Algorithm 4's all-programs-stopped detector;
+        - no ``precheck`` and ``step`` returned falsy with at least
+          ``min_rounds`` rounds executed → ``"quiescence"`` — the
+          run-until-quiescence shape (``min_rounds`` covers backward
+          phases that must run a full schedule of R rounds);
+        - ``max_rounds`` reached → ``"round_limit"`` (the fixed horizon).
+        """
+        run = self.run
+        rnd = 0
+        self.terminated_by = "round_limit"
+        while max_rounds is None or rnd < max_rounds:
+            if precheck is not None and not precheck():
+                self.terminated_by = "quiescence"
+                break
+            rnd += 1
+            rs = run.new_round(phase) if run is not None else None
+            more = step(rnd, rs)
+            if stop is not None and stop():
+                self.terminated_by = "stopped"
+                break
+            if precheck is None and not more and rnd >= min_rounds:
+                self.terminated_by = "quiescence"
+                break
+        return rnd
+
+    # -- resilience policies -------------------------------------------------
+
+    def run_with_restart(self, prepare, body):
+        """Run ``body(prepare(attempt))``, restarting the unit on a crash.
+
+        The whole-unit replay policy (MRBC restarts the batch, SBBC the
+        source): on an injected :class:`~repro.resilience.errors
+        .HostCrashError` the context's ``on_crash`` hook fires, the rounds
+        the crashed attempt appended are charged to the recovery phase,
+        and ``prepare`` builds fresh state for the next attempt (loading a
+        checkpoint if it wants to).  Returns ``(state, result)`` of the
+        successful attempt.  Without a resilience context crashes
+        propagate (they cannot be injected in that case anyway).
+        """
+        from repro.resilience.errors import HostCrashError
+
+        attempt = 0
+        while True:
+            attempt += 1
+            state = prepare(attempt)
+            mark = len(self.run.rounds)
+            try:
+                return state, body(state)
+            except HostCrashError as err:
+                if self.resilience is None:
+                    raise
+                self.resilience.on_crash(err, attempt)
+                # The rounds the crashed attempt executed must be redone;
+                # the re-execution is charged to the recovery phase.
+                self.run.replay_countdown = len(self.run.rounds) - mark
+
+    def run_guarded(
+        self,
+        precheck: Callable[[], bool],
+        body: Callable[[int], None],
+        *,
+        max_rounds: int,
+        checkpoint: CheckpointPolicy,
+    ) -> int:
+        """The checkpointed round loop: snapshot periodically, resume on crash.
+
+        ``body(rounds)`` executes one round (opening its own round record
+        — a crashed round's partial stats stay in the run, exactly as a
+        real lost round would).  Every ``checkpoint.interval`` rounds the
+        policy snapshots; an injected crash restores the latest snapshot,
+        charges the lost rounds to recovery, and rewinds the counter.  If
+        the policy cannot snapshot at all, a crash is unrecoverable.
+        """
+        from repro.resilience.errors import HostCrashError, UnrecoverableFaultError
+
+        can_checkpoint = checkpoint.save(0)
+        rounds = 0
+        attempt = 0
+        while precheck() and rounds < max_rounds:
+            try:
+                rounds += 1
+                body(rounds)
+                if can_checkpoint and rounds % checkpoint.interval == 0:
+                    checkpoint.save(rounds)
+            except HostCrashError as err:
+                attempt += 1
+                self.resilience.on_crash(err, attempt)
+                if not can_checkpoint:
+                    raise UnrecoverableFaultError(checkpoint.describe) from err
+                resume = checkpoint.restore()
+                # Rounds since the checkpoint are lost and will be
+                # re-executed as recovery overhead.
+                self.run.replay_countdown = rounds - resume
+                rounds = resume
+        return rounds

@@ -169,22 +169,21 @@ class TestExactSizes:
         25% of the closed-form model's volume."""
         import numpy as np
         from repro.core.mrbc import mrbc_engine
-        from repro.engine.gluon import GluonSubstrate as GS
 
         g = pg.graph
         srcs = [0, 10, 20, 30]
         modeled = mrbc_engine(g, sources=srcs, batch_size=4, partition=pg)
 
-        # Monkey-patch mrbc_engine's substrate via a tiny shim: rerun with
-        # an exact-size substrate by copying the executor wiring.
+        # Monkey-patch mrbc_engine's message plane via a tiny shim: rerun
+        # with an exact-size plane by copying the executor wiring.
         from repro.core import mrbc as mrbc_mod
 
-        orig = mrbc_mod.GluonSubstrate
-        mrbc_mod.GluonSubstrate = lambda p, **kw: GS(p, exact_sizes=True, **kw)
+        orig = mrbc_mod.GluonPlane
+        mrbc_mod.GluonPlane = lambda p, **kw: orig(p, exact_sizes=True, **kw)
         try:
             exact = mrbc_engine(g, sources=srcs, batch_size=4, partition=pg)
         finally:
-            mrbc_mod.GluonSubstrate = orig
+            mrbc_mod.GluonPlane = orig
 
         assert np.allclose(exact.bc, modeled.bc)
         a, b = exact.run.total_bytes, modeled.run.total_bytes

@@ -202,6 +202,68 @@ class TestRuleFixtures:
         """
         assert "RL203" not in codes(src)
 
+    # -- RL204: hand-rolled round loops ----------------------------------------
+
+    def test_rl204_flags_hand_rolled_round_loop(self):
+        src = """
+            def drive(run, gluon, pending):
+                rnd = 0
+                while True:
+                    rnd += 1
+                    rs = run.new_round("forward")
+                    gluon.reduce_to_masters(pending, 12, 1, rs)
+                    if not pending:
+                        break
+                return rnd
+        """
+        assert "RL204" in codes(src)
+
+    def test_rl204_flags_congest_driver_loop(self):
+        src = """
+            def drive_network(programs, rnd):
+                for prog in programs:
+                    sends = prog.compute_sends(rnd)
+        """
+        assert "RL204" in codes(src)
+
+    def test_rl204_passes_runtime_step_callback(self):
+        src = """
+            def drive(runtime, gluon, pending):
+                def step(rnd, rs):
+                    gluon.reduce_to_masters(pending, 12, 1, rs)
+                    return bool(pending)
+                return runtime.run_loop("forward", step)
+        """
+        assert "RL204" not in codes(src)
+
+    def test_rl204_exempts_the_runtime_itself(self):
+        src = """
+            def run_loop(self, phase, step):
+                rnd = 0
+                while True:
+                    rnd += 1
+                    rs = self.run.new_round(phase)
+                    if not step(rnd, rs):
+                        break
+                return rnd
+        """
+        assert "RL204" not in codes(
+            src, relpath="src/repro/runtime/superstep.py"
+        )
+
+    def test_rl204_allows_vertex_program_delegation(self):
+        # A vertex program may call a sub-program's compute_sends while
+        # assembling its own sends (e.g. APSP delegating to the finalizer).
+        src = """
+            class Outer(VertexProgram):
+                def compute_sends(self, rnd):
+                    sends = []
+                    for sub in self.subprograms:
+                        sends.extend(sub.compute_sends(rnd))
+                    return sends
+        """
+        assert "RL204" not in codes(src)
+
     # -- RL301: proxy reads before sync ----------------------------------------
 
     def test_rl301_flags_read_without_sync(self):

@@ -8,7 +8,9 @@ from repro.congest.network import CongestNetwork
 from repro.congest.trace import render_schedule, traced_factory
 from repro.core.apsp import DirectedAPSPProgram
 from repro.core.mrbc import mrbc_engine
-from repro.engine.persist import load_run, save_run
+from repro.engine.persist import _V1_PHASES, load_run, save_run
+from repro.engine.stats import EngineRun
+from repro.resilience import FaultPlan, FaultSpec, ResilienceContext
 from tests.conftest import some_sources
 
 
@@ -55,6 +57,85 @@ class TestPersistence:
         np.savez(p, **data)
         with pytest.raises(ValueError):
             load_run(p)
+
+
+class TestRuntimeRunPersistence:
+    """Both message planes record through the same SuperstepRuntime, so
+    their :class:`EngineRun` artifacts must survive the v2 roundtrip —
+    phase tables *and* the per-round recovery flags included."""
+
+    def test_gluon_plane_run_keeps_recovery_flags(self, er_graph, tmp_path):
+        plan = FaultPlan(
+            name="crash@3",
+            seed=7,
+            specs=(FaultSpec(kind="crash", host=1, round=3),),
+        )
+        ctx = ResilienceContext(plan=plan, mode="repair")
+        run = mrbc_engine(
+            er_graph,
+            sources=some_sources(er_graph),
+            batch_size=6,
+            num_hosts=4,
+            resilience=ctx,
+        ).run
+        assert ctx.crash_restarts >= 1
+        assert run.recovery_rounds >= 1
+
+        p = tmp_path / "gluon.npz"
+        save_run(run, p)
+        back = load_run(p)
+        for phase in ("forward", "backward", "recovery"):
+            assert back.rounds_in_phase(phase) == run.rounds_in_phase(phase)
+        assert [rs.recovery for rs in back.rounds] == [
+            rs.recovery for rs in run.rounds
+        ]
+        assert any(rs.recovery for rs in back.rounds)
+
+    def test_congest_plane_run_roundtrips_phase_table(self, er_graph, tmp_path):
+        srcs = frozenset(some_sources(er_graph, 4))
+        net = CongestNetwork(
+            er_graph, lambda v: DirectedAPSPProgram(sources=srcs)
+        )
+        engine_run = EngineRun(num_hosts=1)
+        res = net.run(
+            er_graph.num_vertices * 2, detect_quiescence=True, run=engine_run
+        )
+        assert engine_run.num_rounds == res.rounds_executed
+        assert engine_run.total_pair_messages > 0
+
+        p = tmp_path / "congest.npz"
+        save_run(engine_run, p)
+        back = load_run(p)
+        assert back.num_rounds == engine_run.num_rounds
+        assert back.rounds_in_phase("congest") == engine_run.num_rounds
+        assert back.total_pair_messages == engine_run.total_pair_messages
+        assert back.total_items_synced == engine_run.total_items_synced
+        assert not any(rs.recovery for rs in back.rounds)
+
+    def test_v1_legacy_archive_loads(self, er_graph, tmp_path):
+        run = mrbc_engine(
+            er_graph, sources=some_sources(er_graph), batch_size=6, num_hosts=4
+        ).run
+        p = tmp_path / "legacy.npz"
+        save_run(run, p)
+        data = dict(np.load(p))
+        # Rewrite the archive to v1 shape: fixed phase table, no
+        # phase_names / recovery arrays.
+        names = [str(x) for x in data["phase_names"]]
+        remap = np.array([_V1_PHASES.index(n) for n in names], dtype=np.int64)
+        data["phases"] = remap[data["phases"]]
+        data["version"] = np.int64(1)
+        del data["phase_names"]
+        del data["recovery"]
+        np.savez(p, **data)
+
+        back = load_run(p)
+        assert back.num_rounds == run.num_rounds
+        assert back.rounds_in_phase("forward") == run.rounds_in_phase("forward")
+        assert back.rounds_in_phase("backward") == run.rounds_in_phase(
+            "backward"
+        )
+        assert not any(rs.recovery for rs in back.rounds)
 
 
 class TestTrace:
