@@ -10,8 +10,19 @@
 - :mod:`repro.analysis.tracediff` — straggler/critical-path attribution
   over recorded round events, and phase-by-phase diffing of two recorded
   runs (``repro compare``).
+- :mod:`repro.analysis.commcheck` — predicted-vs-measured communication
+  conformance over the comm ledger (``repro comm --check``).
 """
 
+from repro.analysis.commcheck import (
+    DEFAULT_CHECK_SUITE,
+    CheckResult,
+    CommCheckCase,
+    CommReport,
+    render_comm_report,
+    run_case_checks,
+    run_conformance,
+)
 from repro.analysis.export import export_tables, read_csv, write_csv
 from repro.analysis.metrics import AlgorithmSummary, summarize_engine_result
 from repro.analysis.reporting import (
@@ -37,6 +48,10 @@ from repro.analysis.validation import (
 
 __all__ = [
     "AlgorithmSummary",
+    "CheckResult",
+    "CommCheckCase",
+    "CommReport",
+    "DEFAULT_CHECK_SUITE",
     "PhaseStragglers",
     "SanityDigest",
     "bc_digest",
@@ -51,9 +66,12 @@ __all__ = [
     "phase_breakdown_dict",
     "phase_stragglers",
     "read_csv",
+    "render_comm_report",
     "render_phase_breakdown",
     "render_run_diff",
     "render_stragglers",
+    "run_case_checks",
+    "run_conformance",
     "structural_checks",
     "summarize_engine_result",
     "write_csv",

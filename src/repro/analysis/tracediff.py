@@ -41,6 +41,10 @@ class PhaseStragglers:
     bound_by_host: dict[int, int] = field(default_factory=dict)
     #: Per-round max/mean compute imbalance, in execution order.
     imbalance: list[float] = field(default_factory=list)
+    #: Attribution metric: "time" (model-bound resource) or "bytes".
+    by: str = "time"
+    #: host -> total bytes moved (out + in) across the phase's rounds.
+    bytes_by_host: dict[int, int] = field(default_factory=dict)
 
     @property
     def critical_host(self) -> int | None:
@@ -74,10 +78,12 @@ class PhaseStragglers:
         first, second = self.imbalance_halves()
         return {
             "phase": self.phase,
+            "by": self.by,
             "rounds": self.rounds,
             "comp_bound_rounds": self.comp_bound_rounds,
             "comm_bound_rounds": self.comm_bound_rounds,
             "bound_by_host": {str(h): n for h, n in sorted(self.bound_by_host.items())},
+            "bytes_by_host": {str(h): n for h, n in sorted(self.bytes_by_host.items())},
             "critical_host": self.critical_host,
             "critical_share": round(self.critical_share, 4),
             "imbalance_first_half": round(first, 4),
@@ -85,8 +91,20 @@ class PhaseStragglers:
         }
 
 
-def phase_stragglers(events: "list[Event]") -> list[PhaseStragglers]:
-    """Aggregate the columnar ``round`` events into per-phase attribution."""
+def phase_stragglers(
+    events: "list[Event]", by: str = "time"
+) -> list[PhaseStragglers]:
+    """Aggregate the columnar ``round`` events into per-phase attribution.
+
+    ``by`` picks the attribution metric: ``"time"`` charges each round to
+    the host bounding its model-dominant resource (max-ops host of a
+    computation-bound round, max-bytes host of a communication-bound
+    round); ``"bytes"`` charges every round to its max-byte-volume host —
+    who moves the traffic, regardless of what bounds the clock.  The
+    comp/comm-bound round classification is identical either way.
+    """
+    if by not in ("time", "bytes"):
+        raise ValueError(f"by must be time|bytes, got {by!r}")
     by_phase: dict[str, PhaseStragglers] = {}
     order: list[str] = []
     for e in sorted(
@@ -96,7 +114,7 @@ def phase_stragglers(events: "list[Event]") -> list[PhaseStragglers]:
         phase = str(a.get("phase", "?"))
         ps = by_phase.get(phase)
         if ps is None:
-            ps = by_phase[phase] = PhaseStragglers(phase)
+            ps = by_phase[phase] = PhaseStragglers(phase, by=by)
             order.append(phase)
         ops = a.get("host_ops") or []
         b_out = a.get("host_bytes_out") or []
@@ -119,6 +137,11 @@ def phase_stragglers(events: "list[Event]") -> list[PhaseStragglers]:
         else:
             ps.comm_bound_rounds += 1
             bounding = byts
+        if by == "bytes":
+            bounding = byts
+        for h, nb in enumerate(byts):
+            if nb:
+                ps.bytes_by_host[h] = ps.bytes_by_host.get(h, 0) + int(nb)
         if bounding and max(bounding) > 0:
             h = int(max(range(len(bounding)), key=bounding.__getitem__))
             ps.bound_by_host[h] = ps.bound_by_host.get(h, 0) + 1
@@ -133,6 +156,7 @@ def render_stragglers(reports: list[PhaseStragglers]) -> str:
     """Text table: who bounds each phase, and how the imbalance trends."""
     from repro.analysis.reporting import format_table
 
+    by = reports[0].by if reports else "time"
     rows: list[list[object]] = []
     for ps in reports:
         h = ps.critical_host
@@ -156,7 +180,7 @@ def render_stragglers(reports: list[PhaseStragglers]) -> str:
         ["phase", "rounds", "comp-bound", "comm-bound", "critical host",
          "imbalance (1st half -> 2nd half)"],
         rows,
-        title="straggler / critical-path attribution",
+        title=f"straggler / critical-path attribution (by {by})",
     )
 
 

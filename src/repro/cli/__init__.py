@@ -39,10 +39,17 @@ invariants against the committed baseline (exit code is the verdict)::
 
     python -m repro lint src tests --format json
 
+Inspect communication volume (per phase/round/channel) or run the
+predicted-vs-measured conformance suite (exit code is the verdict)::
+
+    python -m repro comm mrbc --graph er:60:3 --matrix --top 5
+    python -m repro comm --check --report comm-report.json
+
 Each subcommand lives in its own module (:mod:`repro.cli.run`,
 :mod:`repro.cli.trace`, :mod:`repro.cli.faults`, :mod:`repro.cli.bench`,
 :mod:`repro.cli.profile`, :mod:`repro.cli.compare`,
-:mod:`repro.cli.lint`); shared flags and graph loading are in
+:mod:`repro.cli.lint`, :mod:`repro.cli.comm`); shared flags and graph
+loading are in
 :mod:`repro.cli.common`.  This package re-exports every historical
 ``repro.cli`` name, so imports written against the old single-module CLI
 keep working.
@@ -62,6 +69,7 @@ from repro.cli.common import (
     log,
     setup_logging,
 )
+from repro.cli.comm import comm_main
 from repro.cli.compare import compare_main
 from repro.cli.faults import faults_main
 from repro.cli.profile import profile_main
@@ -73,6 +81,7 @@ __all__ = [
     "TRACEABLE",
     "add_logging_flags",
     "bench_main",
+    "comm_main",
     "compare_main",
     "faults_main",
     "log",
@@ -100,4 +109,6 @@ def main(argv: list[str] | None = None) -> int:
         from repro.cli.lint import lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "comm":
+        return comm_main(argv[1:])
     return run_main(argv)

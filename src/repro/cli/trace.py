@@ -54,6 +54,9 @@ def trace_main(argv: list[str]) -> int:
                         "(open at https://ui.perfetto.dev)")
     p.add_argument("--stragglers", action="store_true",
                    help="also print per-phase straggler/critical-path attribution")
+    p.add_argument("--by", choices=("time", "bytes"), default="time",
+                   help="straggler attribution metric: model-bound time "
+                        "or byte volume (default: time)")
     add_logging_flags(p)
     args = p.parse_args(argv)
     setup_logging(args.verbose, args.quiet)
@@ -70,7 +73,8 @@ def trace_main(argv: list[str]) -> int:
     manifest_path = os.path.join(args.out, "manifest.json")
 
     sink = obs.FileSink(events_path)
-    with obs.session(sink, model=model) as tele:
+    ledger = obs.CommLedger()
+    with obs.session(sink, model=model, comm=ledger) as tele:
         with tele.span(
             f"run:{args.algorithm}",
             kind="run",
@@ -94,6 +98,7 @@ def trace_main(argv: list[str]) -> int:
         args.algorithm,
         res.run,
         model,
+        ledger=ledger,
         graph_spec=args.graph,
         num_vertices=g.num_vertices,
         num_edges=g.num_edges,
@@ -121,7 +126,10 @@ def trace_main(argv: list[str]) -> int:
             from repro.analysis.tracediff import phase_stragglers
 
             doc["stragglers"] = [
-                s.to_dict() for s in phase_stragglers(obs.read_events(events_path))
+                s.to_dict()
+                for s in phase_stragglers(
+                    obs.read_events(events_path), by=args.by
+                )
             ]
         print(json.dumps(doc, indent=2, sort_keys=True))
     else:
@@ -129,5 +137,7 @@ def trace_main(argv: list[str]) -> int:
         if args.stragglers:
             from repro.analysis.tracediff import phase_stragglers, render_stragglers
 
-            print(render_stragglers(phase_stragglers(obs.read_events(events_path))))
+            print(render_stragglers(
+                phase_stragglers(obs.read_events(events_path), by=args.by)
+            ))
     return 0

@@ -125,6 +125,11 @@ class CongestNetwork:
         result = NetworkRunResult(rounds_executed=0, last_send_round=0, terminated_by="round_limit")
         programs = self.programs
         tele = obs.current()
+        if tele.comm is not None:
+            # Round counters restart per network run (one run per source
+            # batch and phase); a fresh ledger epoch keeps their per-round
+            # channel records from merging across runs.
+            tele.comm.begin_epoch("congest")
         with tele.span(
             "congest.run", kind="run", vertices=len(programs)
         ) as sp:

@@ -150,6 +150,7 @@ class GluonSubstrate:
         op: str = "sync",
     ) -> None:
         tele = obs.current()
+        ledger = tele.comm
         if tele.enabled:
             before = (
                 int(rs.bytes_out.sum()),
@@ -176,6 +177,10 @@ class GluonSubstrate:
             rs.bytes_in[receiver] += nbytes
             rs.msgs_out[sender] += 1
             rs.msgs_in[receiver] += 1
+            if ledger is not None:
+                ledger.record_pair_message(
+                    rs, sender, receiver, len(items), nbytes, op
+                )
             if tele.enabled:
                 tele.metrics.histogram("gluon.message_bytes", op=op).observe(
                     nbytes

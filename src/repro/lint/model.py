@@ -148,6 +148,38 @@ CLOCK_EXEMPT_PARTS = (
     "repro/report.py",
 )
 
+# -- communication-ledger accounting -------------------------------------------
+
+#: Receiver terminal names that denote a *raw* communication substrate —
+#: the object a :class:`~repro.runtime.plane.MessagePlane` wraps.  Driver
+#: code must invoke sync primitives through the plane (whose accounting
+#: chokepoints feed the comm ledger), never by reaching under it.
+SUBSTRATE_RECEIVER_NAMES = frozenset({"substrate", "network", "net"})
+
+#: Methods that mutate per-channel :class:`MessageStats` directly.  Only
+#: the CONGEST message plane may call them: a stats record with no
+#: matching ledger record breaks the ledger↔stats reconciliation that
+#: ``repro comm --check`` enforces.
+CHANNEL_RECORDERS = frozenset({"record_channel"})
+
+#: :class:`RoundStats` per-host byte counters.  Subscript-writing them
+#: outside the accounting chokepoints charges wire traffic that the comm
+#: ledger never sees.
+BYTE_ACCOUNT_FIELDS = frozenset({"bytes_out", "bytes_in"})
+
+#: Path fragments of the modules that *are* the ledger-recording entry
+#: points (and their data-model homes) — the only places allowed to touch
+#: the primitives above: the message planes, the Gluon substrate's
+#: ``_account`` chokepoint, the CONGEST package, the resilience context's
+#: retransmit charging, and the stats structures themselves.
+LEDGER_ENTRY_PARTS = (
+    "repro/runtime/plane.py",
+    "repro/engine/gluon.py",
+    "repro/congest/",
+    "repro/resilience/context.py",
+    "repro/engine/stats.py",
+)
+
 # -- observability hygiene -----------------------------------------------------
 
 #: Constructors of sinks that own a file handle and must be closed.

@@ -14,7 +14,9 @@ Rule families (stable codes — baselines and pragmas depend on them):
   proxy's finalized label may be read only after the reduce/broadcast
   that proves it final.
 - ``RL4xx`` **observability / resilience hygiene** — engine entry points
-  must expose ``resilience=``; sinks and spans must be closed.
+  must expose ``resilience=``; sinks and spans must be closed; message
+  emission and byte accounting must go through the ledger-recording
+  MessagePlane entry points.
 
 Every rule is a pure function of one module's AST plus the semantic
 model (:mod:`repro.lint.model`); there is no cross-module inference.
@@ -841,5 +843,73 @@ def _rl402(rule: Rule, mod: ModuleInfo) -> Iterator[Finding]:
                         "manager but is not entered with 'with' — the span "
                         "never closes and its subtree is orphaned in the "
                         "trace",
+                        symbol=scope.qualname,
+                    )
+
+
+@register(
+    "RL403",
+    "ledger-bypassing-emission",
+    SEVERITY_ERROR,
+    "message emission or byte accounting bypasses the ledger-recording "
+    "MessagePlane entry points — CommLedger totals would drift from "
+    "RoundStats/MessageStats",
+)
+def _rl403(rule: Rule, mod: ModuleInfo) -> Iterator[Finding]:
+    if model.is_test_path(mod.relpath) or model.path_matches(
+        mod.relpath, model.LEDGER_ENTRY_PARTS
+    ):
+        return  # the accounting chokepoints themselves
+    for scope in mod.scopes:
+        for node in scope.walk():
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                t = node.func.attr
+                if (
+                    t in model.SYNC_PRIMITIVES
+                    and terminal_name(node.func.value)
+                    in model.SUBSTRATE_RECEIVER_NAMES
+                ):
+                    recv = terminal_name(node.func.value)
+                    yield rule.finding(
+                        mod,
+                        node,
+                        f"{t}() invoked on raw substrate '{recv}' — drivers "
+                        "must synchronize through the MessagePlane so the "
+                        "comm ledger records every pair message; reaching "
+                        "under the plane desynchronizes ledger and "
+                        "RoundStats accounting",
+                        symbol=scope.qualname,
+                    )
+                elif t in model.CHANNEL_RECORDERS:
+                    yield rule.finding(
+                        mod,
+                        node,
+                        f"{t}() called outside the CONGEST message plane: a "
+                        "MessageStats record with no matching CommLedger "
+                        "record breaks the ledger-vs-stats reconciliation "
+                        "that 'repro comm --check' enforces",
+                        symbol=scope.qualname,
+                    )
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            for tgt in targets:
+                if (
+                    isinstance(tgt, ast.Subscript)
+                    and isinstance(tgt.value, ast.Attribute)
+                    and tgt.value.attr in model.BYTE_ACCOUNT_FIELDS
+                ):
+                    yield rule.finding(
+                        mod,
+                        tgt,
+                        f"direct write to '.{tgt.value.attr}[...]' charges "
+                        "wire bytes the comm ledger never sees — byte "
+                        "accounting belongs to the MessagePlane entry "
+                        "points (GluonSubstrate._account, "
+                        "CongestPlane.exchange_round, retransmit charging)",
                         symbol=scope.qualname,
                     )

@@ -46,8 +46,19 @@ from repro.obs.bench import (
     write_bench,
 )
 from repro.obs.chrome import chrome_trace, export_chrome_trace
+from repro.obs.comm import (
+    COMM_SCHEMA_VERSION,
+    PLANE_CONGEST,
+    PLANE_GLUON,
+    WORD_BYTES,
+    BoundViolation,
+    CommLedger,
+    CommTotals,
+    congest_bound_words,
+)
 from repro.obs.events import (
     EVENT_SCHEMA_VERSION,
+    KIND_COMM,
     KIND_FAULT,
     KIND_PROFILE,
     KIND_RECOVERY,
@@ -76,15 +87,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "BENCH_VERSION",
+    "COMM_SCHEMA_VERSION",
     "DEFAULT_SUITE",
     "EVENT_SCHEMA_VERSION",
+    "KIND_COMM",
     "KIND_FAULT",
     "KIND_PROFILE",
     "KIND_RECOVERY",
     "MANIFEST_VERSION",
+    "PLANE_CONGEST",
+    "PLANE_GLUON",
     "SMOKE_SUITE",
+    "WORD_BYTES",
     "BenchCase",
     "BenchComparison",
+    "BoundViolation",
+    "CommLedger",
+    "CommTotals",
     "Counter",
     "Event",
     "FileSink",
@@ -104,6 +123,7 @@ __all__ = [
     "build_manifest",
     "chrome_trace",
     "compare_bench",
+    "congest_bound_words",
     "current",
     "deterministic_view",
     "export_chrome_trace",
@@ -138,6 +158,7 @@ def session(
     model: "ClusterModel | None" = None,
     profile: str | None = None,
     profile_top: int = 10,
+    comm: "CommLedger | None" = None,
 ) -> Iterator[Telemetry]:
     """Install a telemetry session as current for the ``with`` block.
 
@@ -145,11 +166,13 @@ def session(
     handles released) and the previous session restored.  Sessions do not
     nest usefully — the inner one simply shadows the outer for its
     duration.  ``profile`` opts into phase-scoped profiling (see
-    :class:`repro.obs.profile.PhaseProfiler`).
+    :class:`repro.obs.profile.PhaseProfiler`); ``comm`` attaches a
+    :class:`~repro.obs.comm.CommLedger` the message planes record into
+    (works with a null sink — volume accounting without event emission).
     """
     global _current
     tele = Telemetry(
-        sink=sink, model=model, profile=profile, profile_top=profile_top
+        sink=sink, model=model, profile=profile, profile_top=profile_top, comm=comm
     )
     prev = _current
     _current = tele

@@ -39,6 +39,16 @@ BENCH_VERSION = 1
 #: Per-case deterministic fields where *any* drift fails the compare gate.
 GATED_COUNTS = ("rounds", "bytes", "pair_messages")
 
+#: Per-case comm-ledger fields gated the same way (only when the baseline
+#: snapshot carries a ``comm`` section — pre-ledger baselines still compare).
+GATED_COMM_COUNTS = (
+    "messages",
+    "values",
+    "payload_bytes",
+    "reduce_bytes",
+    "broadcast_bytes",
+)
+
 
 @dataclass(frozen=True)
 class BenchCase:
@@ -104,10 +114,18 @@ def _run_engine(case: BenchCase, g: Any, sources: Any) -> Any:
 
 
 def run_case(case: BenchCase, repeats: int = 3, warmup: int = 1) -> dict[str, Any]:
-    """Run one case ``warmup + repeats`` times; record counts and wall times."""
+    """Run one case ``warmup + repeats`` times; record counts and wall times.
+
+    Every repetition runs with a fresh :class:`~repro.obs.comm.CommLedger`
+    attached (null sink — volume accounting only), so the snapshot's
+    ``comm`` section gates communication regressions alongside the
+    engine's deterministic counts.
+    """
+    from repro import obs
     from repro.cluster.model import ClusterModel
     from repro.core.sampling import sample_sources
     from repro.graph import generators
+    from repro.obs.comm import CommLedger
 
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -117,10 +135,13 @@ def run_case(case: BenchCase, repeats: int = 3, warmup: int = 1) -> dict[str, An
     )
     samples: list[float] = []
     res = None
+    ledger = None
     for i in range(warmup + repeats):
-        t0 = time.perf_counter()
-        res = _run_engine(case, g, sources)
-        dt = time.perf_counter() - t0
+        ledger = CommLedger()
+        with obs.session(comm=ledger):
+            t0 = time.perf_counter()
+            res = _run_engine(case, g, sources)
+            dt = time.perf_counter() - t0
         if i >= warmup:
             samples.append(dt)
     deterministic = dict(res.run.deterministic_signature())
@@ -143,6 +164,7 @@ def run_case(case: BenchCase, repeats: int = 3, warmup: int = 1) -> dict[str, An
             "num_edges": g.num_edges,
         },
         "deterministic": deterministic,
+        "comm": ledger.bench_counts(),
         "wall_s": {
             "samples": [round(s, 6) for s in samples],
             "median": round(quantile(samples, 0.5), 6),
@@ -328,6 +350,17 @@ def compare_bench(
                 continue
             if ndet.get(f) != bdet.get(f):
                 cc.notes.append(f"{f}: {bdet.get(f)} -> {ndet.get(f)}")
+        bcomm, ncomm = b.get("comm"), n.get("comm")
+        if bcomm is not None and ncomm is not None:
+            for f in GATED_COMM_COUNTS:
+                if ncomm.get(f) != bcomm.get(f):
+                    cc.failures.append(
+                        f"comm.{f} changed: {bcomm.get(f)} -> {ncomm.get(f)}"
+                    )
+        elif bcomm is not None and ncomm is None:
+            cc.failures.append("comm section missing from the new snapshot")
+        elif bcomm is None and ncomm is not None:
+            cc.notes.append("comm: no baseline yet (pre-ledger snapshot)")
         if cmp.wall_gated:
             bw, nw = b.get("wall_s", {}), n.get("wall_s", {})
             bm, nm = bw.get("median"), nw.get("median")

@@ -12,7 +12,8 @@ trace-event JSON format that https://ui.perfetto.dev (and legacy
   width is that host's share of the round — computation scaled by its op
   count, communication by its byte traffic — so BSP stragglers are
   literally the longest bars in each round.  Counter tracks chart bytes
-  and pair messages per round.
+  and pair messages per round, plus per-host ``bytes_in``/``bytes_out``
+  counters so communication hotspots are visible next to the time tracks.
 
 Only derived from the event stream; nothing here touches the engines.
 """
@@ -137,6 +138,17 @@ def chrome_trace(events: Iterable[Event]) -> dict[str, Any]:
             {"ph": "C", "pid": PID_SIM, "name": "pair_messages/round",
              "ts": cursor_us, "args": {"messages": a.get("pair_messages", 0)}}
         )
+        # Per-host in/out byte counters: comm hotspots chart next to the
+        # time tracks (one counter per host, two series each).
+        for h in range(max(len(b_out), len(b_in))):
+            trace.append(
+                {"ph": "C", "pid": PID_SIM, "name": f"h{h} bytes/round",
+                 "ts": cursor_us,
+                 "args": {
+                     "out": int(b_out[h]) if h < len(b_out) else 0,
+                     "in": int(b_in[h]) if h < len(b_in) else 0,
+                 }}
+            )
         cursor_us += dur_us
 
     for h in sorted(hosts_seen):

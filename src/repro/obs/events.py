@@ -32,6 +32,8 @@ KIND_FAULT = "fault"
 KIND_RECOVERY = "recovery"
 #: Opt-in phase-scoped profiler output (cProfile hotspots, memory peaks).
 KIND_PROFILE = "profile"
+#: Communication-volume observability: CONGEST bandwidth-bound violations.
+KIND_COMM = "comm"
 
 
 @dataclass

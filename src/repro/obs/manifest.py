@@ -104,6 +104,10 @@ class RunManifest:
     phases: list[PhaseTotals] = field(default_factory=list)
     #: Whole-run totals (bit-identical to ``ClusterModel.time_run``).
     totals: dict[str, Any] = field(default_factory=dict)
+    #: Communication-volume summary (:meth:`~repro.obs.comm.CommLedger
+    #: .summary`); empty when no ledger was attached.  Additive — version-1
+    #: manifests without it still load.
+    comm: dict[str, Any] = field(default_factory=dict)
     extra: dict[str, Any] = field(default_factory=dict)
 
     def phase(self, name: str) -> PhaseTotals:
@@ -124,18 +128,22 @@ def build_manifest(
     algorithm: str,
     run: "EngineRun",
     model: "ClusterModel",
+    ledger: Any = None,
     **config: Any,
 ) -> RunManifest:
     """Aggregate an :class:`EngineRun` into a manifest.
 
     ``config`` fills the configuration/provenance fields of
     :class:`RunManifest`; unknown keys land in ``extra``.  ``git_sha`` and
-    ``created_unix`` are captured automatically unless provided.
+    ``created_unix`` are captured automatically unless provided.  Pass the
+    run's :class:`~repro.obs.comm.CommLedger` as ``ledger`` to persist its
+    communication summary in the ``comm`` section.
     """
     known = {f for f in RunManifest.__dataclass_fields__} - {
         "version",
         "phases",
         "totals",
+        "comm",
         "extra",
         "algorithm",
     }
@@ -185,6 +193,8 @@ def build_manifest(
         "serialization_s": sim.serialization,
         "total_s": sim.total,
     }
+    if ledger is not None:
+        man.comm = ledger.summary()
     return man
 
 

@@ -47,6 +47,12 @@ class Telemetry:
         so the default null session stays allocation-free.
     profile_top:
         Hotspots / allocation sites kept per phase digest.
+    comm:
+        Optional :class:`~repro.obs.comm.CommLedger` the message planes
+        record communication volume into.  Independent of the ``enabled``
+        flag: a ledger attached to an otherwise-null session still
+        records (``repro bench`` uses this to gate comm counts without
+        paying for event emission).
     """
 
     def __init__(
@@ -55,10 +61,12 @@ class Telemetry:
         model: "ClusterModel | None" = None,
         profile: str | None = None,
         profile_top: int = 10,
+        comm: "Any | None" = None,
     ) -> None:
         self.sink = sink if sink is not None else NullSink()
         self.enabled = self.sink.enabled
         self.model = model
+        self.comm = comm
         self.tracer = SpanTracer(self.sink)
         self.metrics = MetricsRegistry()
         self.profiler = None

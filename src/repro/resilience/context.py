@@ -301,6 +301,7 @@ class ResilienceContext:
             return
         rr = self.run.new_round("recovery", recovery=True)
         self.recovery_rounds += 1
+        ledger = obs.current().comm
         for sender, receiver, items, _attempts in retransmits:
             vertices: dict[int, int] = defaultdict(int)
             for it in items:
@@ -315,6 +316,12 @@ class ResilienceContext:
             rr.bytes_in[receiver] += nbytes
             rr.msgs_out[sender] += 1
             rr.msgs_in[receiver] += 1
+            if ledger is not None:
+                # Keep the ledger reconciled with RoundStats even under
+                # faults: retry traffic is comm volume too.
+                ledger.record_pair_message(
+                    rr, sender, receiver, len(items), nbytes, "retransmit"
+                )
 
     # -- host-scope faults -----------------------------------------------------
 

@@ -26,6 +26,15 @@ class NotAChannelError(ReproRuntimeError):
     """A vertex tried to send to a non-neighbor."""
 
 
+class ChannelBandwidthError(ReproRuntimeError):
+    """A channel exceeded the CONGEST bandwidth budget (B words per round).
+
+    Raised by the CONGEST plane only when the attached
+    :class:`~repro.obs.comm.CommLedger` was built with ``hard_fail=True``;
+    otherwise violations are recorded and reported by ``repro comm``.
+    """
+
+
 class UnknownBroadcastTargetError(ReproRuntimeError, ValueError):
     """A Gluon broadcast named a target selector that does not exist."""
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.runtime.errors import (
+    ChannelBandwidthError,
     ChannelCapacityError,
     NotAChannelError,
     PartitionMismatchError,
@@ -112,12 +113,16 @@ class CongestPlane(MessagePlane):
     num_hosts = None
 
     def __init__(self, network) -> None:
-        from repro.congest.messages import MAX_COMBINED_VALUES
+        from repro.congest.messages import MAX_COMBINED_VALUES, payload_words
         from repro.congest.program import BROADCAST
+        from repro.obs.comm import PLANE_CONGEST, WORD_BYTES
 
         self.network = network
         self._broadcast = BROADCAST
         self._max_combined = MAX_COMBINED_VALUES
+        self._payload_words = payload_words
+        self._plane_label = PLANE_CONGEST
+        self._word_bytes = WORD_BYTES
 
     def exchange_round(self, rnd, result, tele, rs, detect_quiescence) -> bool:
         """Execute CONGEST round ``rnd``; return whether work may remain.
@@ -164,6 +169,37 @@ class CongestPlane(MessagePlane):
             result.last_send_round = rnd
             for payloads in outbox.values():
                 result.stats.record_channel(payloads)
+        ledger = tele.comm
+        if ledger is not None:
+            for (sender, target), payloads in outbox.items():
+                words = sum(self._payload_words(p) for p in payloads)
+                violation = ledger.record(
+                    self._plane_label,
+                    "congest",
+                    rnd,
+                    sender,
+                    target,
+                    values=len(payloads),
+                    words=words,
+                    payload_bytes=words * self._word_bytes,
+                )
+                if violation is not None:
+                    if tele.enabled:
+                        tele.emit(
+                            "comm",
+                            "congest.bound_violation",
+                            round=rnd,
+                            src=sender,
+                            dst=target,
+                            words=words,
+                            bound_words=violation.bound_words,
+                        )
+                    if ledger.hard_fail:
+                        raise ChannelBandwidthError(
+                            f"channel {sender}->{target} carried {words} words "
+                            f"in round {rnd}, exceeding the CONGEST budget of "
+                            f"{violation.bound_words} words/round"
+                        )
         if tele.enabled:
             tele.emit(
                 "round",

@@ -343,6 +343,44 @@ class TestRuleFixtures:
         """
         assert "RL402" not in codes(src)
 
+    # -- RL403: ledger-bypassing emission --------------------------------------
+
+    def test_rl403_flags_sync_on_raw_substrate(self):
+        src = """
+            def forward(substrate, pending, rs):
+                return substrate.reduce_to_masters(pending, 8, 1, rs)
+        """
+        assert "RL403" in codes(src)
+
+    def test_rl403_flags_direct_byte_accounting(self):
+        src = """
+            def charge(rs, h, nbytes):
+                rs.bytes_out[h] += nbytes
+        """
+        assert "RL403" in codes(src)
+
+    def test_rl403_flags_stats_record_outside_plane(self):
+        src = """
+            def account(stats, payloads):
+                stats.record_channel(payloads)
+        """
+        assert "RL403" in codes(src)
+
+    def test_rl403_passes_plane_receiver(self):
+        src = """
+            def forward(gluon, pending, rs):
+                return gluon.reduce_to_masters(pending, 8, 1, rs)
+        """
+        assert "RL403" not in codes(src)
+
+    def test_rl403_passes_accounting_chokepoints(self):
+        src = """
+            def _account(self, rs, sender, receiver, nbytes):
+                rs.bytes_out[sender] += nbytes
+                rs.bytes_in[receiver] += nbytes
+        """
+        assert "RL403" not in codes(src, relpath="src/repro/engine/gluon.py")
+
     # -- RL900: parse errors ---------------------------------------------------
 
     def test_rl900_on_syntax_error(self, tmp_path):

@@ -1,0 +1,208 @@
+"""Contract tests every ledger-recording MessagePlane must satisfy.
+
+Both concrete planes — :class:`~repro.runtime.plane.GluonPlane`
+(host-level reduce/broadcast) and :class:`~repro.runtime.plane
+.CongestPlane` (per-edge channel exchange) — are driven through small
+deterministic workloads and held to the same contract:
+
+1. **Reconciliation** — :class:`CommLedger` totals equal the plane's own
+   accounting (``RoundStats`` bytes / pair messages for Gluon,
+   ``MessageStats`` messages / values / words for CONGEST) exactly, by
+   construction rather than by sampling.
+2. **Empty rounds** — a round that sends nothing across the wire records
+   nothing in the ledger.
+3. **Neutrality** — attaching a ledger changes no engine-visible
+   accounting (deterministic signatures are identical with and without
+   one), and termination detection (quiescence) is unaffected.
+
+The shared assertions live in :class:`PlaneContractBase`; each plane
+subclass provides ``drive()`` plus plane-specific reconciliation checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro import obs
+from repro.congest.network import CongestNetwork
+from repro.congest.program import BROADCAST, VertexProgram
+from repro.engine.gluon import TARGET_ALL_PROXIES
+from repro.engine.partition import partition_graph
+from repro.engine.stats import EngineRun
+from repro.graph import generators as gen
+from repro.graph.generators import path_graph
+from repro.obs.comm import (
+    PLANE_CONGEST,
+    PLANE_GLUON,
+    WORD_BYTES,
+    CommLedger,
+)
+from repro.runtime.plane import GluonPlane
+
+NUM_HOSTS = 4
+
+
+@dataclass
+class Reference:
+    """The plane's own accounting, for reconciliation with the ledger."""
+
+    messages: int
+    payload_bytes: int
+    nonempty_rounds: int
+    signature: dict[str, Any]
+    extra: Any = None
+
+
+class PlaneContractBase:
+    """Assertions every ledger-recording plane must pass."""
+
+    plane_label: str
+
+    def drive(self, ledger: CommLedger | None) -> Reference:
+        raise NotImplementedError
+
+    def test_ledger_reconciles_with_plane_accounting(self):
+        ledger = CommLedger()
+        ref = self.drive(ledger)
+        tot = ledger.totals(self.plane_label)
+        assert tot.messages == ref.messages
+        assert tot.payload_bytes == ref.payload_bytes
+        # Pair totals decompose the same grand total.
+        pair_bytes = sum(
+            t.payload_bytes for t in ledger.pair_totals(self.plane_label).values()
+        )
+        assert pair_bytes == ref.payload_bytes
+
+    def test_empty_rounds_record_nothing(self):
+        ledger = CommLedger()
+        ref = self.drive(ledger)
+        rounds = ledger.rounds(self.plane_label)
+        assert all(rc.totals.messages > 0 for rc in rounds)
+        assert len(rounds) == ref.nonempty_rounds
+
+    def test_ledger_attachment_is_neutral(self):
+        with_ledger = self.drive(CommLedger())
+        without = self.drive(None)
+        assert with_ledger.signature == without.signature
+
+
+class TestGluonPlaneContract(PlaneContractBase):
+    plane_label = PLANE_GLUON
+
+    def drive(self, ledger: CommLedger | None) -> Reference:
+        g = gen.erdos_renyi(40, 3.0, seed=13)
+        pg = partition_graph(g, NUM_HOSTS, "cvc")
+        plane = GluonPlane(pg)
+        run = EngineRun(num_hosts=NUM_HOSTS)
+        with obs.session(comm=ledger):
+            for step in range(3):
+                rs = run.new_round("forward")
+                items: list[list] = [[] for _ in range(NUM_HOSTS)]
+                for v in range(step, g.num_vertices, 4):
+                    for h in pg.hosts_with_proxy(v).tolist():
+                        items[h].append((v, 1, float(v)))
+                plane.reduce_to_masters(items, 12, 1, rs)
+            rs = run.new_round("backward")
+            items = [[] for _ in range(NUM_HOSTS)]
+            for v in range(0, g.num_vertices, 3):
+                items[int(pg.master_of[v])].append((v, 0, 1, float(v)))
+            plane.broadcast_from_masters(
+                items, TARGET_ALL_PROXIES, 16, 1, rs
+            )
+            # An empty round: nothing staged, nothing may be recorded.
+            rs = run.new_round("forward")
+            plane.reduce_to_masters(
+                [[] for _ in range(NUM_HOSTS)], 12, 1, rs
+            )
+        return Reference(
+            messages=run.total_pair_messages,
+            payload_bytes=run.total_bytes,
+            nonempty_rounds=sum(
+                1 for r in run.rounds if r.pair_messages > 0
+            ),
+            signature=run.deterministic_signature(),
+            extra=run,
+        )
+
+    def test_per_host_bytes_match_round_stats(self):
+        ledger = CommLedger()
+        ref = self.drive(ledger)
+        run = ref.extra
+        out, inn = ledger.per_host_bytes(NUM_HOSTS)
+        for h in range(NUM_HOSTS):
+            assert out[h] == sum(int(r.bytes_out[h]) for r in run.rounds)
+            assert inn[h] == sum(int(r.bytes_in[h]) for r in run.rounds)
+
+    def test_host_matrix_row_and_column_sums(self):
+        ledger = CommLedger()
+        self.drive(ledger)
+        m = ledger.host_matrix(NUM_HOSTS)
+        out, inn = ledger.per_host_bytes(NUM_HOSTS)
+        assert [sum(row) for row in m] == out
+        assert [sum(m[s][d] for s in range(NUM_HOSTS))
+                for d in range(NUM_HOSTS)] == inn
+
+
+class Flood(VertexProgram):
+    """Vertex 0 starts a token; each holder broadcasts it exactly once."""
+
+    def setup(self, ctx):
+        super().setup(ctx)
+        self.have = ctx.vid == 0
+        self.sent = False
+
+    def compute_sends(self, rnd):
+        if self.have and not self.sent:
+            self.sent = True
+            return [(BROADCAST, ("tok", 1))]
+        return []
+
+    def handle_message(self, rnd, sender, payload):
+        self.have = True
+
+    def has_pending_work(self, rnd):
+        return self.have and not self.sent
+
+
+class TestCongestPlaneContract(PlaneContractBase):
+    plane_label = PLANE_CONGEST
+
+    def drive(self, ledger: CommLedger | None) -> Reference:
+        net = CongestNetwork(
+            path_graph(8, bidirectional=False), lambda v: Flood()
+        )
+        with obs.session(comm=ledger):
+            res = net.run(20, detect_quiescence=True)
+        return Reference(
+            messages=res.stats.messages,
+            payload_bytes=res.stats.words * WORD_BYTES,
+            nonempty_rounds=sum(1 for c in res.sends_per_round if c),
+            signature={
+                "messages": res.stats.messages,
+                "values": res.stats.values,
+                "words": res.stats.words,
+                "rounds_executed": res.rounds_executed,
+                "terminated_by": res.terminated_by,
+            },
+            extra=res,
+        )
+
+    def test_values_and_words_match_message_stats(self):
+        ledger = CommLedger()
+        ref = self.drive(ledger)
+        res = ref.extra
+        tot = ledger.totals(PLANE_CONGEST)
+        assert tot.values == res.stats.values
+        assert tot.words == res.stats.words
+
+    def test_quiescence_detection_with_ledger_attached(self):
+        ledger = CommLedger()
+        ref = self.drive(ledger)
+        res = ref.extra
+        assert res.terminated_by == "quiescence"
+        # The quiet tail rounds after the last send left no ledger rows.
+        assert all(
+            rc.round_index <= res.last_send_round
+            for rc in ledger.rounds(PLANE_CONGEST)
+        )
