@@ -38,6 +38,7 @@ from repro.runtime.superstep import SuperstepRuntime
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.context import ResilienceContext
+    from repro.resilience.supervisor import PartialResult, RecoveryPolicy
 
 INF = np.iinfo(np.int32).max
 
@@ -59,6 +60,10 @@ class SBBCResult:
     forward_rounds: int
     backward_rounds: int
     partition: PartitionedGraph
+    #: Graceful-degradation record when a recovery policy dropped one or
+    #: more sources (SBBC's failure domain is the single source); None on
+    #: a fully completed run.
+    partial: "PartialResult | None" = None
 
     @property
     def total_rounds(self) -> int:
@@ -275,6 +280,7 @@ def sbbc_engine(
     policy: str = "cvc",
     partition: PartitionedGraph | None = None,
     resilience: "ResilienceContext | None" = None,
+    recovery_policy: "RecoveryPolicy | str | None" = None,
 ) -> SBBCResult:
     """Run Synchronous-Brandes BC on the simulated engine.
 
@@ -287,7 +293,15 @@ def sbbc_engine(
     source loop is SBBC's natural checkpoint granularity, since completed
     sources have already banked their BC contributions.  Replayed rounds
     are marked as recovery overhead.
+
+    ``recovery_policy`` (named so because ``policy`` is the partition
+    policy) attaches a :class:`~repro.resilience.supervisor
+    .RecoveryPolicy`: retry/backoff/deadline/restart budgets, and — when
+    the policy degrades — per-source failure domains, with unrecoverable
+    sources dropped and the completed ones salvaged into ``partial``.
     """
+    from repro.resilience.supervisor import attach_policy
+
     pg = resolve_partition(g, partition, num_hosts, policy)
     if sources is None:
         src = np.arange(g.num_vertices, dtype=np.int64)
@@ -296,6 +310,7 @@ def sbbc_engine(
     if src.size == 0:
         raise ValueError("need at least one source")
 
+    resilience, supervisor = attach_policy(resilience, recovery_policy)
     runtime = SuperstepRuntime(
         plane=GluonPlane(pg, resilience=resilience), resilience=resilience
     )
@@ -321,7 +336,18 @@ def sbbc_engine(
                 b = ex.run_backward(runtime)
             return f, b
 
-        ex, (f, b) = runtime.run_with_restart(prepare, both_phases)
+        def run_source(s: int = int(s)):
+            return runtime.run_with_restart(prepare, both_phases)
+
+        if supervisor is not None:
+            # Per-source failure domain: an unrecoverable source is
+            # dropped under a degrading policy; its dist row stays -1.
+            out, completed = supervisor.run_unit(i, [int(s)], run_source)
+            if not completed:
+                continue
+        else:
+            out = run_source()
+        ex, (f, b) = out
         fwd += f
         bwd += b
         for gid, (d, sg) in ex.settled.items():
@@ -330,6 +356,11 @@ def sbbc_engine(
         for gid, dl in ex.delta.items():
             if gid != s:
                 bc[gid] += dl
+    partial = (
+        supervisor.partial_result(bc, requested_sources=int(src.size), num_vertices=n)
+        if supervisor is not None
+        else None
+    )
     return SBBCResult(
         bc=bc,
         dist=dist,
@@ -339,4 +370,5 @@ def sbbc_engine(
         forward_rounds=fwd,
         backward_rounds=bwd,
         partition=pg,
+        partial=partial,
     )

@@ -12,7 +12,7 @@ the round gap is intrinsic to the algorithms, not to the engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -20,6 +20,10 @@ from repro.congest.messages import MessageStats
 from repro.congest.network import CongestNetwork
 from repro.congest.program import VertexContext, VertexProgram
 from repro.graph.digraph import DiGraph
+from repro.resilience.supervisor import run_congest_with_restart
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.context import ResilienceContext
 
 
 class _BFSPhase(VertexProgram):
@@ -112,9 +116,16 @@ class SBBCCongestResult:
 
 
 def sbbc_congest(
-    g: DiGraph, sources: np.ndarray | list[int] | None = None
+    g: DiGraph,
+    sources: np.ndarray | list[int] | None = None,
+    resilience: "ResilienceContext | None" = None,
 ) -> SBBCCongestResult:
-    """Level-synchronous Brandes BC in the CONGEST model."""
+    """Level-synchronous Brandes BC in the CONGEST model.
+
+    With a ``resilience`` context, channel faults are guarded per channel
+    and each per-source network phase (BFS, accumulation) restarts from
+    scratch on an injected crash, bounded by the context's budgets.
+    """
     n = g.num_vertices
     if sources is None:
         src = np.arange(n, dtype=np.int64)
@@ -130,8 +141,12 @@ def sbbc_congest(
     stats_f = MessageStats()
     stats_b = MessageStats()
     for i, s in enumerate(src.tolist()):
-        net = CongestNetwork(g, lambda v: _BFSPhase(int(s)))
-        run = net.run(n + 1, detect_quiescence=True)
+
+        def bfs_body(s: int = int(s)):
+            net = CongestNetwork(g, lambda v: _BFSPhase(s), resilience=resilience)
+            return net, net.run(n + 1, detect_quiescence=True)
+
+        net, run = run_congest_with_restart(resilience, bfs_body)
         fwd += run.rounds_executed
         stats_f.messages += run.stats.messages
         stats_f.values += run.stats.values
@@ -143,10 +158,15 @@ def sbbc_congest(
             dist_all[i, v] = p.dist
             sigma_all[i, v] = p.sigma
 
-        net2 = CongestNetwork(
-            g, lambda v: _AccumulationPhase(bfs_programs[v], max_level, int(s))
-        )
-        run2 = net2.run(max_level + 2, detect_quiescence=True)
+        def acc_body(s: int = int(s), max_level: int = max_level):
+            net2 = CongestNetwork(
+                g,
+                lambda v: _AccumulationPhase(bfs_programs[v], max_level, s),
+                resilience=resilience,
+            )
+            return net2, net2.run(max_level + 2, detect_quiescence=True)
+
+        net2, run2 = run_congest_with_restart(resilience, acc_body)
         bwd += run2.rounds_executed
         stats_b.messages += run2.stats.messages
         stats_b.values += run2.stats.values

@@ -20,6 +20,12 @@ verify the result against exact Brandes (exit code is the verdict)::
 
     python -m repro faults drop --algorithm mrbc --graph er:30:3 --sources 6
 
+Run a seeded chaos campaign — engines × fault kinds × recovery policies,
+each scenario verified bit-exact (or exactly salvaged) against the
+fault-free run (exit code is the verdict)::
+
+    python -m repro chaos --seed 7 --campaign smoke --report chaos-report.json
+
 Run the pinned benchmark suite, snapshot it at the repo root, and gate
 against a stored baseline (exit code is the verdict)::
 
@@ -46,10 +52,10 @@ predicted-vs-measured conformance suite (exit code is the verdict)::
     python -m repro comm --check --report comm-report.json
 
 Each subcommand lives in its own module (:mod:`repro.cli.run`,
-:mod:`repro.cli.trace`, :mod:`repro.cli.faults`, :mod:`repro.cli.bench`,
-:mod:`repro.cli.profile`, :mod:`repro.cli.compare`,
-:mod:`repro.cli.lint`, :mod:`repro.cli.comm`); shared flags and graph
-loading are in
+:mod:`repro.cli.trace`, :mod:`repro.cli.faults`, :mod:`repro.cli.chaos`,
+:mod:`repro.cli.bench`, :mod:`repro.cli.profile`,
+:mod:`repro.cli.compare`, :mod:`repro.cli.lint`, :mod:`repro.cli.comm`);
+shared flags and graph loading are in
 :mod:`repro.cli.common`.  This package re-exports every historical
 ``repro.cli`` name, so imports written against the old single-module CLI
 keep working.
@@ -69,6 +75,7 @@ from repro.cli.common import (
     log,
     setup_logging,
 )
+from repro.cli.chaos import chaos_main
 from repro.cli.comm import comm_main
 from repro.cli.compare import compare_main
 from repro.cli.faults import faults_main
@@ -81,6 +88,7 @@ __all__ = [
     "TRACEABLE",
     "add_logging_flags",
     "bench_main",
+    "chaos_main",
     "comm_main",
     "compare_main",
     "faults_main",
@@ -99,6 +107,8 @@ def main(argv: list[str] | None = None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "faults":
         return faults_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
     if argv and argv[0] == "bench":
         return bench_main(argv[1:])
     if argv and argv[0] == "profile":

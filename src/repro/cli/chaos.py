@@ -1,0 +1,111 @@
+"""``repro chaos``: run a seeded chaos campaign and report the verdict."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.reporting import format_table
+from repro.cli.common import (
+    _load_graph_arg,
+    add_logging_flags,
+    log,
+    setup_logging,
+)
+from repro.core.sampling import sample_sources
+
+
+def chaos_main(argv: list[str]) -> int:
+    """``repro chaos``: seeded randomized fault campaign over engines ×
+    fault kinds × recovery policies.
+
+    Every scenario runs through the fault harness in ``repair`` mode and
+    is judged against the engine's fault-free run: recoverable scenarios
+    must reproduce the BC vector *bit-for-bit*; degradable scenarios must
+    salvage a :class:`~repro.resilience.supervisor.PartialResult` that is
+    exact over the covered sources; neutral scenarios (policy, no faults)
+    must keep the deterministic signature byte-identical.  Exit code 0
+    iff every scenario passes; ``--report`` persists the versioned JSON
+    campaign report.
+    """
+    from repro.resilience.chaos import CAMPAIGNS, run_campaign
+
+    p = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="Run a seeded chaos campaign (faults × engines × policies)",
+    )
+    p.add_argument("--campaign", choices=sorted(CAMPAIGNS),
+                   default="smoke", help="campaign grid (default: smoke)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="campaign seed; per-scenario fault seeds derive "
+                        "from it deterministically (default: 7)")
+    p.add_argument("--graph", default="er:30:3", metavar="SPEC",
+                   help="edge-list file or generator spec (default: er:30:3)")
+    p.add_argument("--sources", "-k", type=int, default=6,
+                   help="number of sampled sources (default: 6)")
+    p.add_argument("--hosts", type=int, default=4, help="simulated hosts")
+    p.add_argument("--batch", type=int, default=3,
+                   help="MRBC batch size; keep it below --sources so a "
+                        "degraded run has surviving batches (default: 3)")
+    p.add_argument("--tol", type=float, default=1e-9,
+                   help="|BC - Brandes| tolerance for salvage checks")
+    p.add_argument("--report", "-o", default=None, metavar="FILE",
+                   help="write the JSON campaign report to FILE")
+    add_logging_flags(p)
+    args = p.parse_args(argv)
+    setup_logging(args.verbose, args.quiet)
+
+    g = _load_graph_arg(args.graph)
+    log.info("graph: %s", g)
+    sources = sample_sources(g, args.sources, seed=0)
+
+    def tick(rec) -> None:
+        log.info(
+            "scenario %02d %-14s plan=%-9s policy=%-8s %s (%s)",
+            rec.index, rec.algorithm, rec.plan, rec.policy,
+            "PASS" if rec.passed else "FAIL", rec.detail,
+        )
+
+    report = run_campaign(
+        g,
+        sources,
+        campaign=args.campaign,
+        seed=args.seed,
+        num_hosts=args.hosts,
+        batch_size=args.batch,
+        tol=args.tol,
+        graph_desc=args.graph,
+        progress=tick,
+    )
+
+    agg = report.aggregates()
+    mttr = agg["mttr_rounds"]
+    lat = agg["detection_latency_mean_rounds"]
+    rows = [
+        ["campaign", f"{report.campaign} (seed {report.seed})"],
+        ["graph", f"{report.graph}, {report.num_sources} sources, "
+                  f"{report.num_hosts} hosts, batch {report.batch_size}"],
+        ["scenarios", "%d (%d passed, %d degraded)"
+         % (agg["scenarios_total"], agg["scenarios_passed"],
+            agg["scenarios_degraded"])],
+        ["faults", "%d injected, %d detected, %d recovered"
+         % (agg["faults_injected"], agg["faults_detected"],
+            agg["recoveries"])],
+        ["MTTR", "-" if mttr is None else f"{mttr:.1f} recovery round(s)"],
+        ["detection latency", "-" if lat is None
+         else "mean %.1f / max %d round(s)"
+         % (lat, agg["detection_latency_max_rounds"])],
+    ]
+    for rec in report.failures:
+        rows.append([
+            f"FAIL #{rec.index}",
+            f"{rec.algorithm} plan={rec.plan} policy={rec.policy}: {rec.detail}",
+        ])
+    print(format_table(["chaos campaign", ""], rows))
+
+    if args.report:
+        report.save(args.report)
+        log.info("campaign report written to %s", args.report)
+
+    print(f"verdict: {'PASS' if report.passed else 'FAIL'} "
+          f"(campaign={report.campaign}, seed={report.seed})")
+    return 0 if report.passed else 1

@@ -30,6 +30,7 @@ def faults_main(argv: list[str]) -> int:
     what the unchecked run produced.
     """
     from repro.resilience import run_under_faults
+    from repro.resilience.harness import ALGORITHMS
     from repro.resilience.plan import DEFAULT_PLANS, FaultPlan, get_plan
 
     p = argparse.ArgumentParser(
@@ -41,8 +42,8 @@ def faults_main(argv: list[str]) -> int:
         help="default plan name (%s) or a JSON plan file"
         % "|".join(sorted(DEFAULT_PLANS)),
     )
-    p.add_argument("--algorithm", "-a", choices=("mrbc", "sbbc"),
-                   default="mrbc", help="engine algorithm (default: mrbc)")
+    p.add_argument("--algorithm", "-a", choices=ALGORITHMS,
+                   default="mrbc", help="algorithm (default: mrbc)")
     p.add_argument("--graph", required=True, metavar="SPEC",
                    help="edge-list file, or generator spec "
                         "(rmat:scale:ef | grid:r:c | webcrawl:core:tails | er:n:deg)")

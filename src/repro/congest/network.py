@@ -62,9 +62,11 @@ class CongestNetwork:
     resilience:
         Optional :class:`~repro.resilience.context.ResilienceContext`;
         when given, every channel's per-round payload list passes through
-        its guard before delivery (message-scope faults only — the
-        CONGEST model has no host scope, so stall/crash specs are inert
-        here).
+        its guard before delivery, and host-scope faults (stall/crash)
+        materialize at the round barrier — a crash raises
+        :class:`~repro.resilience.errors.HostCrashError` for the driver
+        to restart the network run (see :func:`~repro.resilience
+        .supervisor.run_congest_with_restart`).
     """
 
     def __init__(

@@ -58,6 +58,7 @@ from repro.runtime.superstep import SuperstepRuntime
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.context import ResilienceContext
+    from repro.resilience.supervisor import PartialResult, RecoveryPolicy
 
 #: "Infinite" distance sentinel in the dense candidate arrays.
 INF = np.iinfo(np.int32).max
@@ -185,6 +186,11 @@ class MRBCEngineResult:
     forward_rounds: int
     backward_rounds: int
     partition: PartitionedGraph
+    #: Graceful-degradation record when a recovery policy dropped one or
+    #: more source batches; None on a fully completed run.  When set,
+    #: ``bc``/``dist``/``sigma`` cover only the completed batches (failed
+    #: sources keep ``dist == -1``).
+    partial: "PartialResult | None" = None
 
     @property
     def total_rounds(self) -> int:
@@ -547,6 +553,7 @@ def mrbc_engine(
     forward_only: bool = False,
     seed: int | None = None,
     resilience: "ResilienceContext | None" = None,
+    recovery_policy: "RecoveryPolicy | str | None" = None,
 ) -> MRBCEngineResult:
     """Run Min-Rounds BC on the simulated D-Galois engine.
 
@@ -577,10 +584,22 @@ def mrbc_engine(
         batch's forward pass, a backward-phase crash restores the
         forward checkpoint and replays only the backward rounds.
         Replayed rounds are marked as recovery overhead.
+    recovery_policy:
+        A :class:`~repro.resilience.supervisor.RecoveryPolicy` (or preset
+        name) governing retry/backoff/deadline/restart budgets and
+        checkpoint retention.  (Named ``recovery_policy`` because
+        ``policy`` is this driver's partition policy.)  A degrading
+        policy makes each source batch a failure domain: an
+        unrecoverable batch is dropped and the result carries a
+        :class:`~repro.resilience.supervisor.PartialResult` salvaging
+        the completed batches.  With no faults, attaching a policy is
+        neutral — the deterministic signature is byte-identical.
 
     Returns per-vertex BC (summed over the sampled sources), per-source
     distances and path counts, and the full engine statistics.
     """
+    from repro.resilience.supervisor import attach_policy
+
     pg = resolve_partition(g, partition, num_hosts, policy)
     if sources is None:
         if num_sources is None:
@@ -592,6 +611,7 @@ def mrbc_engine(
     if src.size == 0:
         raise ValueError("need at least one source")
 
+    resilience, supervisor = attach_policy(resilience, recovery_policy)
     runtime = SuperstepRuntime(
         plane=GluonPlane(pg, resilience=resilience), resilience=resilience
     )
@@ -605,20 +625,18 @@ def mrbc_engine(
     bwd_rounds = 0
 
     tele = obs.current()
-    for b0, batch in enumerate(iter_batches(src, batch_size)):
+
+    def execute_batch(b0: int, batch: np.ndarray) -> tuple[_BatchExecutor, int, int]:
         # -- forward, restarting the batch from scratch on a host crash
         # (redone rounds are charged to the recovery phase by the runtime).
-        def fwd_prepare(attempt: int, batch: np.ndarray = batch) -> _BatchExecutor:
+        def fwd_prepare(attempt: int) -> _BatchExecutor:
             return _BatchExecutor(pg, gluon, run, batch, delayed_sync, resilience)
 
-        def fwd_body(
-            ex: _BatchExecutor, b0: int = b0, batch: np.ndarray = batch
-        ) -> int:
+        def fwd_body(ex: _BatchExecutor) -> int:
             with runtime.phase("forward", batch=b0, k=int(batch.size)):
                 return ex.run_forward(runtime)
 
         ex, f = runtime.run_with_restart(fwd_prepare, fwd_body)
-        fwd_rounds += f
         if resilience is not None:
             meta, arrays = mrbc_forward_snapshot(ex)
             resilience.checkpoints.save(f"batch{b0:04d}-forward", meta, arrays)
@@ -629,14 +647,10 @@ def mrbc_engine(
             hist = tele.metrics.histogram("mrbc.flatmap_entries")
             for ms in ex.masters.values():
                 hist.observe(len(ms.entries))
+        b = 0
         if not forward_only:
             # -- backward, resuming from the forward checkpoint on a crash.
-            def bwd_prepare(
-                attempt: int,
-                b0: int = b0,
-                batch: np.ndarray = batch,
-                first: _BatchExecutor = ex,
-            ) -> _BatchExecutor:
+            def bwd_prepare(attempt: int, first: _BatchExecutor = ex) -> _BatchExecutor:
                 if attempt == 1:
                     return first
                 fresh = _BatchExecutor(
@@ -648,14 +662,28 @@ def mrbc_engine(
                 restore_mrbc_forward(fresh, meta, arrays)
                 return fresh
 
-            def bwd_body(
-                ex: _BatchExecutor, b0: int = b0, batch: np.ndarray = batch
-            ) -> int:
+            def bwd_body(ex: _BatchExecutor) -> int:
                 with runtime.phase("backward", batch=b0, k=int(batch.size)):
                     return ex.run_backward(runtime)
 
             ex, b = runtime.run_with_restart(bwd_prepare, bwd_body)
-            bwd_rounds += b
+        return ex, f, b
+
+    for b0, batch in enumerate(iter_batches(src, batch_size)):
+        # Each batch is a failure domain: under a degrading policy an
+        # unrecoverable batch is skipped (nothing banked) and the
+        # remaining batches still contribute exact per-source results.
+        if supervisor is not None:
+            out, completed = supervisor.run_unit(
+                b0, batch, lambda b0=b0, batch=batch: execute_batch(b0, batch)
+            )
+            if not completed:
+                continue
+        else:
+            out = execute_batch(b0, batch)
+        ex, f, b = out
+        fwd_rounds += f
+        bwd_rounds += b
         base = b0 * batch_size
         for gid, ms in ex.masters.items():
             for si, (d, sg) in ms.best.items():
@@ -667,6 +695,11 @@ def mrbc_engine(
                     if int(batch[si]) != gid:
                         bc[gid] += dl[si]
 
+    partial = (
+        supervisor.partial_result(bc, requested_sources=int(src.size), num_vertices=n)
+        if supervisor is not None
+        else None
+    )
     return MRBCEngineResult(
         bc=bc,
         dist=dist,
@@ -677,4 +710,5 @@ def mrbc_engine(
         forward_rounds=fwd_rounds,
         backward_rounds=bwd_rounds,
         partition=pg,
+        partial=partial,
     )

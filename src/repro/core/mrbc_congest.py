@@ -15,6 +15,7 @@ the exact round/message statistics that Theorem 1 and Lemma 8 bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -24,6 +25,10 @@ from repro.congest.network import CongestNetwork
 from repro.core.accumulation import AccumulationProgram, schedule_summary
 from repro.core.apsp import APSPVertexState, DirectedAPSPProgram, flatmap_occupancy
 from repro.graph.digraph import DiGraph
+from repro.resilience.supervisor import run_congest_with_restart
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.context import ResilienceContext
 
 #: Sentinel distance for "unreachable" in dense output arrays.
 UNREACHABLE = -1
@@ -96,6 +101,7 @@ def directed_apsp(
     use_finalizer: bool = False,
     known_n: bool = True,
     detect_termination: bool = True,
+    resilience: "ResilienceContext | None" = None,
 ) -> APSPResult:
     """Run the forward phase (Alg. 3 / Lemma 8 k-SSP) and collect results.
 
@@ -106,6 +112,11 @@ def directed_apsp(
       at most ``mn`` forward messages, Theorem 1 part I.2);
     - ``sources`` given (k-SSP) with ``detect_termination=True`` →
       ``k + H`` rounds and ``mk`` messages (Lemma 8).
+
+    With a ``resilience`` context, channel faults from its plan are
+    guarded per channel, and an injected host crash restarts the whole
+    network run (programs rebuild from the immutable inputs, so the
+    replay is exact).
     """
     n = g.num_vertices
     src = _resolve_sources(g, sources)
@@ -114,13 +125,6 @@ def directed_apsp(
     if k_ssp and use_finalizer:
         raise ValueError("the finalizer applies only to full APSP")
 
-    net = CongestNetwork(
-        g,
-        lambda v: DirectedAPSPProgram(
-            sources=source_set, use_finalizer=use_finalizer, known_n=known_n
-        ),
-        expose_n=known_n,
-    )
     # Upper bound on rounds: 2n for full APSP (Alg. 3 Step 7); k + n for
     # k-SSP (H <= n - 1 always, plus slack for the detector's final round).
     max_rounds = 2 * n if not k_ssp else len(src) + n + 1
@@ -128,11 +132,23 @@ def directed_apsp(
     with tele.span(
         "phase:apsp", kind="phase", phase="apsp", k=int(src.size)
     ) as sp:
-        run = net.run(
-            max_rounds,
-            detect_quiescence=detect_termination,
-            detect_stopped=use_finalizer,
-        )
+
+        def phase_body() -> tuple[CongestNetwork, "NetworkRunResult"]:
+            net = CongestNetwork(
+                g,
+                lambda v: DirectedAPSPProgram(
+                    sources=source_set, use_finalizer=use_finalizer, known_n=known_n
+                ),
+                expose_n=known_n,
+                resilience=resilience,
+            )
+            return net, net.run(
+                max_rounds,
+                detect_quiescence=detect_termination,
+                detect_stopped=use_finalizer,
+            )
+
+        net, run = run_congest_with_restart(resilience, phase_body)
         if sp is not None:
             states_for_occ = [
                 p.state for p in net.programs  # type: ignore[union-attr]
@@ -176,12 +192,18 @@ def mrbc_congest(
     sources: np.ndarray | list[int] | None = None,
     use_finalizer: bool = False,
     known_n: bool = True,
+    resilience: "ResilienceContext | None" = None,
 ) -> MRBCResult:
     """Compute betweenness centrality with Min-Rounds BC (CONGEST model).
 
     ``sources=None`` computes exact BC (all-pairs); a source subset gives
     the sampled approximation the paper's evaluation uses (k-SSP + Alg. 5).
     Returns per-vertex BC plus the exact round/message accounting.
+
+    With a ``resilience`` context, each network phase (forward,
+    accumulation) is a restart unit: an injected crash rebuilds the
+    phase's programs and replays it, bounded by the context's restart
+    budget (and backoff, when a recovery policy is attached).
     """
     fwd = directed_apsp(
         g,
@@ -189,6 +211,7 @@ def mrbc_congest(
         use_finalizer=use_finalizer,
         known_n=known_n,
         detect_termination=True,
+        resilience=resilience,
     )
     n = g.num_vertices
     # R: every τ_sv must satisfy A_sv = R - τ_sv >= 0, so the tightest
@@ -206,12 +229,18 @@ def mrbc_congest(
         prog = AccumulationProgram(fwd.states[v], R)
         return prog
 
-    net = CongestNetwork(g, factory, expose_n=known_n)
     tele = obs.current()
     with tele.span(
         "phase:accumulation", kind="phase", phase="accumulation", R=R
     ) as sp:
-        run = net.run(R + 1, detect_quiescence=True)
+        # The accumulation programs only read the (immutable) forward
+        # states and reset their own accumulators in setup(), so a crash
+        # restart can rebuild the whole network safely.
+        def acc_body():
+            net = CongestNetwork(g, factory, expose_n=known_n, resilience=resilience)
+            return net, net.run(R + 1, detect_quiescence=True)
+
+        net, run = run_congest_with_restart(resilience, acc_body)
         acc_programs = net.programs  # type: ignore[assignment]
         if sp is not None:
             sp.set(rounds=run.rounds_executed, **schedule_summary(acc_programs))

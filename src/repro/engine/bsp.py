@@ -35,6 +35,7 @@ from repro.utils.timing import OpCounter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.context import ResilienceContext
+    from repro.resilience.supervisor import RecoveryPolicy
 
 
 class BSPAlgorithm(ABC):
@@ -113,6 +114,7 @@ def run_bsp(
     run: EngineRun | None = None,
     resilience: "ResilienceContext | None" = None,
     checkpoint_interval: int = 4,
+    recovery_policy: "RecoveryPolicy | str | None" = None,
 ) -> BSPRunResult:
     """Drive ``algorithm`` to global quiescence on partition ``pg``.
 
@@ -120,8 +122,21 @@ def run_bsp(
     the Gluon layer; if the algorithm implements :meth:`~BSPAlgorithm
     .snapshot`, master state is checkpointed every ``checkpoint_interval``
     rounds and an injected host crash (``repair`` mode) resumes from the
-    latest checkpoint instead of losing the run.
+    latest intact checkpoint instead of losing the run (a corrupt
+    snapshot falls back to the previous retained tag).
+
+    ``recovery_policy`` attaches a :class:`~repro.resilience.supervisor
+    .RecoveryPolicy` governing retry/backoff/deadline/restart budgets
+    plus the checkpoint cadence and retention; it overrides
+    ``checkpoint_interval``.  BSP vertex programs have no per-batch
+    failure domain, so a degrading policy does not salvage partial
+    output here — exhausted recovery still raises.
     """
+    from repro.resilience.supervisor import attach_policy
+
+    resilience, _supervisor = attach_policy(resilience, recovery_policy)
+    if resilience is not None and resilience.policy is not None:
+        checkpoint_interval = resilience.policy.checkpoint_interval
     runtime = SuperstepRuntime(
         plane=GluonPlane(pg, resilience=resilience), run=run, resilience=resilience
     )
@@ -214,8 +229,11 @@ def _bsp_rounds_resilient(
         meta, arrays = snap
         # Fires travel in the checkpoint: they are the master-side state
         # the next round consumes (tuples become lists through JSON).
+        # Per-round tags (not one overwritten "latest") so a corrupt
+        # newest snapshot can fall back to an older intact one; the
+        # store's retention bounds how many tags accumulate.
         ctx.checkpoints.save(
-            "bsp-latest",
+            f"bsp-r{at_round:06d}",
             {
                 "kind": "bsp",
                 "round": at_round,
@@ -227,7 +245,7 @@ def _bsp_rounds_resilient(
         return True
 
     def restore() -> int:
-        meta, arrays = ctx.checkpoints.load("bsp-latest")
+        _tag, meta, arrays = ctx.checkpoints.load_latest()
         algorithm.restore(meta["algo"], arrays)
         state["fires"] = [tuple(f) for f in meta["fires"]]
         return int(meta["round"])
@@ -347,6 +365,7 @@ def sssp_engine(
     num_hosts: int = 8,
     partition: PartitionedGraph | None = None,
     resilience: "ResilienceContext | None" = None,
+    recovery_policy: "RecoveryPolicy | str | None" = None,
 ) -> tuple[np.ndarray, BSPRunResult]:
     """Weighted single-source shortest paths on the engine.
 
@@ -356,5 +375,7 @@ def sssp_engine(
         raise ValueError("source out of range")
     partition = resolve_partition(wg.graph, partition, num_hosts)
     algo = _SSSP(wg, partition, source)
-    result = run_bsp(partition, algo, resilience=resilience)
+    result = run_bsp(
+        partition, algo, resilience=resilience, recovery_policy=recovery_policy
+    )
     return algo.master_dist.copy(), result

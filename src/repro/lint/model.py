@@ -203,6 +203,38 @@ CONGEST_NETWORK_PARTS = (
     "repro/runtime/plane.py",
 )
 
+#: Exception class names of the resilience hierarchy (RL404).  Catching
+#: one of these and letting it vanish defeats the whole fault-injection
+#: contract: a detected fault must either escalate (re-raise) or be
+#: routed into the recovery machinery.
+RESILIENCE_ERROR_NAMES = frozenset(
+    {
+        "ResilienceError",
+        "FaultDetectedError",
+        "InvariantViolation",
+        "HostCrashError",
+        "HostTimeoutError",
+        "CheckpointCorruptError",
+        "UnrecoverableFaultError",
+    }
+)
+
+#: Calls that *route* a caught resilience error into the recovery
+#: machinery: crash escalation (``on_crash`` re-raises when the restart
+#: budget is exhausted), graceful degradation bookkeeping, and the
+#: supervisor's unit wrapper.
+RESILIENCE_ROUTING_NAMES = frozenset({"on_crash", "note_degraded", "run_unit"})
+
+#: Path fragments whose handlers may legitimately *terminate* a
+#: resilience error: the resilience package itself (the recovery
+#: machinery, the experiment harness that converts aborts into report
+#: rows, and the checkpoint store's corrupt-tag fallback) and the CLI
+#: layer that turns failures into exit codes.
+RESILIENCE_HANDLER_EXEMPT_PARTS = (
+    "repro/resilience/",
+    "repro/cli/",
+)
+
 #: Path fragments identifying the superstep runtime itself — the one
 #: place allowed to own a driver round loop (RL204).
 RUNTIME_IMPL_PARTS = ("repro/runtime/",)

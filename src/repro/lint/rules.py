@@ -913,3 +913,63 @@ def _rl403(rule: Rule, mod: ModuleInfo) -> Iterator[Finding]:
                         "CongestPlane.exchange_round, retransmit charging)",
                         symbol=scope.qualname,
                     )
+
+
+def _caught_exception_names(node: ast.AST | None) -> frozenset[str]:
+    """Class names a handler's ``except <type>`` clause catches."""
+    if node is None:
+        return frozenset()
+    if isinstance(node, ast.Tuple):
+        out: set[str] = set()
+        for elt in node.elts:
+            out |= _caught_exception_names(elt)
+        return frozenset(out)
+    t = terminal_name(node)
+    return frozenset() if t is None else frozenset({t})
+
+
+@register(
+    "RL404",
+    "swallowed-resilience-error",
+    SEVERITY_ERROR,
+    "resilience error caught and swallowed — neither re-raised nor "
+    "routed into the recovery machinery, so an injected fault would "
+    "vanish silently and the run would continue on corrupt state",
+)
+def _rl404(rule: Rule, mod: ModuleInfo) -> Iterator[Finding]:
+    if model.is_test_path(mod.relpath) or model.path_matches(
+        mod.relpath, model.RESILIENCE_HANDLER_EXEMPT_PARTS
+    ):
+        return  # the recovery machinery / verdict glue terminates errors
+    for scope in mod.scopes:
+        for node in scope.walk():
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _caught_exception_names(node.type)
+            hit = sorted(caught & model.RESILIENCE_ERROR_NAMES)
+            if not hit:
+                continue
+            routed = False
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Raise):
+                    routed = True
+                    break
+                if (
+                    isinstance(inner, ast.Call)
+                    and terminal_name(inner.func)
+                    in model.RESILIENCE_ROUTING_NAMES
+                ):
+                    routed = True
+                    break
+            if routed:
+                continue
+            yield rule.finding(
+                mod,
+                node,
+                f"handler catches {', '.join(hit)} but neither re-raises "
+                "nor routes it into the recovery machinery "
+                f"({'/'.join(sorted(model.RESILIENCE_ROUTING_NAMES))}); "
+                "swallowing a resilience error hides an injected fault "
+                "and lets the run continue on unrecovered state",
+                symbol=scope.qualname or "<module>",
+            )

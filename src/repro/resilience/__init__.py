@@ -19,7 +19,16 @@ assumptions *testable*:
   schedule conformance) checked against live master state;
 - **harness** (:mod:`repro.resilience.harness`) — run any engine algorithm
   under a named plan and report detection latency, recovery overhead, and
-  correctness vs Brandes (the ``repro faults`` CLI).
+  correctness vs Brandes (the ``repro faults`` CLI);
+- **supervisor** (:mod:`repro.resilience.supervisor`) — declarative
+  :class:`~repro.resilience.supervisor.RecoveryPolicy` presets (retry /
+  backoff / stall-deadline / restart budgets, checkpoint cadence and
+  retention) and per-batch graceful degradation into
+  :class:`~repro.resilience.supervisor.PartialResult`;
+- **chaos campaigns** (:mod:`repro.resilience.chaos`) — seeded randomized
+  fault campaigns over engines × fault kinds × policies, verifying
+  exactness-after-recovery against fault-free runs (the ``repro chaos``
+  CLI).
 
 Faults and recoveries surface as ``fault``/``recovery`` telemetry events
 and counters, landing in run manifests under ``extra["resilience"]``.
@@ -30,16 +39,30 @@ from __future__ import annotations
 
 from repro.resilience.checkpoint import (
     CheckpointStore,
+    checkpoint_digest,
     mrbc_forward_snapshot,
     restore_mrbc_forward,
 )
 from repro.resilience.context import MODES, ResilienceContext, channel_digest
 from repro.resilience.errors import (
+    CheckpointCorruptError,
     FaultDetectedError,
     HostCrashError,
+    HostTimeoutError,
     InvariantViolation,
     ResilienceError,
     UnrecoverableFaultError,
+)
+from repro.resilience.supervisor import (
+    POLICIES,
+    BackoffPolicy,
+    BatchStatus,
+    PartialResult,
+    RecoveryPolicy,
+    Supervisor,
+    attach_policy,
+    get_policy,
+    run_congest_with_restart,
 )
 from repro.resilience.injector import FaultInjector
 from repro.resilience.invariants import InvariantChecker
@@ -53,6 +76,10 @@ from repro.resilience.plan import (
 )
 
 __all__ = [
+    "BackoffPolicy",
+    "BatchStatus",
+    "CampaignReport",
+    "CheckpointCorruptError",
     "CheckpointStore",
     "DEFAULT_PLANS",
     "FaultDetectedError",
@@ -62,26 +89,41 @@ __all__ = [
     "FaultSpec",
     "HOST_KINDS",
     "HostCrashError",
+    "HostTimeoutError",
     "InvariantChecker",
     "InvariantViolation",
     "MESSAGE_KINDS",
     "MODES",
+    "POLICIES",
+    "PartialResult",
+    "RecoveryPolicy",
     "ResilienceContext",
     "ResilienceError",
+    "Supervisor",
     "UnrecoverableFaultError",
+    "attach_policy",
     "channel_digest",
+    "checkpoint_digest",
     "get_plan",
+    "get_policy",
     "mrbc_forward_snapshot",
     "restore_mrbc_forward",
+    "run_campaign",
+    "run_congest_with_restart",
     "run_under_faults",
 ]
 
 
 def __getattr__(name: str):
-    # The harness imports the engines (which import this package for the
-    # error types); loading it lazily keeps the import graph acyclic.
+    # The harness and chaos modules import the engines (which import this
+    # package for the error types); loading them lazily keeps the import
+    # graph acyclic.
     if name in ("run_under_faults", "FaultRunReport"):
         from repro.resilience import harness
 
         return getattr(harness, name)
+    if name in ("run_campaign", "CampaignReport"):
+        from repro.resilience import chaos
+
+        return getattr(chaos, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

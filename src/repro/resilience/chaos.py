@@ -1,0 +1,467 @@
+"""Seeded chaos campaigns: randomized fault sweeps with exactness checks.
+
+A *campaign* is a deterministic grid of scenarios — engines × fault kinds
+× recovery policies — each run through :func:`~repro.resilience.harness
+.run_under_faults` under a per-scenario seed derived from the campaign
+seed.  Every scenario is judged against the engine's fault-free run:
+
+- **recoverable** scenarios (the policy's budgets cover the plan's
+  faults) must complete *bit-identically* — ``np.array_equal`` on the BC
+  vector, not a tolerance — because bounded recovery replays the exact
+  same deterministic computation;
+- **degradable** scenarios (``failfast`` against a crash, say) may
+  instead salvage: the run yields a
+  :class:`~repro.resilience.supervisor.PartialResult` whose BC must match
+  exact Brandes over the covered sources, with coverage strictly below 1;
+- **neutral** scenarios (policy attached, *no* faults) must reproduce the
+  plain engine run byte-for-byte — BC bit-equal *and* equal
+  :meth:`~repro.engine.stats.EngineRun.deterministic_signature` — the
+  policy-attachment-is-free guarantee.
+
+The result is a versioned :class:`CampaignReport` (JSON-able, persisted
+by ``repro chaos --report``) carrying per-scenario verdicts plus MTTR and
+detection-latency aggregates.  Same campaign + same seed ⇒ the same
+faults, the same recoveries, the same report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.resilience.harness import GLUON_ALGORITHMS, run_under_faults
+from repro.resilience.plan import DEFAULT_PLANS, FaultPlan, get_plan
+from repro.resilience.supervisor import get_policy
+
+#: Bump when the report schema changes shape.
+CAMPAIGN_REPORT_VERSION = 1
+
+#: Fault plans every campaign sweeps, in deterministic order (message
+#: kinds then host kinds — the order of ``repro.resilience.plan``).
+CAMPAIGN_PLANS = ("drop", "duplicate", "reorder", "corrupt", "stall", "crash")
+
+#: The CONGEST subset: a CONGEST channel carries one O(log n)-word
+#: message per round, so a per-channel payload list is length ≤ 1 and
+#: ``reorder`` (which permutes a multi-payload delivery) structurally
+#: cannot fire — including it would make those scenarios vacuous.
+CONGEST_CAMPAIGN_PLANS = tuple(p for p in CAMPAIGN_PLANS if p != "reorder")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One campaign grid: which engines meet which policies.
+
+    The CONGEST engines have no per-batch failure domain (a phase restarts
+    whole), so they only pair with policies whose budgets make every plan
+    recoverable — degradation is a Gluon-engine capability.
+    """
+
+    name: str
+    gluon_policies: tuple[str, ...]
+    congest_policies: tuple[str, ...] = ()
+    plans: tuple[str, ...] = CAMPAIGN_PLANS
+    congest_plans: tuple[str, ...] = CONGEST_CAMPAIGN_PLANS
+
+
+#: The named campaigns ``repro chaos`` accepts.
+#:
+#: - ``smoke`` — the CI gate: both Gluon engines × all six fault kinds ×
+#:   {default, failfast} (24 fault scenarios) plus one neutral scenario
+#:   per engine (26 total).  ``failfast`` × ``crash`` deterministically
+#:   exercises graceful degradation.
+#: - ``full`` — smoke plus the CONGEST engines × the five CONGEST-viable
+#:   kinds × {default, patient} (the ``patient`` stall deadline converts
+#:   the stall scenario into a timeout-restart).
+CAMPAIGNS: dict[str, CampaignSpec] = {
+    "smoke": CampaignSpec(
+        name="smoke",
+        gluon_policies=("default", "failfast"),
+    ),
+    "full": CampaignSpec(
+        name="full",
+        gluon_policies=("default", "failfast"),
+        congest_policies=("default", "patient"),
+    ),
+}
+
+
+def scenario_seed(campaign_seed: int, index: int) -> int:
+    """Derive scenario ``index``'s fault seed from the campaign seed.
+
+    A fixed affine-in-primes map: decorrelates neighboring scenarios
+    while staying reproducible across platforms (pure integer math).
+    """
+    return (campaign_seed * 7919 + index * 104729 + 13) % (2**31)
+
+
+@dataclass
+class ScenarioResult:
+    """Verdict and tallies for one campaign scenario."""
+
+    index: int
+    algorithm: str
+    plan: str
+    policy: str
+    seed: int
+    #: ``"fault"`` (plan injected) or ``"neutral"`` (no faults; checks
+    #: policy-attachment neutrality).
+    kind: str
+    passed: bool
+    #: Human-readable reason when ``passed`` is False, else the verdict
+    #: path taken (``"exact"``, ``"degraded"``, ``"neutral"``).
+    detail: str
+    faults_injected: int = 0
+    faults_detected: int = 0
+    recoveries: int = 0
+    recovery_rounds: int = 0
+    detection_latency_rounds: int | None = None
+    degraded: bool = False
+    coverage: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "algorithm": self.algorithm,
+            "plan": self.plan,
+            "policy": self.policy,
+            "seed": self.seed,
+            "kind": self.kind,
+            "passed": self.passed,
+            "detail": self.detail,
+            "faults_injected": self.faults_injected,
+            "faults_detected": self.faults_detected,
+            "recoveries": self.recoveries,
+            "recovery_rounds": self.recovery_rounds,
+            "detection_latency_rounds": self.detection_latency_rounds,
+            "degraded": self.degraded,
+            "coverage": self.coverage,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """The persisted outcome of one chaos campaign."""
+
+    campaign: str
+    seed: int
+    graph: str
+    num_sources: int
+    num_hosts: int
+    batch_size: int
+    scenarios: list[ScenarioResult] = field(default_factory=list)
+    version: int = CAMPAIGN_REPORT_VERSION
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.scenarios) and all(s.passed for s in self.scenarios)
+
+    @property
+    def failures(self) -> list[ScenarioResult]:
+        return [s for s in self.scenarios if not s.passed]
+
+    def aggregates(self) -> dict[str, Any]:
+        """Cross-scenario recovery statistics.
+
+        MTTR is measured in *simulated rounds* (the only clock the
+        deterministic engines have): mean recovery-round overhead over
+        the scenarios that actually recovered at least one fault.
+        """
+        recovered = [s for s in self.scenarios if s.recoveries > 0]
+        latencies = [
+            s.detection_latency_rounds
+            for s in self.scenarios
+            if s.detection_latency_rounds is not None
+        ]
+        return {
+            "scenarios_total": len(self.scenarios),
+            "scenarios_passed": sum(1 for s in self.scenarios if s.passed),
+            "scenarios_degraded": sum(1 for s in self.scenarios if s.degraded),
+            "faults_injected": sum(s.faults_injected for s in self.scenarios),
+            "faults_detected": sum(s.faults_detected for s in self.scenarios),
+            "recoveries": sum(s.recoveries for s in self.scenarios),
+            "mttr_rounds": (
+                sum(s.recovery_rounds for s in recovered) / len(recovered)
+                if recovered
+                else None
+            ),
+            "detection_latency_mean_rounds": (
+                sum(latencies) / len(latencies) if latencies else None
+            ),
+            "detection_latency_max_rounds": max(latencies) if latencies else None,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": self.version,
+            "campaign": self.campaign,
+            "seed": self.seed,
+            "graph": self.graph,
+            "num_sources": self.num_sources,
+            "num_hosts": self.num_hosts,
+            "batch_size": self.batch_size,
+            "passed": self.passed,
+            "aggregates": self.aggregates(),
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+    def save(self, path: str | os.PathLike) -> None:
+        with open(os.fspath(path), "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def _scenario_grid(spec: CampaignSpec) -> list[tuple[str, str | None, str]]:
+    """Expand a spec into ``(algorithm, plan | None, policy)`` rows.
+
+    ``plan=None`` marks a neutral scenario.  Order is deterministic:
+    fault scenarios first (engine-major), then one neutral per Gluon
+    engine — the scenario index feeds the per-scenario seed, so this
+    order is part of the campaign's identity.
+    """
+    rows: list[tuple[str, str | None, str]] = []
+    for algorithm in GLUON_ALGORITHMS:
+        for plan in spec.plans:
+            for policy in spec.gluon_policies:
+                rows.append((algorithm, plan, policy))
+    for algorithm in ("mrbc_congest", "sbbc_congest"):
+        for plan in spec.congest_plans:
+            for policy in spec.congest_policies:
+                rows.append((algorithm, plan, policy))
+    for algorithm in GLUON_ALGORITHMS:
+        rows.append((algorithm, None, spec.gluon_policies[0]))
+    return rows
+
+
+def _neutral_scenario(
+    index: int,
+    algorithm: str,
+    policy_name: str,
+    g,
+    sources,
+    num_hosts: int,
+    batch_size: int,
+) -> ScenarioResult:
+    """Policy-attachment neutrality: engine + policy, zero faults, must be
+    byte-identical (BC bits and run signature) to the plain engine run."""
+    if algorithm == "mrbc":
+        from repro.core.mrbc import mrbc_engine
+
+        def run(recovery_policy):
+            return mrbc_engine(
+                g,
+                sources=sources,
+                batch_size=batch_size,
+                num_hosts=num_hosts,
+                recovery_policy=recovery_policy,
+            )
+
+    else:
+        from repro.baselines.sbbc import sbbc_engine
+
+        def run(recovery_policy):
+            return sbbc_engine(
+                g, sources=sources, num_hosts=num_hosts,
+                recovery_policy=recovery_policy,
+            )
+
+    plain = run(None)
+    with_policy = run(policy_name)
+    bc_equal = np.array_equal(plain.bc, with_policy.bc)
+    sig_equal = (
+        plain.run.deterministic_signature()
+        == with_policy.run.deterministic_signature()
+    )
+    not_degraded = getattr(with_policy, "partial", None) is None
+    passed = bc_equal and sig_equal and not_degraded
+    if passed:
+        detail = "neutral"
+    elif not bc_equal:
+        detail = "policy attachment changed BC bits"
+    elif not sig_equal:
+        detail = "policy attachment changed the deterministic signature"
+    else:
+        detail = "policy degraded a fault-free run"
+    return ScenarioResult(
+        index=index,
+        algorithm=algorithm,
+        plan="(none)",
+        policy=policy_name,
+        seed=0,
+        kind="neutral",
+        passed=passed,
+        detail=detail,
+    )
+
+
+def _fault_scenario(
+    index: int,
+    algorithm: str,
+    plan_name: str,
+    policy_name: str,
+    seed: int,
+    g,
+    sources,
+    num_hosts: int,
+    batch_size: int,
+    reference_bc: np.ndarray,
+    tol: float,
+) -> ScenarioResult:
+    """One seeded fault run, judged against the fault-free BC.
+
+    Acceptance is two-armed: either bounded recovery carried the run to
+    bit-exact completion, or the policy degraded and the salvage is exact
+    over the covered sources (with coverage strictly below 1 — a
+    "degraded" run that dropped nothing would be a bookkeeping bug).
+    """
+    plan = get_plan(plan_name).with_seed(seed)
+    policy = get_policy(policy_name)
+    report = run_under_faults(
+        algorithm,
+        g,
+        sources=sources,
+        plan=plan,
+        mode="repair",
+        num_hosts=num_hosts,
+        batch_size=batch_size,
+        tol=tol,
+        policy=policy,
+    )
+    s = report.resilience
+    coverage = None
+    if report.completed and not report.degraded:
+        exact = report.bc is not None and np.array_equal(report.bc, reference_bc)
+        if exact and s["faults_injected"] == 0:
+            passed, detail = False, "plan injected no faults (scenario is vacuous)"
+        elif exact:
+            passed, detail = True, "exact"
+        else:
+            passed, detail = False, "recovered run diverged from fault-free BC bits"
+    elif report.degraded:
+        coverage = report.partial.coverage
+        if not policy.degrade:
+            passed, detail = False, "degraded under a non-degrading policy"
+        elif coverage >= 1.0:
+            passed, detail = False, "degraded but claims full coverage"
+        elif report.partial.covered_sources.size == 0:
+            # Every failure domain was hit: nothing salvaged is still a
+            # correct degradation as long as the BC claims nothing.
+            if report.bc is not None and not np.any(report.bc):
+                passed, detail = True, "degraded (zero coverage)"
+            else:
+                passed, detail = False, "zero coverage but nonzero salvaged BC"
+        elif report.salvaged_correct(g):
+            passed, detail = True, "degraded"
+        else:
+            passed, detail = False, "salvaged BC wrong over covered sources"
+    else:
+        passed, detail = False, f"aborted: {report.failure}"
+    return ScenarioResult(
+        index=index,
+        algorithm=algorithm,
+        plan=plan_name,
+        policy=policy_name,
+        seed=seed,
+        kind="fault",
+        passed=passed,
+        detail=detail,
+        faults_injected=s["faults_injected"],
+        faults_detected=s["faults_detected"],
+        recoveries=s["recoveries"],
+        recovery_rounds=s["recovery_rounds"],
+        detection_latency_rounds=s["detection_latency_rounds"],
+        degraded=report.degraded,
+        coverage=coverage,
+    )
+
+
+def run_campaign(
+    g,
+    sources,
+    campaign: str = "smoke",
+    seed: int = 7,
+    num_hosts: int = 4,
+    batch_size: int = 3,
+    tol: float = 1e-9,
+    graph_desc: str = "",
+    progress: Callable[[ScenarioResult], None] | None = None,
+) -> CampaignReport:
+    """Run a named campaign and return its :class:`CampaignReport`.
+
+    Fault-free reference BC vectors are computed once per engine (the
+    engines are deterministic, so one run *is* the reference), then every
+    scenario is judged against them.  ``progress`` (when given) receives
+    each :class:`ScenarioResult` as it lands — the CLI's live ticker.
+    """
+    try:
+        spec = CAMPAIGNS[campaign]
+    except KeyError:
+        raise KeyError(
+            f"unknown campaign {campaign!r} "
+            f"(campaigns: {', '.join(sorted(CAMPAIGNS))})"
+        ) from None
+    for plan in spec.plans + spec.congest_plans:
+        if plan not in DEFAULT_PLANS:
+            raise KeyError(f"campaign {campaign!r} names unknown plan {plan!r}")
+
+    src = np.asarray(sources, dtype=np.int64).ravel()
+    grid = _scenario_grid(spec)
+
+    # One fault-free reference per engine: the deterministic ground truth
+    # every recoverable scenario must reproduce bit-for-bit.
+    references: dict[str, np.ndarray] = {}
+
+    def reference_bc(algorithm: str) -> np.ndarray:
+        if algorithm not in references:
+            report = run_under_faults(
+                algorithm,
+                g,
+                sources=src,
+                plan=FaultPlan(name="fault-free", seed=0, specs=()),
+                mode="repair",
+                num_hosts=num_hosts,
+                batch_size=batch_size,
+                tol=tol,
+            )
+            if not report.completed or report.bc is None:
+                raise RuntimeError(
+                    f"fault-free reference run failed for {algorithm}: "
+                    f"{report.failure}"
+                )
+            references[algorithm] = report.bc
+        return references[algorithm]
+
+    out = CampaignReport(
+        campaign=campaign,
+        seed=seed,
+        graph=graph_desc or repr(g),
+        num_sources=int(src.size),
+        num_hosts=num_hosts,
+        batch_size=batch_size,
+    )
+    for index, (algorithm, plan_name, policy_name) in enumerate(grid):
+        if plan_name is None:
+            rec = _neutral_scenario(
+                index, algorithm, policy_name, g, src, num_hosts, batch_size
+            )
+        else:
+            rec = _fault_scenario(
+                index,
+                algorithm,
+                plan_name,
+                policy_name,
+                scenario_seed(seed, index),
+                g,
+                src,
+                num_hosts,
+                batch_size,
+                reference_bc(algorithm),
+                tol,
+            )
+        out.scenarios.append(rec)
+        if progress is not None:
+            progress(rec)
+    return out

@@ -11,25 +11,77 @@ tive state the backward pass reads (``L_v`` best labels, fire timestamps
 ``τ``, per-host finalized ``(d, σ)`` arrays), so a crash between the
 forward and backward phases replays only the backward rounds and the
 recovered BC is bit-identical to a fault-free run.
+
+The store is hardened against the failure modes a restart actually meets:
+
+- **Atomic save** — disk snapshots are written to a temporary sibling
+  and ``os.replace``-d into place, and the tag is committed to the
+  store's order only after the write succeeds.  A crash mid-write leaves
+  the previous snapshot (and the tag order) intact.
+- **Content digest** — every snapshot embeds a SHA-256 over its metadata
+  and array contents, verified on :meth:`load`; a damaged snapshot
+  raises :class:`~repro.resilience.errors.CheckpointCorruptError`
+  instead of restoring garbage, and :meth:`load_latest` falls back to
+  the previous retained tag.
+- **Retention pruning** — with ``retention=N`` only the newest ``N``
+  tags survive a save; stale snapshots are deleted from memory or disk.
 """
 
 from __future__ import annotations
 
 import copy
+import hashlib
+import json
 import os
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro.resilience.errors import CheckpointCorruptError
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.mrbc import _BatchExecutor
 
+#: Meta key carrying the snapshot's content digest (stripped on load).
+DIGEST_KEY = "__digest__"
+
+
+def checkpoint_digest(
+    meta: dict[str, Any], arrays: dict[str, np.ndarray]
+) -> str:
+    """SHA-256 over the snapshot's logical content.
+
+    Covers the JSON-able metadata (minus the digest slot itself) and, for
+    each array in name order, its name, dtype, shape, and raw bytes —
+    i.e. exactly what a restore will feed back into the executor.
+    """
+    h = hashlib.sha256()
+    clean = {k: v for k, v in meta.items() if k != DIGEST_KEY}
+    h.update(json.dumps(clean, sort_keys=True).encode("utf-8"))
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        h.update(name.encode("utf-8"))
+        h.update(str(arr.dtype).encode("utf-8"))
+        h.update(repr(arr.shape).encode("utf-8"))
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
 
 class CheckpointStore:
-    """Tagged snapshot storage, in memory or on disk via the persist layer."""
+    """Tagged snapshot storage, in memory or on disk via the persist layer.
 
-    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+    ``retention`` bounds how many tags are kept (oldest pruned first);
+    ``None`` retains everything.  Recovery policies set it via
+    :meth:`~repro.resilience.supervisor.RecoveryPolicy.configure`.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike | None = None,
+        retention: int | None = None,
+    ) -> None:
         self.directory = os.fspath(directory) if directory is not None else None
+        self.retention = retention
         self._mem: dict[str, tuple[dict[str, Any], dict[str, np.ndarray]]] = {}
         self._order: list[str] = []
 
@@ -40,33 +92,113 @@ class CheckpointStore:
     def save(
         self, tag: str, meta: dict[str, Any], arrays: dict[str, np.ndarray]
     ) -> None:
-        """Store one snapshot under ``tag`` (overwrites a previous one)."""
-        if tag not in self._order:
-            self._order.append(tag)
+        """Store one snapshot under ``tag`` (overwrites a previous one).
+
+        The tag joins the store's order only once the snapshot is fully
+        written, and disk writes go through a temp-file + ``os.replace``
+        rename — a crash mid-save can never leave a half-written
+        snapshot behind the tag.
+        """
+        meta = dict(meta)
+        meta[DIGEST_KEY] = checkpoint_digest(meta, arrays)
         if self.directory is not None:
             from repro.engine.persist import save_checkpoint
 
             os.makedirs(self.directory, exist_ok=True)
-            save_checkpoint(self._path(tag), meta, arrays)
+            final = self._path(tag)
+            # np.savez appends ".npz" when missing, so the temp name must
+            # already carry the suffix for the rename to find it.
+            tmp = final + ".tmp.npz"
+            try:
+                save_checkpoint(tmp, meta, arrays)
+                os.replace(tmp, final)
+            finally:
+                if os.path.exists(tmp):
+                    os.remove(tmp)
         else:
             self._mem[tag] = (
                 copy.deepcopy(meta),
                 {k: np.array(v, copy=True) for k, v in arrays.items()},
             )
+        if tag not in self._order:
+            self._order.append(tag)
+        self._prune()
 
     def load(self, tag: str) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
-        """Retrieve the snapshot stored under ``tag`` (KeyError if absent)."""
+        """Retrieve and digest-verify the snapshot under ``tag``.
+
+        Raises ``KeyError`` when absent and
+        :class:`~repro.resilience.errors.CheckpointCorruptError` when the
+        stored content no longer matches its embedded digest (bit rot,
+        truncated write, tampering).  Pre-hardening snapshots without a
+        digest load unverified.
+        """
         if self.directory is not None:
             from repro.engine.persist import load_checkpoint
 
             path = self._path(tag)
             if not os.path.exists(path):
                 raise KeyError(f"no checkpoint {tag!r} in {self.directory}")
-            return load_checkpoint(path)
-        if tag not in self._mem:
-            raise KeyError(f"no checkpoint {tag!r}")
-        meta, arrays = self._mem[tag]
-        return copy.deepcopy(meta), {k: v.copy() for k, v in arrays.items()}
+            try:
+                meta, arrays = load_checkpoint(path)
+            except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
+                raise CheckpointCorruptError(tag, f"unreadable archive: {err}")
+        else:
+            if tag not in self._mem:
+                raise KeyError(f"no checkpoint {tag!r}")
+            stored_meta, stored_arrays = self._mem[tag]
+            meta = copy.deepcopy(stored_meta)
+            arrays = {k: v.copy() for k, v in stored_arrays.items()}
+        expected = meta.pop(DIGEST_KEY, None)
+        if expected is not None:
+            actual = checkpoint_digest(meta, arrays)
+            if actual != expected:
+                raise CheckpointCorruptError(
+                    tag, f"content digest mismatch ({actual[:12]}… != {expected[:12]}…)"
+                )
+        return meta, arrays
+
+    def load_latest(
+        self,
+    ) -> tuple[str, dict[str, Any], dict[str, np.ndarray]]:
+        """Load the newest intact snapshot, falling back over corrupt tags.
+
+        Walks the retained tags newest-first; a tag that fails digest
+        verification is skipped (and dropped from the order) and the
+        previous one is tried.  Raises ``KeyError`` when the store is
+        empty and re-raises the last
+        :class:`~repro.resilience.errors.CheckpointCorruptError` when
+        every retained snapshot is damaged.
+        """
+        if not self._order:
+            raise KeyError("checkpoint store is empty")
+        last_err: CheckpointCorruptError | None = None
+        for tag in reversed(list(self._order)):
+            try:
+                meta, arrays = self.load(tag)
+            except CheckpointCorruptError as err:
+                last_err = err
+                self.discard(tag)
+                continue
+            return tag, meta, arrays
+        assert last_err is not None
+        raise last_err
+
+    def discard(self, tag: str) -> None:
+        """Drop one snapshot (no-op when absent)."""
+        if tag in self._order:
+            self._order.remove(tag)
+        self._mem.pop(tag, None)
+        if self.directory is not None:
+            path = self._path(tag)
+            if os.path.exists(path):
+                os.remove(path)
+
+    def _prune(self) -> None:
+        if self.retention is None:
+            return
+        while len(self._order) > self.retention:
+            self.discard(self._order[0])
 
     def tags(self) -> list[str]:
         """Tags in save order (first save wins the position)."""

@@ -34,6 +34,7 @@ from repro import obs
 from repro.resilience.errors import (
     FaultDetectedError,
     HostCrashError,
+    HostTimeoutError,
     UnrecoverableFaultError,
 )
 from repro.resilience.checkpoint import CheckpointStore
@@ -44,6 +45,7 @@ from repro.resilience.plan import FaultPlan
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.gluon import GluonSubstrate
     from repro.engine.stats import EngineRun, RoundStats
+    from repro.resilience.supervisor import RecoveryPolicy
 
 MODES = ("off", "detect", "repair")
 
@@ -100,6 +102,11 @@ class ResilienceContext:
         self.checkpoints = CheckpointStore(checkpoint_dir)
         self.run: "EngineRun | None" = None
         self._last_rs: "RoundStats | None" = None
+        #: Declarative recovery policy, attached via
+        #: :meth:`~repro.resilience.supervisor.RecoveryPolicy.configure`.
+        #: ``None`` keeps PR 2's implicit behavior (wait out stalls, no
+        #: backoff between restarts).
+        self.policy: "RecoveryPolicy | None" = None
         # -- ground-truth tallies (kept even when telemetry is off).
         self.detected_by_kind: dict[str, int] = defaultdict(int)
         self.recovered_by_kind: dict[str, int] = defaultdict(int)
@@ -107,9 +114,15 @@ class ResilienceContext:
         self.retransmits = 0
         self.recovery_rounds = 0
         self.stall_rounds = 0
+        self.backoff_rounds = 0
         self.crash_restarts = 0
+        self.degraded_units = 0
         self.first_inject_round: int | None = None
         self.first_detect_round: int | None = None
+        #: Ordered recovery timeline: one JSON-able record per fault /
+        #: detection / recovery action, in simulated-round order.  Lands
+        #: in the manifest via :meth:`summary`.
+        self.timeline: list[dict[str, Any]] = []
 
     # -- wiring ----------------------------------------------------------------
 
@@ -125,6 +138,11 @@ class ResilienceContext:
 
     # -- telemetry -------------------------------------------------------------
 
+    def _timeline(self, event: str, rnd: int, **attrs: Any) -> None:
+        rec: dict[str, Any] = {"event": event, "round": rnd}
+        rec.update(attrs)
+        self.timeline.append(rec)
+
     def _note_injected(
         self, kinds: list[str], rnd: int, sender: int, receiver: int | None, op: str
     ) -> None:
@@ -132,6 +150,9 @@ class ResilienceContext:
             self.first_inject_round = rnd
         tele = obs.current()
         for kind in kinds:
+            self._timeline(
+                "inject", rnd, fault=kind, op=op, sender=sender, receiver=receiver
+            )
             if tele.enabled:
                 tele.emit(
                     obs.KIND_FAULT,
@@ -159,6 +180,9 @@ class ResilienceContext:
         tele = obs.current()
         for kind in kinds:
             self.detected_by_kind[kind] += 1
+            self._timeline(
+                "detect", rnd, fault=kind, op=op, sender=sender, receiver=receiver
+            )
             if tele.enabled:
                 tele.emit(
                     obs.KIND_FAULT,
@@ -175,6 +199,7 @@ class ResilienceContext:
 
     def _note_recovered(self, action: str, rnd: int, **attrs: Any) -> None:
         self.recovered_by_kind[action] += 1
+        self._timeline("recover", rnd, action=action, **attrs)
         tele = obs.current()
         if tele.enabled:
             tele.emit(obs.KIND_RECOVERY, f"recovery.{action}", round=rnd, **attrs)
@@ -326,28 +351,51 @@ class ResilienceContext:
     # -- host-scope faults -----------------------------------------------------
 
     def _host_events(self, rs: "RoundStats") -> None:
-        rnd = rs.round_index
+        self.host_events(rs.round_index)
+
+    def host_events(self, rnd: int) -> None:
+        """Materialize due host-scope faults (stall/crash) for round ``rnd``.
+
+        A stall charges idle ``recovery`` rounds while the barrier waits;
+        with a policy deadline (``stall_timeout_rounds``) the wait is
+        capped and a longer stall is converted into a
+        :class:`~repro.resilience.errors.HostTimeoutError` — the restart
+        machinery then treats the straggler exactly like a crashed host.
+        The injector consumes each spec once, so the post-restart replay
+        proceeds fault-free (deterministically recoverable).
+        """
         for spec in self.injector.due_host_events(rnd):
-            self._note_injected([spec.kind], rnd, int(spec.host or 0), None, "host")
+            host = int(spec.host or 0)
+            self._note_injected([spec.kind], rnd, host, None, "host")
             if spec.kind == "stall":
-                self._note_detected(
-                    ["stall"], rnd, int(spec.host or 0), None, "host", 0, 0
+                self._note_detected(["stall"], rnd, host, None, "host", 0, 0)
+                deadline = (
+                    self.policy.stall_timeout_rounds
+                    if self.policy is not None
+                    else None
                 )
                 # BSP semantics: the barrier waits for the straggler — the
-                # stall costs whole rounds of idle time.
+                # stall costs whole rounds of idle time, up to the policy's
+                # deadline when one is set.
+                wait = (
+                    spec.duration
+                    if deadline is None
+                    else min(spec.duration, deadline)
+                )
                 if self.run is not None:
-                    for _ in range(spec.duration):
+                    for _ in range(wait):
                         self.run.new_round("recovery", recovery=True)
-                    self.recovery_rounds += spec.duration
-                self.stall_rounds += spec.duration
-                self._note_recovered(
-                    "stall_wait", rnd, host=int(spec.host or 0), rounds=spec.duration
-                )
+                    self.recovery_rounds += wait
+                self.stall_rounds += wait
+                if deadline is not None and spec.duration > deadline:
+                    self._timeline(
+                        "timeout", rnd, host=host, deadline_rounds=deadline
+                    )
+                    raise HostTimeoutError(host, rnd, deadline)
+                self._note_recovered("stall_wait", rnd, host=host, rounds=wait)
             elif spec.kind == "crash":
-                self._note_detected(
-                    ["crash"], rnd, int(spec.host or 0), None, "host", 0, 0
-                )
-                raise HostCrashError(int(spec.host or 0), rnd)
+                self._note_detected(["crash"], rnd, host, None, "host", 0, 0)
+                raise HostCrashError(host, rnd)
 
     def on_crash(self, err: HostCrashError, attempt: int) -> None:
         """Driver hook after catching a crash: re-raise or allow a restart."""
@@ -363,6 +411,37 @@ class ResilienceContext:
             "restart", err.round_index, host=err.host, attempt=attempt
         )
 
+    def charge_backoff(self, attempt: int) -> None:
+        """Charge the policy's sim-time backoff before restart ``attempt``.
+
+        Called by the restart loops after :meth:`on_crash` admits a
+        retry and *before* the replay begins (so the waiting rounds are
+        not mistaken for replayed work).  Without a policy this is a
+        no-op — PR 2 restarts immediately, and that behavior is kept.
+        """
+        if self.policy is None:
+            return
+        rounds = self.policy.backoff.rounds_before(attempt)
+        if rounds <= 0:
+            return
+        if self.run is not None:
+            for _ in range(rounds):
+                self.run.new_round("recovery", recovery=True)
+            self.recovery_rounds += rounds
+        self.backoff_rounds += rounds
+        self._note_recovered("backoff", -1, attempt=attempt, rounds=rounds)
+
+    def note_degraded(self, index: int, sources: list[int], err: Exception) -> None:
+        """Record one failure domain dropped by graceful degradation."""
+        self.degraded_units += 1
+        self._note_recovered(
+            "degrade",
+            -1,
+            unit=index,
+            sources=list(sources),
+            failure=f"{type(err).__name__}: {err}",
+        )
+
     # -- CONGEST side ----------------------------------------------------------
 
     def guard_congest(
@@ -370,6 +449,10 @@ class ResilienceContext:
     ) -> list[Item]:
         """Guard one CONGEST channel's payload list for round ``rnd``."""
         return self._guard_channel(rnd, sender, target, payloads, "congest", None)
+
+    def congest_host_events(self, rnd: int) -> None:
+        """CONGEST-plane entry for host-scope faults, once per exchange round."""
+        self.host_events(rnd)
 
     # -- reporting -------------------------------------------------------------
 
@@ -403,6 +486,7 @@ class ResilienceContext:
             "plan": self.plan.to_dict(),
             "mode": self.mode,
             "invariants": self.invariants,
+            "policy": None if self.policy is None else self.policy.to_dict(),
             "faults_injected": self.faults_injected,
             "injected_by_kind": dict(self.injector.injected_by_kind),
             "faults_detected": self.faults_detected,
@@ -413,8 +497,11 @@ class ResilienceContext:
             "retransmits": self.retransmits,
             "recovery_rounds": recovery_rounds,
             "stall_rounds": self.stall_rounds,
+            "backoff_rounds": self.backoff_rounds,
             "crash_restarts": self.crash_restarts,
+            "degraded_units": self.degraded_units,
             "first_inject_round": self.first_inject_round,
             "first_detect_round": self.first_detect_round,
             "detection_latency_rounds": self.detection_latency_rounds(),
+            "timeline": [dict(rec) for rec in self.timeline],
         }

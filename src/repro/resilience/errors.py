@@ -71,5 +71,37 @@ class HostCrashError(ResilienceError):
         super().__init__(f"host {host} crashed in round {round_index}")
 
 
+class HostTimeoutError(HostCrashError):
+    """A stalled host exceeded the recovery policy's round deadline.
+
+    Subclass of :class:`HostCrashError` on purpose: once the deadline
+    declares the host failed, the restart machinery treats it exactly
+    like a crash (BSP cannot distinguish a dead host from an arbitrarily
+    slow one — the deadline is what *makes* the stall detectable).
+    """
+
+    def __init__(self, host: int, round_index: int, deadline_rounds: int) -> None:
+        self.deadline_rounds = deadline_rounds
+        ResilienceError.__init__(
+            self,
+            f"host {host} stalled past the {deadline_rounds}-round deadline "
+            f"in round {round_index}; declaring it failed",
+        )
+        self.host = host
+        self.round_index = round_index
+
+
+class CheckpointCorruptError(ResilienceError):
+    """A checkpoint failed its content-digest verification on load.
+
+    The supervisor's restore path treats this as a damaged snapshot and
+    falls back to the previous retained tag instead of restoring garbage.
+    """
+
+    def __init__(self, tag: str, detail: str) -> None:
+        self.tag = tag
+        super().__init__(f"checkpoint {tag!r} is corrupt: {detail}")
+
+
 class UnrecoverableFaultError(ResilienceError):
     """Bounded recovery (retransmits / restarts) was exhausted."""

@@ -26,9 +26,15 @@ from repro.cluster.model import ClusterModel
 from repro.resilience.context import ResilienceContext
 from repro.resilience.errors import ResilienceError
 from repro.resilience.plan import FaultPlan, get_plan
+from repro.resilience.supervisor import PartialResult, RecoveryPolicy, get_policy
 
-#: Engine algorithms the harness can run under faults.
-ALGORITHMS = ("mrbc", "sbbc")
+#: Algorithms the harness can run under faults: the two Gluon engines and
+#: their CONGEST-model counterparts (vertices are the processors there, so
+#: host-scope faults hit a vertex's channels and the phase restarts whole).
+ALGORITHMS = ("mrbc", "sbbc", "mrbc_congest", "sbbc_congest")
+
+#: The Gluon-engine subset (these support per-batch graceful degradation).
+GLUON_ALGORITHMS = ("mrbc", "sbbc")
 
 
 @dataclass
@@ -51,15 +57,44 @@ class FaultRunReport:
     #: Rounds recorded up to completion or abort (includes recovery rounds).
     rounds: int
     manifest: "obs.RunManifest | None"
+    #: Graceful-degradation record when a recovery policy dropped failure
+    #: domains (Gluon engines only); None on complete or aborted runs.
+    partial: PartialResult | None = None
 
     @property
     def completed(self) -> bool:
         return self.failure is None
 
     @property
+    def degraded(self) -> bool:
+        """Completed, but with failure domains dropped by the policy."""
+        return self.partial is not None
+
+    @property
     def correct(self) -> bool:
-        """Completed and matched Brandes within the harness tolerance."""
-        return self.max_abs_error is not None and self.max_abs_error <= self.tol
+        """Completed and matched Brandes within the harness tolerance.
+
+        A degraded run is *not* ``correct`` (its BC covers only the
+        surviving sources); use :meth:`salvaged_correct` for those.
+        """
+        return (
+            self.partial is None
+            and self.max_abs_error is not None
+            and self.max_abs_error <= self.tol
+        )
+
+    def salvaged_correct(self, g) -> bool:
+        """Degraded run's salvaged BC matches exact Brandes over the
+        covered sources (the PartialResult acceptance check)."""
+        if self.partial is None or self.bc is None:
+            return False
+        covered = self.partial.covered_sources
+        if covered.size == 0:
+            return False
+        from repro.baselines.brandes import brandes_bc
+
+        ref = brandes_bc(g, sources=covered)
+        return float(np.max(np.abs(self.bc - ref))) <= self.tol
 
     tol: float = 1e-9
 
@@ -75,17 +110,24 @@ def run_under_faults(
     batch_size: int = 16,
     out_dir: str | os.PathLike | None = None,
     tol: float = 1e-9,
+    policy: "RecoveryPolicy | str | None" = None,
 ) -> FaultRunReport:
     """Execute ``algorithm`` on ``g`` under ``plan`` and report the outcome.
 
     Parameters
     ----------
     algorithm:
-        ``"mrbc"`` or ``"sbbc"``.
+        One of :data:`ALGORITHMS` — ``"mrbc"``/``"sbbc"`` (Gluon engines)
+        or ``"mrbc_congest"``/``"sbbc_congest"`` (CONGEST model).
     plan:
         A :class:`FaultPlan` or the name of a default plan.
     mode, invariants:
         Guard modes (see :class:`ResilienceContext`).
+    policy:
+        A :class:`~repro.resilience.supervisor.RecoveryPolicy` or preset
+        name; configures retry/backoff/deadline/restart budgets on the
+        context and, for the Gluon engines, enables per-batch graceful
+        degradation (the report's ``partial`` field).
     out_dir:
         When given, a telemetry session records the run into
         ``<out_dir>/events.jsonl`` and the manifest (with the resilience
@@ -97,11 +139,14 @@ def run_under_faults(
         raise ValueError(f"algorithm must be one of {ALGORITHMS}")
     if isinstance(plan, str):
         plan = get_plan(plan)
+    policy = get_policy(policy)
     from repro.baselines.brandes import brandes_bc
 
     reference = brandes_bc(g, sources=sources)
     model = ClusterModel(num_hosts)
     ctx = ResilienceContext(plan=plan, mode=mode, invariants=invariants)
+    if policy is not None:
+        policy.configure(ctx)
 
     res = None
     failure: str | None = None
@@ -118,13 +163,26 @@ def run_under_faults(
                     batch_size=batch_size,
                     num_hosts=num_hosts,
                     resilience=ctx,
+                    recovery_policy=policy,
                 )
-            else:
+            elif algorithm == "sbbc":
                 from repro.baselines.sbbc import sbbc_engine
 
                 res = sbbc_engine(
-                    g, sources=sources, num_hosts=num_hosts, resilience=ctx
+                    g,
+                    sources=sources,
+                    num_hosts=num_hosts,
+                    resilience=ctx,
+                    recovery_policy=policy,
                 )
+            elif algorithm == "mrbc_congest":
+                from repro.core.mrbc_congest import mrbc_congest
+
+                res = mrbc_congest(g, sources=sources, resilience=ctx)
+            else:
+                from repro.baselines.sbbc_congest import sbbc_congest
+
+                res = sbbc_congest(g, sources=sources, resilience=ctx)
         except (ResilienceError, AssertionError) as err:
             # Aborting on a detected fault is the *designed* detect-mode
             # outcome; engine assertions are the pre-existing last line of
@@ -144,7 +202,13 @@ def run_under_faults(
     max_err = (
         float(np.max(np.abs(bc - reference))) if bc is not None else None
     )
+    partial = getattr(res, "partial", None)
     run = ctx.run
+    # The CONGEST engines have no attached EngineRun; their results carry
+    # the round totals directly.
+    rounds = run.num_rounds if run is not None else 0
+    if rounds == 0 and res is not None and hasattr(res, "total_rounds"):
+        rounds = int(res.total_rounds)
     n_sources = int(g.num_vertices if sources is None else len(sources))
     manifest = None
     if run is not None and run.rounds:
@@ -174,7 +238,8 @@ def run_under_faults(
         max_abs_error=max_err,
         failure=failure,
         resilience=ctx.summary(),
-        rounds=run.num_rounds if run is not None else 0,
+        rounds=rounds,
         manifest=manifest,
+        partial=partial,
         tol=tol,
     )

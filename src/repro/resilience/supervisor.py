@@ -1,0 +1,442 @@
+"""Recovery orchestration: declarative policies and graceful degradation.
+
+PR 2 gave the repository one recovery *mechanism* — replay from the
+latest checkpoint — but no *policy*: nothing decided how long to wait on
+a stalled host, how many restarts a run deserves, how often to snapshot,
+or what to salvage when bounded recovery is exhausted.  This module is
+that policy layer:
+
+- :class:`RecoveryPolicy` — a declarative bundle of the recovery knobs:
+  bounded channel retries, bounded restart escalation, deterministic
+  *sim-time* exponential backoff between restarts (charged as recovery
+  rounds, so the cost shows up in Figure 2-style breakdowns), a per-round
+  stall deadline that converts silent stragglers into detectable
+  :class:`~repro.resilience.errors.HostTimeoutError` failures, and the
+  checkpoint cadence/retention the guarded round loop uses.  Named
+  presets live in :data:`POLICIES`; drivers accept ``policy=`` (a name or
+  an instance) next to ``resilience=``.
+- :class:`Supervisor` — wraps one driver execution.  The paper's batched
+  structure makes source batches natural failure domains: the supervisor
+  runs each batch as a unit, records a :class:`BatchStatus` per unit,
+  and — when the policy says ``degrade`` — converts an unrecoverable
+  unit failure into a skipped batch instead of an aborted run.
+- :class:`PartialResult` — what graceful degradation salvages: the BC
+  contributions of every completed batch, per-batch completion status,
+  source coverage, and a sampled-BC-style additive error bound for the
+  coverage-scaled estimate (Crescenzi–Fraigniaud–Paz ground the
+  treat-the-survivors-as-a-sample reading; see :meth:`PartialResult
+  .error_bound`).
+
+Policy attachment is *neutral*: with no faults firing, a driver run with
+a policy attached produces a byte-identical deterministic signature and
+BC output (the chaos harness and ``repro bench --compare`` both gate
+this).  All backoff/deadline costs are charged only when a fault
+actually materializes, and they are charged in simulated rounds — never
+wall-clock — so recovery experiments stay exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, TypeVar
+
+import numpy as np
+
+from repro.resilience.errors import HostCrashError, ResilienceError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Deterministic sim-time exponential backoff between restarts.
+
+    Restart attempt ``a`` waits ``min(cap_rounds, base_rounds *
+    multiplier**(a-1))`` simulated rounds before replaying (charged to
+    the ``recovery`` phase).  ``base_rounds=0`` disables waiting.  No
+    jitter on purpose: randomized backoff would make recovery overhead
+    seed-dependent, breaking the exact-reproducibility contract.
+    """
+
+    base_rounds: int = 1
+    multiplier: float = 2.0
+    cap_rounds: int = 8
+
+    def __post_init__(self) -> None:
+        if self.base_rounds < 0:
+            raise ValueError("base_rounds must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.cap_rounds < 0:
+            raise ValueError("cap_rounds must be >= 0")
+
+    def rounds_before(self, attempt: int) -> int:
+        """Backoff rounds charged before restart attempt ``attempt`` (1-based)."""
+        if self.base_rounds == 0:
+            return 0
+        raw = self.base_rounds * self.multiplier ** max(0, attempt - 1)
+        return min(self.cap_rounds, int(math.ceil(raw)))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "base_rounds": self.base_rounds,
+            "multiplier": self.multiplier,
+            "cap_rounds": self.cap_rounds,
+        }
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Declarative recovery policy for one driver execution.
+
+    Attributes
+    ----------
+    max_retries:
+        Channel retransmissions per faulty sync before the fault is
+        unrecoverable (the channel guard's bounded-repair budget).
+    max_restarts:
+        Crash restarts per recovery unit before escalation gives up.
+    backoff:
+        Sim-time wait schedule between restarts (see
+        :class:`BackoffPolicy`).
+    stall_timeout_rounds:
+        Per-round deadline on host stalls: a stall longer than this many
+        rounds is converted into a :class:`~repro.resilience.errors
+        .HostTimeoutError` (handled like a crash) after waiting out the
+        deadline.  ``None`` waits out any stall, however long — the
+        classic BSP barrier semantics.
+    checkpoint_interval:
+        Rounds between snapshots in the guarded (checkpointed) loop.
+    checkpoint_retention:
+        How many checkpoint tags the store retains (older tags are
+        pruned); ``None`` retains everything.
+    degrade:
+        On an unrecoverable unit failure, salvage completed units into a
+        :class:`PartialResult` instead of raising — per-batch graceful
+        degradation.
+    """
+
+    name: str = "custom"
+    max_retries: int = 5
+    max_restarts: int = 3
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    stall_timeout_rounds: int | None = None
+    checkpoint_interval: int = 4
+    checkpoint_retention: int | None = 4
+    degrade: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0 or self.max_restarts < 0:
+            raise ValueError("retry/restart budgets must be >= 0")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if self.checkpoint_retention is not None and self.checkpoint_retention < 1:
+            raise ValueError("checkpoint_retention must be >= 1 or None")
+        if self.stall_timeout_rounds is not None and self.stall_timeout_rounds < 0:
+            raise ValueError("stall_timeout_rounds must be >= 0 or None")
+
+    def with_name(self, name: str) -> "RecoveryPolicy":
+        return replace(self, name=name)
+
+    def configure(self, ctx) -> None:
+        """Attach this policy to a :class:`~repro.resilience.context
+        .ResilienceContext`: sync the bounded-recovery budgets and the
+        checkpoint retention, and make the context consult the policy for
+        backoff and stall deadlines."""
+        ctx.policy = self
+        ctx.max_retries = self.max_retries
+        ctx.max_restarts = self.max_restarts
+        ctx.checkpoints.retention = self.checkpoint_retention
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "max_retries": self.max_retries,
+            "max_restarts": self.max_restarts,
+            "backoff": self.backoff.to_dict(),
+            "stall_timeout_rounds": self.stall_timeout_rounds,
+            "checkpoint_interval": self.checkpoint_interval,
+            "checkpoint_retention": self.checkpoint_retention,
+            "degrade": self.degrade,
+        }
+
+    @classmethod
+    def from_dict(cls, rec: dict[str, Any]) -> "RecoveryPolicy":
+        rec = dict(rec)
+        backoff = rec.pop("backoff", None)
+        if backoff is not None:
+            rec["backoff"] = BackoffPolicy(**backoff)
+        return cls(**rec)
+
+
+#: Named policy presets (the ``policies`` axis of a chaos campaign).
+#:
+#: - ``default`` — PR 2's implicit behavior made explicit: generous retry
+#:   and restart budgets, modest backoff, wait out stalls, abort on
+#:   unrecoverable failure.
+#: - ``failfast`` — minimal budgets with graceful degradation: one retry
+#:   round, zero restarts, no backoff; an unrecoverable unit is dropped
+#:   and the run salvages what completed.  Exercises the
+#:   :class:`PartialResult` path deterministically.
+#: - ``patient`` — large budgets, aggressive backoff, and a 1-round stall
+#:   deadline that converts stragglers into restarts; degrades only after
+#:   escalation is exhausted.
+POLICIES: dict[str, RecoveryPolicy] = {
+    "default": RecoveryPolicy(name="default"),
+    "failfast": RecoveryPolicy(
+        name="failfast",
+        max_retries=1,
+        max_restarts=0,
+        backoff=BackoffPolicy(base_rounds=0),
+        checkpoint_interval=2,
+        checkpoint_retention=2,
+        degrade=True,
+    ),
+    "patient": RecoveryPolicy(
+        name="patient",
+        max_retries=8,
+        max_restarts=5,
+        backoff=BackoffPolicy(base_rounds=2, multiplier=2.0, cap_rounds=16),
+        stall_timeout_rounds=1,
+        checkpoint_interval=4,
+        checkpoint_retention=4,
+        degrade=True,
+    ),
+}
+
+
+def get_policy(policy: "RecoveryPolicy | str | None") -> RecoveryPolicy | None:
+    """Resolve a policy argument: an instance, a preset name, or None."""
+    if policy is None or isinstance(policy, RecoveryPolicy):
+        return policy
+    try:
+        return POLICIES[policy]
+    except KeyError:
+        raise KeyError(
+            f"unknown recovery policy {policy!r} "
+            f"(presets: {', '.join(sorted(POLICIES))})"
+        ) from None
+
+
+def attach_policy(resilience, policy: "RecoveryPolicy | str | None"):
+    """Driver-side policy resolution: returns ``(ctx, supervisor)``.
+
+    With no policy the driver keeps its legacy behavior exactly
+    (``supervisor`` is None).  With a policy, a bare
+    :class:`~repro.resilience.context.ResilienceContext` is created when
+    the caller did not pass one (policy attachment without a fault plan
+    must be valid — and neutral), the policy is configured onto the
+    context, and a :class:`Supervisor` is returned to wrap the driver's
+    recovery units.
+    """
+    policy = get_policy(policy)
+    if policy is None:
+        return resilience, None
+    if resilience is None:
+        from repro.resilience.context import ResilienceContext
+
+        resilience = ResilienceContext(mode="repair")
+    policy.configure(resilience)
+    return resilience, Supervisor(resilience, policy)
+
+
+# -- graceful degradation --------------------------------------------------------
+
+
+@dataclass
+class BatchStatus:
+    """Completion record for one failure domain (an MRBC source batch, an
+    SBBC source)."""
+
+    index: int
+    sources: list[int]
+    completed: bool
+    failure: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "sources": list(self.sources),
+            "completed": self.completed,
+            "failure": self.failure,
+        }
+
+
+@dataclass
+class PartialResult:
+    """What graceful degradation salvaged from a partially failed run.
+
+    ``bc`` sums the exact per-source dependency contributions of every
+    *completed* batch — for the covered sources it is exact BC, bit-for-
+    bit what a fault-free run over those batches computes.  The failed
+    batches' sources are simply missing, so ``bc`` is a lower bound on
+    the full-source BC and :meth:`scaled_bc` is the coverage-corrected
+    estimate with :meth:`error_bound` as its confidence radius.
+    """
+
+    bc: np.ndarray
+    batches: list[BatchStatus]
+    requested_sources: int
+    #: ``n - 1``-style normalization base for the error bound (the max a
+    #: single source's dependency contribution to one vertex can reach).
+    num_vertices: int
+
+    @property
+    def covered_sources(self) -> np.ndarray:
+        """Sources of completed batches, in batch order."""
+        out: list[int] = []
+        for st in self.batches:
+            if st.completed:
+                out.extend(st.sources)
+        return np.asarray(out, dtype=np.int64)
+
+    @property
+    def failed_sources(self) -> np.ndarray:
+        out: list[int] = []
+        for st in self.batches:
+            if not st.completed:
+                out.extend(st.sources)
+        return np.asarray(out, dtype=np.int64)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of requested sources whose contributions were salvaged."""
+        if self.requested_sources == 0:
+            return 0.0
+        return self.covered_sources.size / self.requested_sources
+
+    def scaled_bc(self) -> np.ndarray:
+        """Coverage-corrected BC estimate: treat the surviving batches as
+        a sample of the requested sources and scale up (the estimator of
+        sampled BC à la Crescenzi–Fraigniaud–Paz)."""
+        m = self.covered_sources.size
+        if m == 0:
+            return np.zeros_like(self.bc)
+        return self.bc * (self.requested_sources / m)
+
+    def error_bound(self, confidence: float = 0.95) -> float:
+        """Additive per-vertex bound on ``scaled_bc`` at ``confidence``.
+
+        Hoeffding over the ``m`` surviving sources: each source's
+        dependency contribution to a fixed vertex lies in ``[0, n-1]``,
+        so the coverage-scaled sum deviates from the true ``k``-source BC
+        by at most ``k * (n-1) * sqrt(ln(2/(1-confidence)) / (2m))``.
+        Failure domains are *not* a uniform sample (faults hit specific
+        batches), so this is the exchangeability heuristic the docs
+        caveat — exact coverage is what :attr:`covered_sources` reports.
+        """
+        m = self.covered_sources.size
+        if m == 0:
+            return float("inf")
+        if not 0.0 < confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+        delta = 1.0 - confidence
+        return (
+            self.requested_sources
+            * max(1, self.num_vertices - 1)
+            * math.sqrt(math.log(2.0 / delta) / (2.0 * m))
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-able degradation report (lands in manifests and the chaos
+        campaign report)."""
+        return {
+            "requested_sources": self.requested_sources,
+            "covered_sources": [int(s) for s in self.covered_sources],
+            "failed_sources": [int(s) for s in self.failed_sources],
+            "coverage": self.coverage,
+            "batches": [st.to_dict() for st in self.batches],
+            "error_bound_95": (
+                None
+                if self.covered_sources.size == 0
+                else self.error_bound(0.95)
+            ),
+        }
+
+
+class Supervisor:
+    """Per-run recovery orchestrator: unit tracking + graceful degradation.
+
+    One supervisor accompanies one driver execution.  Drivers call
+    :meth:`run_unit` once per failure domain; the supervisor lets the
+    runtime's restart policies do their bounded work and only steps in
+    when they give up — recording the unit as failed and (policy
+    permitting) letting the run continue with the surviving units.
+    """
+
+    def __init__(self, ctx, policy: RecoveryPolicy) -> None:
+        self.ctx = ctx
+        self.policy = policy
+        self.statuses: list[BatchStatus] = []
+
+    @property
+    def any_failed(self) -> bool:
+        return any(not st.completed for st in self.statuses)
+
+    def run_unit(
+        self, index: int, sources, work: Callable[[], T]
+    ) -> tuple[T | None, bool]:
+        """Execute one failure domain; returns ``(result, completed)``.
+
+        A :class:`~repro.resilience.errors.ResilienceError` escaping
+        ``work`` means bounded recovery inside the unit was exhausted.
+        Under a degrading policy the unit is recorded as failed and the
+        caller skips its contributions; otherwise the error propagates
+        (abort-the-run semantics, exactly as before this layer existed).
+        """
+        srcs = [int(s) for s in np.asarray(sources).ravel().tolist()]
+        try:
+            out = work()
+        except ResilienceError as err:
+            if not self.policy.degrade:
+                raise
+            self.statuses.append(
+                BatchStatus(
+                    index=index,
+                    sources=srcs,
+                    completed=False,
+                    failure=f"{type(err).__name__}: {err}",
+                )
+            )
+            self.ctx.note_degraded(index, srcs, err)
+            return None, False
+        self.statuses.append(
+            BatchStatus(index=index, sources=srcs, completed=True)
+        )
+        return out, True
+
+    def partial_result(
+        self, bc: np.ndarray, requested_sources: int, num_vertices: int
+    ) -> PartialResult | None:
+        """Build the salvage record, or None when every unit completed."""
+        if not self.any_failed:
+            return None
+        return PartialResult(
+            bc=bc,
+            batches=list(self.statuses),
+            requested_sources=requested_sources,
+            num_vertices=num_vertices,
+        )
+
+
+def run_congest_with_restart(ctx, body: Callable[[], T]) -> T:
+    """Whole-phase restart for CONGEST network runs.
+
+    The CONGEST engines' natural recovery unit is one network execution
+    (programs are rebuilt from immutable inputs, so a replay is exact).
+    ``body()`` must construct a *fresh* network and run it; an injected
+    crash consults the context's restart budget and backoff, then
+    retries.  Without a context, crashes cannot be injected and ``body``
+    runs bare.
+    """
+    if ctx is None:
+        return body()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return body()
+        except HostCrashError as err:
+            ctx.on_crash(err, attempt)
+            ctx.charge_backoff(attempt)

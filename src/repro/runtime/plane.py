@@ -134,6 +134,12 @@ class CongestPlane(MessagePlane):
         """
         net = self.network
         programs = net.programs
+        # Host-scope faults (stall/crash) materialize at the round
+        # barrier, before any channel traffic — a stall charges recovery
+        # rounds (or times out per the policy deadline), a crash raises
+        # for the driver-level restart loop.
+        if net.resilience is not None:
+            net.resilience.congest_host_events(rnd)
         # -- send phase: collect and validate this round's messages.
         # outbox maps (sender, target) -> list of payloads (combined).
         outbox: dict[tuple[int, int], list[tuple[Any, ...]]] = {}

@@ -172,6 +172,10 @@ class SuperstepRuntime:
                 if self.resilience is None:
                     raise
                 self.resilience.on_crash(err, attempt)
+                # Policy backoff is charged first: its waiting rounds are
+                # recovery in their own right and must not consume the
+                # replay countdown set just below.
+                self.resilience.charge_backoff(attempt)
                 # The rounds the crashed attempt executed must be redone;
                 # the re-execution is charged to the recovery phase.
                 self.run.replay_countdown = len(self.run.rounds) - mark
@@ -210,6 +214,9 @@ class SuperstepRuntime:
                 if not can_checkpoint:
                     raise UnrecoverableFaultError(checkpoint.describe) from err
                 resume = checkpoint.restore()
+                # Backoff before the replay countdown, as in
+                # run_with_restart: waiting rounds are not replayed work.
+                self.resilience.charge_backoff(attempt)
                 # Rounds since the checkpoint are lost and will be
                 # re-executed as recovery overhead.
                 self.run.replay_countdown = rounds - resume

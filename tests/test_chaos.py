@@ -1,0 +1,163 @@
+"""repro.resilience.chaos: campaign grids, scenario verdicts, report
+schema/determinism, and the ``repro chaos`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.graph import generators as gen
+from repro.resilience.chaos import (
+    CAMPAIGN_REPORT_VERSION,
+    CAMPAIGNS,
+    CampaignReport,
+    ScenarioResult,
+    _scenario_grid,
+    run_campaign,
+    scenario_seed,
+)
+from tests.conftest import some_sources
+
+HOSTS = 4
+BATCH = 2
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gen.erdos_renyi(24, 2.5, seed=5)
+
+
+@pytest.fixture(scope="module")
+def sources(graph):
+    return some_sources(graph, 4)
+
+
+@pytest.fixture(scope="module")
+def smoke_report(graph, sources):
+    return run_campaign(
+        graph, sources, campaign="smoke", seed=7,
+        num_hosts=HOSTS, batch_size=BATCH, graph_desc="er:24:2.5",
+    )
+
+
+class TestGrid:
+    def test_smoke_grid_meets_issue_floor(self):
+        grid = _scenario_grid(CAMPAIGNS["smoke"])
+        fault_rows = [r for r in grid if r[1] is not None]
+        neutral_rows = [r for r in grid if r[1] is None]
+        assert len(fault_rows) >= 24
+        assert len(neutral_rows) == 2
+        # 2 Gluon engines × 6 fault kinds × 2 policies.
+        assert len(fault_rows) == 24
+
+    def test_full_grid_adds_congest_engines(self):
+        grid = _scenario_grid(CAMPAIGNS["full"])
+        congest = [r for r in grid if r[0].endswith("_congest")]
+        # 2 CONGEST engines × 5 viable kinds × 2 policies; reorder is
+        # structurally impossible on single-payload channels.
+        assert len(congest) == 20
+        assert all(r[1] != "reorder" for r in congest)
+
+    def test_scenario_seeds_are_deterministic_and_distinct(self):
+        seeds = [scenario_seed(7, i) for i in range(48)]
+        assert seeds == [scenario_seed(7, i) for i in range(48)]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds != [scenario_seed(8, i) for i in range(48)]
+
+    def test_unknown_campaign_raises(self, graph, sources):
+        with pytest.raises(KeyError, match="smoke"):
+            run_campaign(graph, sources, campaign="nope")
+
+
+class TestSmokeCampaign:
+    def test_all_scenarios_pass(self, smoke_report):
+        assert smoke_report.passed
+        assert len(smoke_report.scenarios) >= 24
+        assert smoke_report.failures == []
+
+    def test_faults_actually_fired(self, smoke_report):
+        agg = smoke_report.aggregates()
+        assert agg["faults_injected"] >= len(
+            [s for s in smoke_report.scenarios if s.kind == "fault"]
+        )
+        assert agg["recoveries"] >= 1
+        assert agg["mttr_rounds"] is not None and agg["mttr_rounds"] > 0
+
+    def test_degradation_path_exercised(self, smoke_report):
+        # failfast × crash deterministically drops a failure domain.
+        degraded = [s for s in smoke_report.scenarios if s.degraded]
+        assert degraded
+        assert all(s.policy == "failfast" for s in degraded)
+        assert all(0.0 <= s.coverage < 1.0 for s in degraded)
+        assert any(s.plan == "crash" for s in degraded)
+        # At least one degraded scenario salvages a non-empty prefix.
+        assert any(s.coverage > 0.0 for s in degraded)
+
+    def test_neutral_scenarios_present_and_exact(self, smoke_report):
+        neutral = [s for s in smoke_report.scenarios if s.kind == "neutral"]
+        assert {s.algorithm for s in neutral} == {"mrbc", "sbbc"}
+        assert all(s.passed and s.detail == "neutral" for s in neutral)
+
+    def test_report_schema_and_json_round_trip(self, smoke_report, tmp_path):
+        rec = smoke_report.to_dict()
+        assert rec["version"] == CAMPAIGN_REPORT_VERSION
+        assert rec["campaign"] == "smoke"
+        assert rec["seed"] == 7
+        assert rec["passed"] is True
+        assert rec["aggregates"]["scenarios_total"] == len(smoke_report.scenarios)
+        path = tmp_path / "chaos.json"
+        smoke_report.save(path)
+        reloaded = json.loads(path.read_text(encoding="utf-8"))
+        assert reloaded == json.loads(json.dumps(rec))
+
+    def test_same_seed_reproduces_the_report(self, graph, sources, smoke_report):
+        again = run_campaign(
+            graph, sources, campaign="smoke", seed=7,
+            num_hosts=HOSTS, batch_size=BATCH, graph_desc="er:24:2.5",
+        )
+        assert again.to_dict() == smoke_report.to_dict()
+
+
+class TestVerdicts:
+    def test_empty_report_is_not_a_pass(self):
+        report = CampaignReport(
+            campaign="x", seed=0, graph="g", num_sources=0,
+            num_hosts=1, batch_size=1,
+        )
+        assert not report.passed
+
+    def test_one_failure_fails_the_campaign(self):
+        ok = ScenarioResult(
+            index=0, algorithm="mrbc", plan="drop", policy="default",
+            seed=1, kind="fault", passed=True, detail="exact",
+        )
+        bad = ScenarioResult(
+            index=1, algorithm="mrbc", plan="crash", policy="default",
+            seed=2, kind="fault", passed=False, detail="diverged",
+        )
+        report = CampaignReport(
+            campaign="x", seed=0, graph="g", num_sources=4,
+            num_hosts=1, batch_size=1, scenarios=[ok, bad],
+        )
+        assert not report.passed
+        assert report.failures == [bad]
+
+
+class TestChaosCLI:
+    def test_smoke_cli_passes_and_writes_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "chaos-report.json"
+        rc = main([
+            "chaos", "--seed", "7", "--campaign", "smoke",
+            "--graph", "er:24:2.5", "--sources", "4", "--batch", "2",
+            "--hosts", "4", "--report", str(out),
+        ])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "verdict: PASS" in printed
+        rec = json.loads(out.read_text(encoding="utf-8"))
+        assert rec["passed"] is True
+        assert rec["version"] == CAMPAIGN_REPORT_VERSION
+        assert len(rec["scenarios"]) >= 24

@@ -381,6 +381,82 @@ class TestRuleFixtures:
         """
         assert "RL403" not in codes(src, relpath="src/repro/engine/gluon.py")
 
+    # -- RL404: swallowed resilience errors ------------------------------------
+
+    def test_rl404_flags_swallowed_crash(self):
+        src = """
+            def step(runtime):
+                try:
+                    runtime.run_round()
+                except HostCrashError:
+                    pass
+        """
+        assert "RL404" in codes(src)
+
+    def test_rl404_flags_tuple_catch_logged_only(self):
+        src = """
+            def step(runtime, log):
+                try:
+                    runtime.run_round()
+                except (ValueError, ResilienceError) as err:
+                    log.warning("ignoring %s", err)
+        """
+        assert "RL404" in codes(src)
+
+    def test_rl404_passes_reraise(self):
+        src = """
+            def step(runtime):
+                try:
+                    runtime.run_round()
+                except HostCrashError:
+                    raise
+        """
+        assert "RL404" not in codes(src)
+
+    def test_rl404_passes_routed_crash(self):
+        src = """
+            def step(runtime, ctx, attempt):
+                try:
+                    runtime.run_round()
+                except HostCrashError as err:
+                    ctx.on_crash(err, attempt)
+        """
+        assert "RL404" not in codes(src)
+
+    def test_rl404_passes_degradation_routing(self):
+        src = """
+            def unit(ctx, work, index, srcs):
+                try:
+                    return work()
+                except ResilienceError as err:
+                    ctx.note_degraded(index, srcs, err)
+                    return None
+        """
+        assert "RL404" not in codes(src)
+
+    def test_rl404_ignores_unrelated_exceptions(self):
+        src = """
+            def step(runtime):
+                try:
+                    runtime.run_round()
+                except ValueError:
+                    pass
+        """
+        assert "RL404" not in codes(src)
+
+    def test_rl404_exempts_resilience_package_and_tests(self):
+        src = """
+            def execute(run):
+                try:
+                    run()
+                except ResilienceError as err:
+                    return str(err)
+        """
+        assert "RL404" not in codes(
+            src, relpath="src/repro/resilience/harness.py"
+        )
+        assert "RL404" not in codes(src, relpath="tests/test_whatever.py")
+
     # -- RL900: parse errors ---------------------------------------------------
 
     def test_rl900_on_syntax_error(self, tmp_path):

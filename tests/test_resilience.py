@@ -24,6 +24,7 @@ from repro.engine.persist import (
 from repro.engine.stats import EngineRun
 from repro.graph import generators as gen
 from repro.resilience import (
+    CheckpointCorruptError,
     CheckpointStore,
     FaultDetectedError,
     FaultInjector,
@@ -320,6 +321,140 @@ class TestCheckpointStore:
         assert m2 == meta
         assert np.array_equal(a2["d"], arrays["d"])
         assert np.array_equal(a2["i"], arrays["i"])
+
+
+class TestCheckpointHardening:
+    """Atomic save, digest verification, older-tag fallback, retention."""
+
+    def test_corrupt_disk_snapshot_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("t0", {"kind": "x"}, {"a": np.arange(4.0)})
+        path = tmp_path / "t0.ckpt.npz"
+        path.write_bytes(b"not an npz archive")
+        with pytest.raises(CheckpointCorruptError) as exc:
+            store.load("t0")
+        assert exc.value.tag == "t0"
+
+    def test_tampered_memory_snapshot_fails_digest(self):
+        store = CheckpointStore()
+        store.save("t0", {"kind": "x"}, {"a": np.arange(4.0)})
+        store._mem["t0"][1]["a"][0] = 99.0  # bit rot, simulated
+        with pytest.raises(CheckpointCorruptError, match="digest mismatch"):
+            store.load("t0")
+
+    def test_crash_during_save_preserves_previous_snapshot(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.engine.persist as persist
+
+        store = CheckpointStore(tmp_path)
+        store.save("t0", {"v": 1}, {"a": np.zeros(3)})
+
+        real_save = persist.save_checkpoint
+
+        def dying_save(path, meta, arrays):
+            real_save(path, meta, arrays)  # tmp file fully written...
+            raise OSError("host died before rename")  # ...but never renamed
+
+        monkeypatch.setattr(persist, "save_checkpoint", dying_save)
+        with pytest.raises(OSError):
+            store.save("t0", {"v": 2}, {"a": np.ones(3)})
+        monkeypatch.undo()
+
+        # The failed save left no temp debris and the old snapshot loads.
+        assert list(tmp_path.glob("*.tmp.npz")) == []
+        meta, arrays = store.load("t0")
+        assert meta == {"v": 1}
+        assert np.array_equal(arrays["a"], np.zeros(3))
+
+    def test_crash_before_first_save_commits_no_tag(self, tmp_path, monkeypatch):
+        import repro.engine.persist as persist
+
+        store = CheckpointStore(tmp_path)
+        monkeypatch.setattr(
+            persist,
+            "save_checkpoint",
+            lambda *a: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        with pytest.raises(OSError):
+            store.save("t0", {"v": 1}, {"a": np.zeros(2)})
+        assert store.tags() == []
+        assert store.latest() is None
+
+    def test_load_latest_falls_back_over_corrupt_tag(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("r1", {"round": 1}, {"a": np.full(3, 1.0)})
+        store.save("r2", {"round": 2}, {"a": np.full(3, 2.0)})
+        (tmp_path / "r2.ckpt.npz").write_bytes(b"garbage")
+        tag, meta, arrays = store.load_latest()
+        assert tag == "r1"
+        assert meta == {"round": 1}
+        assert np.array_equal(arrays["a"], np.full(3, 1.0))
+        # The corrupt tag is discarded from the order, so the next
+        # load_latest doesn't re-probe it.
+        assert store.tags() == ["r1"]
+
+    def test_load_latest_all_corrupt_raises(self):
+        store = CheckpointStore()
+        store.save("t0", {"v": 1}, {"a": np.zeros(2)})
+        store._mem["t0"][1]["a"][0] = 5.0
+        with pytest.raises(CheckpointCorruptError):
+            store.load_latest()
+        with pytest.raises(KeyError):
+            store.load_latest()  # now empty
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        store = CheckpointStore(tmp_path, retention=2)
+        for i in range(4):
+            store.save(f"r{i}", {"round": i}, {"a": np.full(2, float(i))})
+        assert store.tags() == ["r2", "r3"]
+        assert sorted(p.name for p in tmp_path.glob("*.ckpt.npz")) == [
+            "r2.ckpt.npz",
+            "r3.ckpt.npz",
+        ]
+        with pytest.raises(KeyError):
+            store.load("r0")
+
+    def test_legacy_snapshot_without_digest_loads(self, tmp_path):
+        # Pre-hardening archives carry no digest: they load unverified.
+        path = tmp_path / "old.ckpt.npz"
+        save_checkpoint(path, {"kind": "legacy"}, {"a": np.arange(3.0)})
+        store = CheckpointStore(tmp_path)
+        store._order.append("old")
+        meta, arrays = store.load("old")
+        assert meta == {"kind": "legacy"}
+        assert np.array_equal(arrays["a"], np.arange(3.0))
+
+    def test_bsp_restores_from_older_tag_when_newest_is_corrupt(self):
+        """End to end: a BSP crash whose newest checkpoint is damaged
+        restores from the previous retained tag and still recovers the
+        exact result."""
+        from repro.engine.bsp import sssp_engine
+        from repro.graph.weighted import with_random_weights
+
+        g = gen.erdos_renyi(50, 3.5, seed=61)
+        wg = with_random_weights(g, 1, 7, integer=True, seed=62)
+        clean, _ = sssp_engine(wg, source=0, num_hosts=HOSTS)
+
+        class NewestCorruptStore(CheckpointStore):
+            """Damages the newest snapshot the moment the crash hits."""
+
+            def load_latest(self):
+                newest = self.latest()
+                if newest is not None and newest in self._mem:
+                    self._mem[newest][1]["master_dist"][0] = -1.0
+                return super().load_latest()
+
+        from repro.resilience.supervisor import RecoveryPolicy
+
+        ctx = ResilienceContext(plan=crash_plan(6), mode="repair")
+        ctx.checkpoints = NewestCorruptStore()
+        # Dense cadence so at least two tags are retained at crash time.
+        RecoveryPolicy(name="dense-ckpt", checkpoint_interval=2).configure(ctx)
+        dist, res = sssp_engine(wg, source=0, num_hosts=HOSTS, resilience=ctx)
+        assert ctx.crash_restarts >= 1
+        assert len(ctx.checkpoints.tags()) >= 1
+        assert np.array_equal(dist, clean)
 
 
 # -- invariants ----------------------------------------------------------------

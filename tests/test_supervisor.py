@@ -1,0 +1,335 @@
+"""repro.resilience.supervisor: recovery policies, backoff/deadline
+charging, policy-attachment neutrality, and graceful degradation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brandes import brandes_bc
+from repro.core.mrbc import mrbc_engine
+from repro.graph import generators as gen
+from repro.resilience import (
+    POLICIES,
+    BackoffPolicy,
+    BatchStatus,
+    FaultPlan,
+    FaultSpec,
+    PartialResult,
+    RecoveryPolicy,
+    get_policy,
+    run_under_faults,
+)
+from repro.resilience.plan import DEFAULT_PLANS
+from repro.resilience.supervisor import attach_policy
+from tests.conftest import some_sources
+
+HOSTS = 4
+BATCH = 3
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gen.erdos_renyi(30, 3.0, seed=23)
+
+
+@pytest.fixture(scope="module")
+def sources(graph):
+    return some_sources(graph, 6)
+
+
+@pytest.fixture(scope="module")
+def fault_free(graph, sources):
+    return mrbc_engine(graph, sources=sources, batch_size=BATCH, num_hosts=HOSTS)
+
+
+def crash_plan(round_index, host=1):
+    return FaultPlan(
+        name=f"crash@{round_index}",
+        seed=7,
+        specs=(FaultSpec(kind="crash", host=host, round=round_index),),
+    )
+
+
+def stall_plan(round_index, duration, host=1):
+    return FaultPlan(
+        name=f"stall@{round_index}",
+        seed=7,
+        specs=(
+            FaultSpec(kind="stall", host=host, round=round_index, duration=duration),
+        ),
+    )
+
+
+class TestBackoffPolicy:
+    def test_exponential_schedule_with_cap(self):
+        b = BackoffPolicy(base_rounds=1, multiplier=2.0, cap_rounds=8)
+        assert [b.rounds_before(a) for a in (1, 2, 3, 4, 5)] == [1, 2, 4, 8, 8]
+
+    def test_zero_base_disables_waiting(self):
+        b = BackoffPolicy(base_rounds=0)
+        assert b.rounds_before(1) == 0
+        assert b.rounds_before(9) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_rounds=-1)
+        with pytest.raises(ValueError):
+            BackoffPolicy(multiplier=0.5)
+
+
+class TestRecoveryPolicy:
+    def test_presets_exist_and_resolve(self):
+        for name in ("default", "failfast", "patient"):
+            p = get_policy(name)
+            assert p is POLICIES[name]
+            assert p.name == name
+        assert get_policy(None) is None
+        custom = RecoveryPolicy(name="mine")
+        assert get_policy(custom) is custom
+
+    def test_unknown_preset_lists_options(self):
+        with pytest.raises(KeyError, match="failfast"):
+            get_policy("nope")
+
+    def test_dict_round_trip(self):
+        p = POLICIES["patient"]
+        assert RecoveryPolicy.from_dict(p.to_dict()) == p
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RecoveryPolicy(checkpoint_interval=0)
+        with pytest.raises(ValueError):
+            RecoveryPolicy(checkpoint_retention=0)
+
+    def test_configure_syncs_context_budgets(self):
+        from repro.resilience.context import ResilienceContext
+
+        ctx = ResilienceContext(mode="repair")
+        POLICIES["patient"].configure(ctx)
+        assert ctx.policy is POLICIES["patient"]
+        assert ctx.max_retries == 8
+        assert ctx.max_restarts == 5
+        assert ctx.checkpoints.retention == 4
+
+    def test_attach_policy_none_is_identity(self):
+        assert attach_policy(None, None) == (None, None)
+
+    def test_attach_policy_creates_context_when_missing(self):
+        ctx, sup = attach_policy(None, "default")
+        assert ctx is not None and sup is not None
+        assert ctx.policy is POLICIES["default"]
+        assert sup.policy is POLICIES["default"]
+
+
+class TestNeutrality:
+    """Attaching a policy with no faults must change nothing — bit for bit."""
+
+    def test_mrbc_signature_and_bc_identical(self, graph, sources, fault_free):
+        res = mrbc_engine(
+            graph,
+            sources=sources,
+            batch_size=BATCH,
+            num_hosts=HOSTS,
+            recovery_policy="default",
+        )
+        assert res.partial is None
+        assert np.array_equal(res.bc, fault_free.bc)
+        assert (
+            res.run.deterministic_signature()
+            == fault_free.run.deterministic_signature()
+        )
+
+    def test_sbbc_signature_and_bc_identical(self, graph, sources):
+        from repro.baselines.sbbc import sbbc_engine
+
+        plain = sbbc_engine(graph, sources=sources, num_hosts=HOSTS)
+        wrapped = sbbc_engine(
+            graph, sources=sources, num_hosts=HOSTS, recovery_policy="failfast"
+        )
+        assert wrapped.partial is None
+        assert np.array_equal(plain.bc, wrapped.bc)
+        assert (
+            plain.run.deterministic_signature()
+            == wrapped.run.deterministic_signature()
+        )
+
+
+class TestBackoffCharging:
+    def test_crash_recovery_charges_backoff_rounds(self, graph, sources, fault_free):
+        report = run_under_faults(
+            "mrbc", graph, sources=sources, plan=crash_plan(3),
+            mode="repair", num_hosts=HOSTS, batch_size=BATCH, policy="default",
+        )
+        assert report.completed, report.failure
+        s = report.resilience
+        assert s["crash_restarts"] >= 1
+        # default backoff: attempt 1 waits 1 round, charged as recovery.
+        assert s["backoff_rounds"] >= 1
+        assert s["recovery_rounds"] >= s["backoff_rounds"]
+        assert np.array_equal(report.bc, fault_free.bc)
+
+    def test_backoff_does_not_break_exactness(self, graph, sources, fault_free):
+        aggressive = RecoveryPolicy(
+            name="aggressive-backoff",
+            backoff=BackoffPolicy(base_rounds=3, multiplier=3.0, cap_rounds=12),
+        )
+        report = run_under_faults(
+            "mrbc", graph, sources=sources, plan=crash_plan(4),
+            mode="repair", num_hosts=HOSTS, batch_size=BATCH, policy=aggressive,
+        )
+        assert report.completed, report.failure
+        assert report.resilience["backoff_rounds"] >= 3
+        assert np.array_equal(report.bc, fault_free.bc)
+
+
+class TestStallDeadline:
+    def test_long_stall_times_out_and_restarts(self, graph, sources, fault_free):
+        # patient: deadline 1 round < stall duration 3 → HostTimeoutError
+        # → crash-style restart → exact completion.
+        report = run_under_faults(
+            "mrbc", graph, sources=sources, plan=stall_plan(3, duration=3),
+            mode="repair", num_hosts=HOSTS, batch_size=BATCH, policy="patient",
+        )
+        assert report.completed, report.failure
+        s = report.resilience
+        assert s["crash_restarts"] >= 1
+        events = [rec["event"] for rec in s["timeline"]]
+        assert "timeout" in events
+        assert np.array_equal(report.bc, fault_free.bc)
+
+    def test_no_deadline_waits_out_the_stall(self, graph, sources, fault_free):
+        # default: stall_timeout_rounds=None → classic barrier wait, no
+        # restart, the stall is charged as recovery rounds.
+        report = run_under_faults(
+            "mrbc", graph, sources=sources, plan=stall_plan(3, duration=3),
+            mode="repair", num_hosts=HOSTS, batch_size=BATCH, policy="default",
+        )
+        assert report.completed, report.failure
+        s = report.resilience
+        assert s["crash_restarts"] == 0
+        assert s["recovery_rounds"] >= 3
+        assert np.array_equal(report.bc, fault_free.bc)
+
+
+class TestGracefulDegradation:
+    def test_failfast_crash_salvages_surviving_batches(self, graph, sources):
+        report = run_under_faults(
+            "mrbc", graph, sources=sources, plan=crash_plan(3),
+            mode="repair", num_hosts=HOSTS, batch_size=BATCH, policy="failfast",
+        )
+        assert report.completed, report.failure
+        assert report.degraded
+        partial = report.partial
+        assert 0.0 < partial.coverage < 1.0
+        assert partial.failed_sources.size >= 1
+        # Salvaged BC is *exact* over the covered sources.
+        assert report.salvaged_correct(graph)
+        ref = brandes_bc(graph, sources=partial.covered_sources)
+        assert np.allclose(report.bc, ref, atol=1e-9)
+
+    def test_partial_summary_and_estimator(self, graph, sources):
+        report = run_under_faults(
+            "mrbc", graph, sources=sources, plan=crash_plan(3),
+            mode="repair", num_hosts=HOSTS, batch_size=BATCH, policy="failfast",
+        )
+        partial = report.partial
+        rec = partial.summary()
+        assert rec["coverage"] == pytest.approx(partial.coverage)
+        assert sorted(rec["covered_sources"] + rec["failed_sources"]) == sorted(
+            int(s) for s in sources
+        )
+        assert rec["error_bound_95"] > 0
+        scaled = partial.scaled_bc()
+        m = partial.covered_sources.size
+        assert np.allclose(scaled, partial.bc * (len(sources) / m))
+        assert partial.error_bound(0.99) > partial.error_bound(0.5)
+
+    def test_sbbc_failfast_crash_degrades_per_source(self, graph, sources):
+        report = run_under_faults(
+            "sbbc", graph, sources=sources, plan=crash_plan(4),
+            mode="repair", num_hosts=HOSTS, policy="failfast",
+        )
+        assert report.completed, report.failure
+        assert report.degraded
+        # SBBC's failure domain is a single source.
+        failed = [b for b in report.partial.batches if not b.completed]
+        assert all(len(b.sources) == 1 for b in failed)
+        assert report.salvaged_correct(graph)
+
+    def test_non_degrading_policy_aborts_instead(self, graph, sources):
+        rigid = RecoveryPolicy(name="rigid", max_restarts=0, degrade=False)
+        report = run_under_faults(
+            "mrbc", graph, sources=sources, plan=crash_plan(3),
+            mode="repair", num_hosts=HOSTS, batch_size=BATCH, policy=rigid,
+        )
+        assert not report.completed
+        assert "UnrecoverableFaultError" in report.failure
+
+    def test_degraded_run_records_timeline_event(self, graph, sources):
+        report = run_under_faults(
+            "mrbc", graph, sources=sources, plan=crash_plan(3),
+            mode="repair", num_hosts=HOSTS, batch_size=BATCH, policy="failfast",
+        )
+        s = report.resilience
+        assert s["degraded_units"] >= 1
+        assert any(rec.get("action") == "degrade" for rec in s["timeline"])
+
+
+class TestPartialResultMath:
+    def _partial(self, completed, failed, n=10):
+        batches = [
+            BatchStatus(index=0, sources=completed, completed=True),
+            BatchStatus(index=1, sources=failed, completed=False, failure="x"),
+        ]
+        return PartialResult(
+            bc=np.ones(n),
+            batches=batches,
+            requested_sources=len(completed) + len(failed),
+            num_vertices=n,
+        )
+
+    def test_coverage_and_source_split(self):
+        p = self._partial([0, 1, 2], [3, 4])
+        assert p.coverage == pytest.approx(0.6)
+        assert list(p.covered_sources) == [0, 1, 2]
+        assert list(p.failed_sources) == [3, 4]
+
+    def test_zero_coverage_degenerates(self):
+        p = PartialResult(
+            bc=np.zeros(5),
+            batches=[BatchStatus(index=0, sources=[0], completed=False)],
+            requested_sources=1,
+            num_vertices=5,
+        )
+        assert p.coverage == 0.0
+        assert np.array_equal(p.scaled_bc(), np.zeros(5))
+        assert p.error_bound() == float("inf")
+
+
+class TestSingleFaultRecoveryProperty:
+    """Property: *any* seeded single-fault plan under a recoverable policy
+    reproduces the fault-free BC bit-for-bit (the chaos harness's core
+    claim, quantified over seeds and fault kinds)."""
+
+    @given(
+        kind=st.sampled_from(sorted(DEFAULT_PLANS)),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_recovered_run_is_bit_exact(self, kind, seed):
+        g = gen.erdos_renyi(24, 2.5, seed=5)
+        srcs = some_sources(g, 4)
+        clean = mrbc_engine(g, sources=srcs, batch_size=2, num_hosts=HOSTS)
+        plan = DEFAULT_PLANS[kind].with_seed(seed)
+        report = run_under_faults(
+            "mrbc", g, sources=srcs, plan=plan,
+            mode="repair", num_hosts=HOSTS, batch_size=2, policy="default",
+        )
+        assert report.completed, report.failure
+        assert not report.degraded
+        assert np.array_equal(report.bc, clean.bc)
