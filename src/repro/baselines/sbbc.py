@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.engine.gluon import TARGET_ALL_PROXIES, TARGET_IN_EDGES
 from repro.engine.partition import PartitionedGraph
 from repro.engine.stats import EngineRun
@@ -110,6 +111,7 @@ class _SourceExecutor:
             runtime = SuperstepRuntime(run=self.run)
         pg, gluon = self.pg, self.gluon
         s = self.source
+        rledger = obs.current().rounds
         pending: list[list[tuple]] = [[] for _ in range(self.H)]
         # Round 1 settles the source itself.
         newly_settled: dict[int, tuple[int, float]] = {s: (0, 1.0)}
@@ -139,6 +141,13 @@ class _SourceExecutor:
                 h = int(pg.master_of[gid])
                 fires[h].append((gid, d, sigma))
                 rs.compute[h].vertex_ops += 1
+            if rledger is not None:
+                # Level-synchronous settling: this round's frontier is
+                # exactly the BFS level that settles in it.
+                level = sum(len(f) for f in fires)
+                rledger.note(
+                    frontier=level, settled=level, active_sources=1
+                )
             newly_settled = {}
 
             deliveries = gluon.broadcast_from_masters(
@@ -211,6 +220,7 @@ class _SourceExecutor:
             max_level = max(max_level, d)
         self.delta = {gid: 0.0 for gid in self.settled}
 
+        rledger = obs.current().rounds
         pending: list[list[tuple]] = [[] for _ in range(self.H)]
 
         def step(rnd: int, rs) -> bool:
@@ -231,6 +241,12 @@ class _SourceExecutor:
                 h = int(pg.master_of[gid])
                 fires[h].append((gid, coeff, d))
                 rs.compute[h].vertex_ops += 1
+
+            if rledger is not None:
+                # The reverse walk fires level max_level - rnd + 1 whole:
+                # each settled vertex's dependency finalizes exactly once.
+                fired = sum(len(f) for f in fires)
+                rledger.note(frontier=fired, settled=fired)
 
             deliveries = gluon.broadcast_from_masters(
                 fires, TARGET_IN_EDGES, BWD_PAYLOAD_BYTES, 1, rs

@@ -51,10 +51,24 @@ predicted-vs-measured conformance suite (exit code is the verdict)::
     python -m repro comm mrbc --graph er:60:3 --matrix --top 5
     python -m repro comm --check --report comm-report.json
 
+Inspect round complexity (per phase × source batch, with convergence
+curves) or check the measured rounds against the paper's Diam + k
+budgets (exit code is the verdict)::
+
+    python -m repro rounds mrbc --graph er:60:3 --curves
+    python -m repro rounds --check --report rounds-report.json
+
+Chart the benchmark trajectory across committed snapshots — wall-clock
+medians and deterministic/comm/round counts per case, ordered by commit
+lineage, regressions flagged::
+
+    python -m repro trend --format json
+
 Each subcommand lives in its own module (:mod:`repro.cli.run`,
 :mod:`repro.cli.trace`, :mod:`repro.cli.faults`, :mod:`repro.cli.chaos`,
 :mod:`repro.cli.bench`, :mod:`repro.cli.profile`,
-:mod:`repro.cli.compare`, :mod:`repro.cli.lint`, :mod:`repro.cli.comm`);
+:mod:`repro.cli.compare`, :mod:`repro.cli.lint`, :mod:`repro.cli.comm`,
+:mod:`repro.cli.rounds`, :mod:`repro.cli.trend`);
 shared flags and graph loading are in
 :mod:`repro.cli.common`.  This package re-exports every historical
 ``repro.cli`` name, so imports written against the old single-module CLI
@@ -80,8 +94,10 @@ from repro.cli.comm import comm_main
 from repro.cli.compare import compare_main
 from repro.cli.faults import faults_main
 from repro.cli.profile import profile_main
+from repro.cli.rounds import rounds_main
 from repro.cli.run import _run_one as _run_one, run_main
 from repro.cli.trace import trace_main
+from repro.cli.trend import trend_main
 
 __all__ = [
     "ALGORITHMS",
@@ -95,9 +111,11 @@ __all__ = [
     "log",
     "main",
     "profile_main",
+    "rounds_main",
     "run_main",
     "setup_logging",
     "trace_main",
+    "trend_main",
 ]
 
 
@@ -121,4 +139,8 @@ def main(argv: list[str] | None = None) -> int:
         return lint_main(argv[1:])
     if argv and argv[0] == "comm":
         return comm_main(argv[1:])
+    if argv and argv[0] == "rounds":
+        return rounds_main(argv[1:])
+    if argv and argv[0] == "trend":
+        return trend_main(argv[1:])
     return run_main(argv)

@@ -74,7 +74,8 @@ def trace_main(argv: list[str]) -> int:
 
     sink = obs.FileSink(events_path)
     ledger = obs.CommLedger()
-    with obs.session(sink, model=model, comm=ledger) as tele:
+    rledger = obs.RoundLedger()
+    with obs.session(sink, model=model, comm=ledger, rounds=rledger) as tele:
         with tele.span(
             f"run:{args.algorithm}",
             kind="run",
@@ -99,6 +100,7 @@ def trace_main(argv: list[str]) -> int:
         res.run,
         model,
         ledger=ledger,
+        rounds=rledger,
         graph_spec=args.graph,
         num_vertices=g.num_vertices,
         num_edges=g.num_edges,

@@ -1,0 +1,76 @@
+"""``repro trend``: the benchmark trajectory across committed snapshots."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli.common import add_logging_flags, log, setup_logging
+
+
+def trend_main(argv: list[str]) -> int:
+    """``repro trend``: chart committed ``BENCH_*.json`` snapshots.
+
+    Reads every ``BENCH_<sha>.json`` at the repo root (or the paths given
+    explicitly), orders them by commit lineage, and prints the per-case
+    trajectory — wall-clock medians plus deterministic / comm-ledger /
+    round-ledger counts — with regressions, improvements, and count
+    changes flagged between consecutive snapshots of the same case.
+
+    Exit code 0 always (the trend is a report, not a gate — ``repro
+    bench --compare`` is the gate); ``--fail-on-regression`` turns wall
+    regressions into exit code 1 for CI use.
+    """
+    p = argparse.ArgumentParser(
+        prog="repro trend",
+        description="Cross-snapshot benchmark trajectory: wall medians "
+                    "and deterministic/comm/round counts per case, "
+                    "ordered by commit lineage",
+    )
+    p.add_argument("snapshots", nargs="*", metavar="BENCH.json",
+                   help="snapshot files (default: BENCH_*.json at the "
+                        "repo root)")
+    p.add_argument("--format", choices=("table", "json"), default="table",
+                   help="output format (default: table)")
+    p.add_argument("--case", metavar="NAME", default=None,
+                   help="restrict the trajectory to one case name")
+    p.add_argument("--wall-threshold", type=float, default=None, metavar="X",
+                   help="wall regression threshold in noise units "
+                        "(default: 3.0, same rule as bench --compare)")
+    p.add_argument("--fail-on-regression", action="store_true",
+                   help="exit 1 if any wall regression step is present")
+    add_logging_flags(p)
+    args = p.parse_args(argv)
+    setup_logging(args.verbose, args.quiet)
+
+    from repro.analysis.trend import (
+        WALL_THRESHOLD,
+        build_trend,
+        find_snapshots,
+        render_trend,
+    )
+
+    paths = args.snapshots or find_snapshots()
+    if not paths:
+        log.error("no BENCH_*.json snapshots found at the repo root")
+        return 1
+    report = build_trend(
+        paths,
+        wall_threshold=(
+            WALL_THRESHOLD if args.wall_threshold is None else args.wall_threshold
+        ),
+    )
+    if args.case is not None:
+        if args.case not in report.cases:
+            log.error(
+                "case %r not in any snapshot (known: %s)",
+                args.case, ", ".join(sorted(report.cases)),
+            )
+            return 1
+        report.cases = {args.case: report.cases[args.case]}
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(render_trend(report))
+    if args.fail_on_regression and report.regressions:
+        return 1
+    return 0

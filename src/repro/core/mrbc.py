@@ -342,6 +342,7 @@ class _BatchExecutor:
         if runtime is None:
             runtime = SuperstepRuntime(run=self.run)
         pg, gluon = self.pg, self.gluon
+        rledger = obs.current().rounds
         pending_reduce: list[list[tuple]] = [[] for _ in range(self.H)]
 
         def step(rnd: int, rs: RoundStats) -> bool:
@@ -372,6 +373,29 @@ class _BatchExecutor:
 
             if self.checker is not None:
                 self.checker.check_master_round(rnd, self.masters)
+
+            if rledger is not None:
+                # Round-complexity state: a forward fire settles one
+                # (v, s) pair; unfired schedule entries are the stage
+                # occupancy behind Alg. 3's stable-prefix argument, and
+                # ``unsent`` is the delayed-sync staging depth (§4.3).
+                fired = sum(len(f) for f in fires)
+                entries = 0
+                sent = 0
+                active_si: set[int] = set()
+                for ms in self.masters.values():
+                    entries += len(ms.entries)
+                    sent += ms.sent_prefix
+                    for _d, si in ms.entries[ms.sent_prefix:]:
+                        active_si.add(si)
+                rledger.note(
+                    frontier=fired,
+                    settled=fired,
+                    active_sources=len(active_si),
+                    stage_entries=entries,
+                    stage_fired=sent,
+                    stage_depth=sum(len(st.unsent) for st in self.hosts),
+                )
 
             # Finalized labels broadcast to every proxy, as Gluon does —
             # out-edge hosts relax, candidate-holding hosts learn the
@@ -471,6 +495,7 @@ class _BatchExecutor:
             self.delta.setdefault(gid, np.zeros(self.k, dtype=np.float64))
 
         pending_reduce: list[list[tuple]] = [[] for _ in range(self.H)]
+        rledger = obs.current().rounds
 
         def step(rnd: int, rs: RoundStats) -> bool:
             nonlocal pending_reduce
@@ -497,6 +522,14 @@ class _BatchExecutor:
                 h = int(pg.master_of[gid])
                 fires[h].append((gid, si, m, d))
                 rs.compute[h].struct_ops += 1
+
+            if rledger is not None:
+                # A backward fire finalizes one (v, s) dependency; the
+                # reverse schedule A_sv = R - tau_sv + 1 fires each
+                # exactly once, so the settled series sums to the
+                # schedule size.
+                fired = sum(len(f) for f in fires)
+                rledger.note(frontier=fired, settled=fired)
 
             deliveries = gluon.broadcast_from_masters(
                 fires, TARGET_IN_EDGES, BWD_PAYLOAD_BYTES, self.k, rs

@@ -14,6 +14,7 @@ the exact round/message statistics that Theorem 1 and Lemma 8 bound.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -305,8 +306,17 @@ def mrbc_congest_batched(
     total_rounds = 0
     total_messages = 0
     per_batch: list[int] = []
-    for batch in iter_batches(src, batch_size):
-        res = mrbc_congest(g, sources=batch)
+    rledger = obs.current().rounds
+    for b0, batch in enumerate(iter_batches(src, batch_size)):
+        # Label this batch's network runs in the round ledger, so the
+        # per-batch rounds-vs-2(k+H) comparison is readable off it.
+        ctx = (
+            rledger.context(batch=b0, k=int(len(batch)))
+            if rledger is not None
+            else nullcontext()
+        )
+        with ctx:
+            res = mrbc_congest(g, sources=batch)
         bc += res.bc
         per_batch.append(res.total_rounds)
         total_rounds += res.total_rounds

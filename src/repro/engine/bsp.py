@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro import obs
 from repro.engine.gluon import TARGET_ALL_PROXIES
 from repro.engine.partition import HostPartition, PartitionedGraph
 from repro.engine.stats import EngineRun, RoundStats
@@ -183,6 +184,10 @@ def _bsp_one_round(
     fires_flat: list[tuple],
 ) -> list[tuple]:
     """Execute one broadcast → compute → reduce → master-update round."""
+    rledger = obs.current().rounds
+    if rledger is not None:
+        # The fires broadcast this round are the BSP frontier.
+        rledger.note(frontier=len(fires_flat))
     H = pg.num_hosts
     fires: list[list[tuple]] = [[] for _ in range(H)]
     for item in fires_flat:
@@ -261,6 +266,7 @@ def _bsp_rounds_resilient(
         live,
         body,
         max_rounds=max_rounds,
+        phase=algorithm.phase,
         checkpoint=CheckpointPolicy(
             save=save,
             restore=restore,

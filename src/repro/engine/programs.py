@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.engine.gluon import TARGET_ALL_PROXIES
 from repro.engine.partition import PartitionedGraph
 from repro.engine.stats import EngineRun
@@ -70,11 +71,16 @@ def bfs_engine(
     master_dist: dict[int, int] = {source: 0}
     newly_settled = [(source, 0)]
 
+    rledger = obs.current().rounds
+
     def step(rnd, rs):
         nonlocal newly_settled
         fires: list[list[tuple]] = [[] for _ in range(H)]
         for gid, d in newly_settled:
             fires[int(pg.master_of[gid])].append((gid, d))
+        if rledger is not None:
+            n_fires = len(newly_settled)
+            rledger.note(frontier=n_fires, settled=n_fires)
         deliveries = gluon.broadcast_from_masters(
             fires, TARGET_ALL_PROXIES, 4, 1, rs
         )
@@ -143,8 +149,12 @@ def wcc_engine(
     changed = np.arange(n, dtype=np.int64)  # gids whose label changed
     local_label = [p.gids.copy() for p in pg.parts]
 
+    rledger = obs.current().rounds
+
     def step(rnd, rs):
         nonlocal changed
+        if rledger is not None:
+            rledger.note(frontier=int(changed.size))
         fires: list[list[tuple]] = [[] for _ in range(H)]
         for gid in changed.tolist():
             fires[int(pg.master_of[gid])].append((gid, int(master_label[gid])))
@@ -227,11 +237,15 @@ def pagerank_engine(
 
     rank = np.full(n, 1.0 / n)
 
+    rledger = obs.current().rounds
+
     def step(rnd, rs):
         nonlocal rank
         # Masters broadcast each vertex's current contribution r/outdeg.
         fires: list[list[tuple]] = [[] for _ in range(H)]
         contrib = np.where(dangling, 0.0, rank / np.maximum(out_deg, 1.0))
+        if rledger is not None:
+            rledger.note(frontier=int(np.count_nonzero(contrib > 0.0)))
         for gid in range(n):
             if contrib[gid] > 0.0:
                 fires[int(pg.master_of[gid])].append((gid, float(contrib[gid])))
@@ -305,8 +319,14 @@ def kcore_engine(
     newly_dead = np.nonzero(degree < k)[0]
     alive[newly_dead] = False
 
+    rledger = obs.current().rounds
+
     def step(rnd, rs):
         nonlocal newly_dead
+        if rledger is not None:
+            rledger.note(
+                frontier=int(newly_dead.size), settled=int(newly_dead.size)
+            )
         fires: list[list[tuple]] = [[] for _ in range(H)]
         for gid in newly_dead.tolist():
             fires[int(pg.master_of[gid])].append((gid, 1))

@@ -246,6 +246,39 @@ ROUND_LOOP_EXEMPT_PARTS = RUNTIME_IMPL_PARTS + (
     "repro/resilience/context.py",
 )
 
+# -- round-ledger accounting ----------------------------------------------------
+
+#: Names whose ``+= 1`` is an ad-hoc BSP round counter (RL405).  The
+#: superstep runtime already counts rounds — ``run_loop`` returns the
+#: count, ``EngineRun.num_rounds`` and the round ledger persist it — so a
+#: driver keeping its own tally drifts the moment recovery rounds, crash
+#: replays, or early termination change the loop shape.  Accumulating
+#: *returned* counts (``fwd_rounds += runtime.run_loop(...)``) is fine:
+#: the increment is a variable, not the constant 1.
+ROUND_COUNTER_RE = re.compile(
+    r"(?:^|_)(?:rounds?|rnd|supersteps?)(?:_executed|_count(?:er)?)?$"
+)
+
+#: Names whose augmented addition is an ad-hoc frontier-size or
+#: settlement tally (RL405) — per-round algorithm state the round ledger
+#: owns (drivers report it via ``RoundLedger.note(frontier=..., settled=
+#: ...)``; queries read ``UnitRounds``/``RoundState``).
+FRONTIER_TALLY_RE = re.compile(
+    r"(?:^|_)(?:frontier|settled|active_sources)(?:_size|_count|_total)?$"
+)
+
+#: Paths allowed to count rounds and frontier sizes directly: the runtime
+#: that owns the loop, the observability layer (the ledger itself and the
+#: manifest/trace aggregators), the authoritative stats structures,
+#: post-hoc analysis, the CLI glue, and the resilience machinery's
+#: replay/overhead bookkeeping.
+ROUND_STATE_EXEMPT_PARTS = RUNTIME_IMPL_PARTS + OBS_IMPL_PARTS + (
+    "repro/engine/stats.py",
+    "repro/analysis/",
+    "repro/cli/",
+    "repro/resilience/",
+)
+
 
 def is_test_path(relpath: str) -> bool:
     """Whether ``relpath`` is test code (exempt from determinism rules —

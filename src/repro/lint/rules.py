@@ -973,3 +973,53 @@ def _rl404(rule: Rule, mod: ModuleInfo) -> Iterator[Finding]:
                 "and lets the run continue on unrecovered state",
                 symbol=scope.qualname or "<module>",
             )
+
+
+@register(
+    "RL405",
+    "shadow-round-accounting",
+    SEVERITY_WARNING,
+    "driver maintains an ad-hoc round counter or frontier tally — state "
+    "the superstep runtime and the round ledger already own; a shadow "
+    "count drifts under recovery rounds, crash replays, or early "
+    "termination",
+)
+def _rl405(rule: Rule, mod: ModuleInfo) -> Iterator[Finding]:
+    if model.is_test_path(mod.relpath) or model.path_matches(
+        mod.relpath, model.ROUND_STATE_EXEMPT_PARTS
+    ):
+        return  # the runtime/ledger/stats layers own these counts
+    for scope in mod.scopes:
+        for node in scope.walk():
+            if not isinstance(node, ast.AugAssign) or not isinstance(
+                node.op, ast.Add
+            ):
+                continue
+            name = terminal_name(node.target)
+            if name is None:
+                continue
+            by_one = (
+                isinstance(node.value, ast.Constant) and node.value.value == 1
+            )
+            if by_one and model.ROUND_COUNTER_RE.search(name):
+                yield rule.finding(
+                    mod,
+                    node,
+                    f"'{name} += 1' is an ad-hoc round counter — the "
+                    "superstep runtime counts rounds (run_loop returns "
+                    "the count; EngineRun.num_rounds and the RoundLedger "
+                    "persist it); a shadow tally drifts when recovery "
+                    "rounds or crash replays change the loop shape",
+                    symbol=scope.qualname or "<module>",
+                )
+            elif model.FRONTIER_TALLY_RE.search(name):
+                yield rule.finding(
+                    mod,
+                    node,
+                    f"augmented addition on '{name}' accumulates a "
+                    "frontier/settlement tally — per-round algorithm "
+                    "state the round ledger owns; report it via "
+                    "RoundLedger.note(frontier=..., settled=...) and "
+                    "read it back from UnitRounds/RoundState",
+                    symbol=scope.qualname or "<module>",
+                )

@@ -78,6 +78,12 @@ from repro.obs.manifest import (
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, quantile
 from repro.obs.profile import PhaseProfiler, aggregate_profile_events
+from repro.obs.rounds import (
+    ROUNDS_SCHEMA_VERSION,
+    RoundLedger,
+    RoundState,
+    UnitRounds,
+)
 from repro.obs.sinks import FileSink, MemorySink, NullSink, Sink
 from repro.obs.spans import Span, SpanTracer
 from repro.obs.session import Telemetry
@@ -97,6 +103,7 @@ __all__ = [
     "MANIFEST_VERSION",
     "PLANE_CONGEST",
     "PLANE_GLUON",
+    "ROUNDS_SCHEMA_VERSION",
     "SMOKE_SUITE",
     "WORD_BYTES",
     "BenchCase",
@@ -114,11 +121,14 @@ __all__ = [
     "NullSink",
     "PhaseProfiler",
     "PhaseTotals",
+    "RoundLedger",
+    "RoundState",
     "RunManifest",
     "Sink",
     "Span",
     "SpanTracer",
     "Telemetry",
+    "UnitRounds",
     "aggregate_profile_events",
     "build_manifest",
     "chrome_trace",
@@ -159,6 +169,7 @@ def session(
     profile: str | None = None,
     profile_top: int = 10,
     comm: "CommLedger | None" = None,
+    rounds: "RoundLedger | None" = None,
 ) -> Iterator[Telemetry]:
     """Install a telemetry session as current for the ``with`` block.
 
@@ -167,12 +178,19 @@ def session(
     nest usefully — the inner one simply shadows the outer for its
     duration.  ``profile`` opts into phase-scoped profiling (see
     :class:`repro.obs.profile.PhaseProfiler`); ``comm`` attaches a
-    :class:`~repro.obs.comm.CommLedger` the message planes record into
-    (works with a null sink — volume accounting without event emission).
+    :class:`~repro.obs.comm.CommLedger` the message planes record into,
+    and ``rounds`` a :class:`~repro.obs.rounds.RoundLedger` the superstep
+    runtime records into (both work with a null sink — accounting without
+    event emission).
     """
     global _current
     tele = Telemetry(
-        sink=sink, model=model, profile=profile, profile_top=profile_top, comm=comm
+        sink=sink,
+        model=model,
+        profile=profile,
+        profile_top=profile_top,
+        comm=comm,
+        rounds=rounds,
     )
     prev = _current
     _current = tele

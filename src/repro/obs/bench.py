@@ -49,6 +49,19 @@ GATED_COMM_COUNTS = (
     "broadcast_bytes",
 )
 
+#: Per-case round-ledger fields gated the same way (only when the baseline
+#: snapshot carries a ``rounds`` section — pre-ledger baselines still compare).
+GATED_ROUND_COUNTS = (
+    "total",
+    "forward",
+    "backward",
+    "recovery",
+    "units",
+    "max_unit_rounds",
+    "max_frontier",
+    "settled",
+)
+
 
 @dataclass(frozen=True)
 class BenchCase:
@@ -117,8 +130,9 @@ def run_case(case: BenchCase, repeats: int = 3, warmup: int = 1) -> dict[str, An
     """Run one case ``warmup + repeats`` times; record counts and wall times.
 
     Every repetition runs with a fresh :class:`~repro.obs.comm.CommLedger`
-    attached (null sink — volume accounting only), so the snapshot's
-    ``comm`` section gates communication regressions alongside the
+    and :class:`~repro.obs.rounds.RoundLedger` attached (null sink —
+    accounting only), so the snapshot's ``comm`` and ``rounds`` sections
+    gate communication and round-complexity regressions alongside the
     engine's deterministic counts.
     """
     from repro import obs
@@ -126,6 +140,7 @@ def run_case(case: BenchCase, repeats: int = 3, warmup: int = 1) -> dict[str, An
     from repro.core.sampling import sample_sources
     from repro.graph import generators
     from repro.obs.comm import CommLedger
+    from repro.obs.rounds import RoundLedger
 
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -136,9 +151,11 @@ def run_case(case: BenchCase, repeats: int = 3, warmup: int = 1) -> dict[str, An
     samples: list[float] = []
     res = None
     ledger = None
+    rledger = None
     for i in range(warmup + repeats):
         ledger = CommLedger()
-        with obs.session(comm=ledger):
+        rledger = RoundLedger()
+        with obs.session(comm=ledger, rounds=rledger):
             t0 = time.perf_counter()
             res = _run_engine(case, g, sources)
             dt = time.perf_counter() - t0
@@ -165,6 +182,7 @@ def run_case(case: BenchCase, repeats: int = 3, warmup: int = 1) -> dict[str, An
         },
         "deterministic": deterministic,
         "comm": ledger.bench_counts(),
+        "rounds": rledger.bench_counts(),
         "wall_s": {
             "samples": [round(s, 6) for s in samples],
             "median": round(quantile(samples, 0.5), 6),
@@ -361,6 +379,17 @@ def compare_bench(
             cc.failures.append("comm section missing from the new snapshot")
         elif bcomm is None and ncomm is not None:
             cc.notes.append("comm: no baseline yet (pre-ledger snapshot)")
+        brnd, nrnd = b.get("rounds"), n.get("rounds")
+        if brnd is not None and nrnd is not None:
+            for f in GATED_ROUND_COUNTS:
+                if nrnd.get(f) != brnd.get(f):
+                    cc.failures.append(
+                        f"rounds.{f} changed: {brnd.get(f)} -> {nrnd.get(f)}"
+                    )
+        elif brnd is not None and nrnd is None:
+            cc.failures.append("rounds section missing from the new snapshot")
+        elif brnd is None and nrnd is not None:
+            cc.notes.append("rounds: no baseline yet (pre-ledger snapshot)")
         if cmp.wall_gated:
             bw, nw = b.get("wall_s", {}), n.get("wall_s", {})
             bm, nm = bw.get("median"), nw.get("median")

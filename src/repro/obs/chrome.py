@@ -14,6 +14,9 @@ trace-event JSON format that https://ui.perfetto.dev (and legacy
   literally the longest bars in each round.  Counter tracks chart bytes
   and pair messages per round, plus per-host ``bytes_in``/``bytes_out``
   counters so communication hotspots are visible next to the time tracks.
+  When a :class:`~repro.obs.rounds.RoundLedger` was attached, frontier/
+  settled and delayed-sync staging-depth counters chart the algorithm
+  state whose decay drives the paper's O(Diam + k) round bound.
 
 Only derived from the event stream; nothing here touches the engines.
 """
@@ -138,6 +141,21 @@ def chrome_trace(events: Iterable[Event]) -> dict[str, Any]:
             {"ph": "C", "pid": PID_SIM, "name": "pair_messages/round",
              "ts": cursor_us, "args": {"messages": a.get("pair_messages", 0)}}
         )
+        # Algorithm-state counters (present when a RoundLedger was
+        # attached): the frontier-size curve per round is the visual
+        # form of the O(Diam + k) convergence argument.
+        if "frontier" in a:
+            trace.append(
+                {"ph": "C", "pid": PID_SIM, "name": "frontier/round",
+                 "ts": cursor_us,
+                 "args": {"frontier": a.get("frontier", 0),
+                          "settled": a.get("settled", 0)}}
+            )
+        if a.get("stage_depth"):
+            trace.append(
+                {"ph": "C", "pid": PID_SIM, "name": "stage_depth/round",
+                 "ts": cursor_us, "args": {"depth": a.get("stage_depth", 0)}}
+            )
         # Per-host in/out byte counters: comm hotspots chart next to the
         # time tracks (one counter per host, two series each).
         for h in range(max(len(b_out), len(b_in))):

@@ -108,6 +108,10 @@ class RunManifest:
     #: .summary`); empty when no ledger was attached.  Additive — version-1
     #: manifests without it still load.
     comm: dict[str, Any] = field(default_factory=dict)
+    #: Round-complexity summary (:meth:`~repro.obs.rounds.RoundLedger
+    #: .summary`); empty when no round ledger was attached.  Additive —
+    #: pre-ledger manifests without it still load.
+    rounds: dict[str, Any] = field(default_factory=dict)
     extra: dict[str, Any] = field(default_factory=dict)
 
     def phase(self, name: str) -> PhaseTotals:
@@ -129,6 +133,7 @@ def build_manifest(
     run: "EngineRun",
     model: "ClusterModel",
     ledger: Any = None,
+    rounds: Any = None,
     **config: Any,
 ) -> RunManifest:
     """Aggregate an :class:`EngineRun` into a manifest.
@@ -137,13 +142,16 @@ def build_manifest(
     :class:`RunManifest`; unknown keys land in ``extra``.  ``git_sha`` and
     ``created_unix`` are captured automatically unless provided.  Pass the
     run's :class:`~repro.obs.comm.CommLedger` as ``ledger`` to persist its
-    communication summary in the ``comm`` section.
+    communication summary in the ``comm`` section, and its
+    :class:`~repro.obs.rounds.RoundLedger` as ``rounds`` to persist the
+    round-complexity summary in the ``rounds`` section.
     """
     known = {f for f in RunManifest.__dataclass_fields__} - {
         "version",
         "phases",
         "totals",
         "comm",
+        "rounds",
         "extra",
         "algorithm",
     }
@@ -195,6 +203,8 @@ def build_manifest(
     }
     if ledger is not None:
         man.comm = ledger.summary()
+    if rounds is not None:
+        man.rounds = rounds.summary()
     return man
 
 

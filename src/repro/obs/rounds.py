@@ -1,0 +1,363 @@
+"""Round-efficiency accounting: the :class:`RoundLedger`.
+
+The paper's headline claim is about *rounds*, not bytes: a batch of k
+sources completes in O(Diam + k) BSP rounds under Algorithm 3's flat-map
+schedule (Lemma 8 bounds the forward phase by k + H and the whole batch
+by 2(k + H)).  The :class:`~repro.obs.comm.CommLedger` observes the
+communication volume those rounds carry; this module observes the round
+complexity itself — per round × phase × unit of work (an MRBC source
+batch, an SBBC source, a CONGEST network run), the algorithm state that
+*determines* how many rounds the phase needs:
+
+- **frontier size** — vertex/source pairs firing this round;
+- **newly-settled** vertices (each (v, s) pair settles exactly once, so
+  the settled series must sum to the number of finite distance pairs —
+  the work-efficiency check ``repro rounds --check`` enforces);
+- **active sources** — sources with unfired schedule entries (the k term
+  of the bound drains as sources quiesce);
+- **Alg. 3 stage occupancy** — schedule entries staged vs already fired
+  (``sent_prefix``), the stable-prefix argument made measurable;
+- **delayed-sync stage depth** — vertices holding locally-staged
+  candidate pairs not yet synchronized (§4.3);
+- **recovery attribution** — rounds that exist only because of a fault
+  (replays, stall barriers, backoff) carry ``recovery=True`` and are
+  attributed to the ``"recovery"`` phase, mirroring
+  :meth:`~repro.engine.stats.RoundStats.effective_phase`.
+
+Like the comm ledger, attachment is **independent of the telemetry
+``enabled`` flag** (``obs.session(rounds=RoundLedger())`` records even
+under the default :class:`~repro.obs.sinks.NullSink`) and **purely
+additive**: the recording seams — :meth:`SuperstepRuntime.run_loop`,
+:meth:`SuperstepRuntime.run_guarded`, and the CONGEST message plane —
+never mutate engine state, so
+:meth:`~repro.engine.stats.EngineRun.deterministic_signature` is
+byte-identical with and without a ledger (gated by ``repro bench
+--compare`` and ``tests/test_message_plane_contract.py``).
+
+Because every driver executes its rounds through the one
+:class:`~repro.runtime.superstep.SuperstepRuntime` loop (lint rule
+RL204), one pair of seams sees *every* engine round; ledger totals
+reconcile exactly with :class:`~repro.engine.stats.EngineRun` round
+counts by construction (``repro rounds --check``).  Lint rule RL405
+closes the loop statically: a driver maintaining its own ad-hoc round
+counter or frontier tally — state this ledger already owns — is flagged.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+#: Version tag carried by :meth:`RoundLedger.summary` documents.
+ROUNDS_SCHEMA_VERSION = 1
+
+#: Unit attribution keys recognized in phase-span attributes, in label
+#: priority order ("batch=0" beats "k=16" when both are present).
+UNIT_ATTR_KEYS = ("batch", "source", "run")
+
+
+@dataclass
+class RoundState:
+    """One executed round: position, attribution, and algorithm state."""
+
+    phase: str  #: effective phase ("recovery" for fault-only rounds)
+    round_index: int  #: 1-based index within the owning unit's loop
+    global_round: int | None = None  #: ``RoundStats.round_index`` if any
+    recovery: bool = False
+    #: Vertex/source pairs firing (sending) this round.
+    frontier: int = 0
+    #: Vertex/source pairs settled (finalized) this round.
+    settled: int = 0
+    #: Sources with unfired schedule entries after this round.
+    active_sources: int = 0
+    #: Alg. 3 flat-map schedule entries currently staged across masters.
+    stage_entries: int = 0
+    #: Schedule entries already fired (sum of ``sent_prefix``).
+    stage_fired: int = 0
+    #: Delayed-sync staging depth: vertices with unsent candidate pairs.
+    stage_depth: int = 0
+    #: CONGEST: directed channels carrying a message this round.
+    channels: int = 0
+    #: CONGEST: values crossing those channels.
+    values: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {"phase": self.phase, "round": self.round_index}
+        if self.global_round is not None:
+            d["global_round"] = self.global_round
+        if self.recovery:
+            d["recovery"] = True
+        for k in (
+            "frontier",
+            "settled",
+            "active_sources",
+            "stage_entries",
+            "stage_fired",
+            "stage_depth",
+            "channels",
+            "values",
+        ):
+            v = getattr(self, k)
+            if v:
+                d[k] = v
+        return d
+
+
+@dataclass
+class UnitRounds:
+    """One :meth:`SuperstepRuntime.run_loop` execution (phase × unit)."""
+
+    unit: int  #: ledger-wide ordinal, 0-based
+    phase: str  #: the loop's phase name ("forward"/"backward"/"congest"/...)
+    label: str  #: unit attribution, e.g. ``"batch=0"`` / ``"source=5"``
+    attrs: dict[str, Any] = field(default_factory=dict)
+    rounds: list[RoundState] = field(default_factory=list)
+    terminated_by: str = ""  #: "quiescence" | "stopped" | "round_limit" | "crashed"
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def recovery_rounds(self) -> int:
+        return sum(1 for r in self.rounds if r.recovery)
+
+    @property
+    def max_frontier(self) -> int:
+        return max((r.frontier for r in self.rounds), default=0)
+
+    @property
+    def total_settled(self) -> int:
+        return sum(r.settled for r in self.rounds)
+
+    def convergence(self) -> list[int]:
+        """The frontier-size series — the shape of the convergence curve."""
+        return [r.frontier for r in self.rounds]
+
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
+            "phase": self.phase,
+            "rounds": self.num_rounds,
+            "terminated_by": self.terminated_by,
+        }
+        if self.label:
+            d["label"] = self.label
+        if self.recovery_rounds:
+            d["recovery_rounds"] = self.recovery_rounds
+        if self.max_frontier:
+            d["max_frontier"] = self.max_frontier
+        if self.total_settled:
+            d["settled"] = self.total_settled
+        return d
+
+
+def _unit_label(attrs: dict[str, Any]) -> str:
+    for key in UNIT_ATTR_KEYS:
+        if key in attrs:
+            return f"{key}={attrs[key]}"
+    return ""
+
+
+class RoundLedger:
+    """Accumulates per-round algorithm state from the runtime seams.
+
+    The recording protocol (driven by :class:`SuperstepRuntime`, never by
+    drivers directly):
+
+    - :meth:`context` — a phase span opening with attribution attributes
+      (``batch=``, ``source=``) pushes them for the units opened inside;
+    - :meth:`begin_unit` / :meth:`end_unit` — bracket one round loop;
+    - :meth:`open_round` / :meth:`close_round` — bracket one round;
+      between them, driver step functions :meth:`note` algorithm state
+      onto the open round;
+    - :meth:`record_recovery_round` — synthetic recovery rounds opened
+      outside any loop (stall barriers, backoff charging) land in a
+      dedicated ``"recovery"`` unit so totals still reconcile.
+    """
+
+    def __init__(self) -> None:
+        self._units: list[UnitRounds] = []
+        self._open_unit: UnitRounds | None = None
+        self._open_round: RoundState | None = None
+        self._context: list[dict[str, Any]] = []
+        self._recovery_unit: UnitRounds | None = None
+        self._by_global: dict[int, RoundState] = {}
+
+    # -- recording (runtime seams) --------------------------------------------
+
+    @contextmanager
+    def context(self, **attrs: Any) -> Iterator[None]:
+        """Push unit-attribution attributes for loops opened inside."""
+        self._context.append(attrs)
+        try:
+            yield
+        finally:
+            self._context.pop()
+
+    def _merged_context(self) -> dict[str, Any]:
+        merged: dict[str, Any] = {}
+        for frame in self._context:
+            merged.update(frame)
+        return merged
+
+    def begin_unit(self, phase: str) -> UnitRounds:
+        """Open the unit record for one round loop."""
+        if self._open_unit is not None:  # crashed loop never closed
+            self.end_unit("crashed")
+        attrs = self._merged_context()
+        unit = UnitRounds(
+            unit=len(self._units),
+            phase=phase,
+            label=_unit_label(attrs),
+            attrs=dict(attrs),
+        )
+        self._units.append(unit)
+        self._open_unit = unit
+        return unit
+
+    def end_unit(self, terminated_by: str) -> None:
+        if self._open_round is not None:  # round interrupted mid-flight
+            self._open_round = None
+        if self._open_unit is not None:
+            self._open_unit.terminated_by = terminated_by
+            self._open_unit = None
+
+    def open_round(self, phase: str, round_index: int) -> RoundState:
+        """Open the row for one round; :meth:`note` accumulates onto it."""
+        if self._open_unit is None:
+            self.begin_unit(phase)
+        row = RoundState(phase=phase, round_index=round_index)
+        self._open_round = row
+        return row
+
+    def note(self, **counts: int) -> None:
+        """Accumulate algorithm state onto the open round (drivers call
+        this from their step functions; a no-op outside a round)."""
+        row = self._open_round
+        if row is None:
+            return
+        for k, v in counts.items():
+            setattr(row, k, getattr(row, k) + v)
+
+    def close_round(self, rs: Any | None = None) -> None:
+        """Commit the open round, stamping run attribution from ``rs``."""
+        row = self._open_round
+        if row is None:
+            return
+        self._open_round = None
+        if rs is not None:
+            row.global_round = rs.round_index
+            row.recovery = bool(rs.recovery)
+            row.phase = rs.effective_phase
+            self._by_global[row.global_round] = row
+        if self._open_unit is not None:
+            self._open_unit.rounds.append(row)
+
+    def discard_round(self) -> None:
+        """Abandon the open round without committing it (the run opened
+        no matching record, e.g. a crash before the round started)."""
+        self._open_round = None
+
+    def record_recovery_round(self, rs: Any) -> None:
+        """A synthetic recovery round opened outside any loop (backoff /
+        stall charging in the resilience context)."""
+        if self._recovery_unit is None:
+            self._recovery_unit = UnitRounds(
+                unit=len(self._units),
+                phase="recovery",
+                label="",
+                terminated_by="recovery",
+            )
+            self._units.append(self._recovery_unit)
+        row = RoundState(
+            phase="recovery",
+            round_index=len(self._recovery_unit.rounds) + 1,
+            global_round=rs.round_index,
+            recovery=True,
+        )
+        self._recovery_unit.rounds.append(row)
+        self._by_global[rs.round_index] = row
+
+    # -- queries ---------------------------------------------------------------
+
+    def units(self, phase: str | None = None) -> list[UnitRounds]:
+        """Units in execution order, optionally for one loop phase."""
+        if phase is None:
+            return list(self._units)
+        return [u for u in self._units if u.phase == phase]
+
+    def total_rounds(self) -> int:
+        """Every executed round — reconciles with ``EngineRun.num_rounds``."""
+        return sum(u.num_rounds for u in self._units)
+
+    def recovery_rounds(self) -> int:
+        return sum(u.recovery_rounds for u in self._units)
+
+    def rounds_by_phase(self) -> dict[str, int]:
+        """Rounds per *effective* phase, first-execution order — the exact
+        shape of ``EngineRun.rounds_in_phase``."""
+        out: dict[str, int] = {}
+        for u in self._units:
+            for r in u.rounds:
+                out[r.phase] = out.get(r.phase, 0) + 1
+        return out
+
+    def rounds_per_unit(self, phase: str | None = None) -> list[tuple[str, str, int]]:
+        """``(label, phase, rounds)`` per unit — the rounds-per-batch view."""
+        return [(u.label, u.phase, u.num_rounds) for u in self.units(phase)]
+
+    def max_frontier(self) -> int:
+        return max((u.max_frontier for u in self._units), default=0)
+
+    def total_settled(self, phase: str | None = None) -> int:
+        return sum(u.total_settled for u in self.units(phase))
+
+    def state_for_global(self, global_round: int) -> RoundState | None:
+        """The row for one ``RoundStats.round_index`` (for round-event
+        enrichment and the Perfetto frontier counter tracks)."""
+        return self._by_global.get(global_round)
+
+    def per_round(self) -> list[dict[str, Any]]:
+        """Flat row dicts in execution order (the ``--per-round`` view)."""
+        rows = []
+        for u in self._units:
+            for r in u.rounds:
+                d = r.to_dict()
+                d["unit"] = u.unit
+                if u.label:
+                    d["label"] = u.label
+                rows.append(d)
+        return rows
+
+    # -- persistence -----------------------------------------------------------
+
+    def summary(self) -> dict[str, Any]:
+        """Versioned document for the manifest's ``rounds`` section."""
+        return {
+            "schema": ROUNDS_SCHEMA_VERSION,
+            "total_rounds": self.total_rounds(),
+            "recovery_rounds": self.recovery_rounds(),
+            "by_phase": self.rounds_by_phase(),
+            "max_frontier": self.max_frontier(),
+            "total_settled": self.total_settled(),
+            "units": [u.to_dict() for u in self._units],
+        }
+
+    def bench_counts(self) -> dict[str, int]:
+        """Deterministic integers for the bench snapshot's per-case
+        ``rounds`` section (gated by ``compare_bench`` only when the
+        baseline carries them)."""
+        by_phase = self.rounds_by_phase()
+        return {
+            "total": self.total_rounds(),
+            "forward": by_phase.get("forward", 0),
+            "backward": by_phase.get("backward", 0),
+            "recovery": self.recovery_rounds(),
+            "units": len(self._units),
+            "max_unit_rounds": max(
+                (u.num_rounds for u in self._units), default=0
+            ),
+            "max_frontier": self.max_frontier(),
+            "settled": self.total_settled(),
+        }

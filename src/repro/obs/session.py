@@ -53,6 +53,11 @@ class Telemetry:
         flag: a ledger attached to an otherwise-null session still
         records (``repro bench`` uses this to gate comm counts without
         paying for event emission).
+    rounds:
+        Optional :class:`~repro.obs.rounds.RoundLedger` the superstep
+        runtime records round-complexity state into (frontier sizes,
+        settled counts, stage occupancy).  Independent of ``enabled`` for
+        the same reason as ``comm``.
     """
 
     def __init__(
@@ -62,11 +67,13 @@ class Telemetry:
         profile: str | None = None,
         profile_top: int = 10,
         comm: "Any | None" = None,
+        rounds: "Any | None" = None,
     ) -> None:
         self.sink = sink if sink is not None else NullSink()
         self.enabled = self.sink.enabled
         self.model = model
         self.comm = comm
+        self.rounds = rounds
         self.tracer = SpanTracer(self.sink)
         self.metrics = MetricsRegistry()
         self.profiler = None
@@ -208,6 +215,15 @@ class Telemetry:
         }
         if rs.recovery:
             attrs["recovery"] = True
+        if self.rounds is not None:
+            st = self.rounds.state_for_global(rs.round_index)
+            if st is not None:
+                # Algorithm-state enrichment: the Perfetto exporter turns
+                # these into frontier-size counter tracks.
+                attrs["frontier"] = st.frontier
+                attrs["settled"] = st.settled
+                if st.stage_depth:
+                    attrs["stage_depth"] = st.stage_depth
         if self.model is not None:
             t = self.model.time_round(rs)
             attrs["sim_computation_s"] = t.computation

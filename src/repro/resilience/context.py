@@ -326,6 +326,9 @@ class ResilienceContext:
             return
         rr = self.run.new_round("recovery", recovery=True)
         self.recovery_rounds += 1
+        rl = obs.current().rounds
+        if rl is not None:
+            rl.record_recovery_round(rr)
         ledger = obs.current().comm
         for sender, receiver, items, _attempts in retransmits:
             vertices: dict[int, int] = defaultdict(int)
@@ -383,8 +386,11 @@ class ResilienceContext:
                     else min(spec.duration, deadline)
                 )
                 if self.run is not None:
+                    rl = obs.current().rounds
                     for _ in range(wait):
-                        self.run.new_round("recovery", recovery=True)
+                        rr = self.run.new_round("recovery", recovery=True)
+                        if rl is not None:
+                            rl.record_recovery_round(rr)
                     self.recovery_rounds += wait
                 self.stall_rounds += wait
                 if deadline is not None and spec.duration > deadline:
@@ -425,8 +431,11 @@ class ResilienceContext:
         if rounds <= 0:
             return
         if self.run is not None:
+            rl = obs.current().rounds
             for _ in range(rounds):
-                self.run.new_round("recovery", recovery=True)
+                rr = self.run.new_round("recovery", recovery=True)
+                if rl is not None:
+                    rl.record_recovery_round(rr)
             self.recovery_rounds += rounds
         self.backoff_rounds += rounds
         self._note_recovered("backoff", -1, attempt=attempt, rounds=rounds)

@@ -189,13 +189,21 @@ def run_under_faults(
             # defense for unchecked (off-mode) runs.
             failure = f"{type(err).__name__}: {err}"
 
+    # Round-ledger attachment is signature-neutral, and a fault run is
+    # exactly where the recovery-round attribution pays off: the
+    # manifest's ``rounds`` section splits fault overhead from algorithm
+    # rounds per unit.  A ledger is attached only to the session this
+    # harness owns; under a caller's session (sessions shadow, they do
+    # not nest) the caller's ledger — if any — feeds the manifest.
     if out_dir is not None:
         out_dir = os.fspath(out_dir)
         os.makedirs(out_dir, exist_ok=True)
         sink = obs.FileSink(os.path.join(out_dir, "events.jsonl"))
-        with obs.session(sink, model=model):
+        rledger = obs.RoundLedger()
+        with obs.session(sink, model=model, rounds=rledger):
             execute()
     else:
+        rledger = obs.current().rounds
         execute()
 
     bc = res.bc if res is not None else None
@@ -223,6 +231,7 @@ def run_under_faults(
             batch_size=batch_size if algorithm == "mrbc" else None,
             fault_plan=plan.name,
             fault_mode=mode,
+            rounds=rledger,
             resilience=ctx.summary(),
         )
         if out_dir is not None:

@@ -206,6 +206,7 @@ class CongestPlane(MessagePlane):
                             f"in round {rnd}, exceeding the CONGEST budget of "
                             f"{violation.bound_words} words/round"
                         )
+        total_values = sum(len(p) for p in outbox.values())
         if tele.enabled:
             tele.emit(
                 "round",
@@ -213,13 +214,26 @@ class CongestPlane(MessagePlane):
                 round=rnd,
                 phase="congest",
                 channels=len(outbox),
-                values=sum(len(p) for p in outbox.values()),
+                values=total_values,
             )
         if rs is not None:
             # An EngineRun is attached (persistable CONGEST runs): a
             # channel is the congest analogue of a pair message.
             rs.pair_messages += len(outbox)
-            rs.items_synced += sum(len(p) for p in outbox.values())
+            rs.items_synced += total_values
+        rledger = tele.rounds
+        if rledger is not None:
+            # The round-ledger seam: sending vertices are the CONGEST
+            # frontier; non-stopped programs are the still-active workers
+            # whose quiescence Lemma 8's detector waits for.
+            rledger.note(
+                frontier=len({s for (s, _t) in outbox}),
+                channels=len(outbox),
+                values=total_values,
+                active_sources=sum(
+                    1 for p in programs if not p.is_stopped()
+                ),
+            )
 
         # -- delivery phase: receivers process during this round.
         for (sender, target), payloads in outbox.items():

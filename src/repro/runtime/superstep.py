@@ -33,6 +33,7 @@ lazily inside the methods that need it — the module itself has no
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -89,11 +90,35 @@ class SuperstepRuntime:
 
     # -- obs policy ----------------------------------------------------------
 
-    def phase(self, name: str, **attrs: Any):
-        """Open a phase span on the current telemetry session for this run."""
+    @staticmethod
+    def _round_ledger():
+        """The attached :class:`~repro.obs.rounds.RoundLedger`, if any.
+
+        Like the comm ledger, round accounting is independent of the
+        telemetry ``enabled`` flag — a ledger on an otherwise-null
+        session still records.
+        """
         from repro import obs
 
-        return obs.current().phase(name, self.run, **attrs)
+        return obs.current().rounds
+
+    @contextmanager
+    def phase(self, name: str, **attrs: Any):
+        """Open a phase span on the current telemetry session for this run.
+
+        The span's attribution attributes (``batch=``, ``source=``) also
+        label the round-ledger units opened inside the block, so
+        rounds-per-batch is measurable without driver-side bookkeeping.
+        """
+        from repro import obs
+
+        ledger = obs.current().rounds
+        with obs.current().phase(name, self.run, **attrs) as sp:
+            if ledger is None:
+                yield sp
+            else:
+                with ledger.context(**attrs):
+                    yield sp
 
     # -- the round loop ------------------------------------------------------
 
@@ -128,6 +153,9 @@ class SuperstepRuntime:
         - ``max_rounds`` reached → ``"round_limit"`` (the fixed horizon).
         """
         run = self.run
+        ledger = self._round_ledger()
+        if ledger is not None:
+            ledger.begin_unit(phase)
         rnd = 0
         self.terminated_by = "round_limit"
         while max_rounds is None or rnd < max_rounds:
@@ -136,13 +164,27 @@ class SuperstepRuntime:
                 break
             rnd += 1
             rs = run.new_round(phase) if run is not None else None
-            more = step(rnd, rs)
+            if ledger is not None:
+                ledger.open_round(phase, rnd)
+            try:
+                more = step(rnd, rs)
+            except BaseException:
+                if ledger is not None:
+                    # The crashed round's partial stats stay in the run;
+                    # keep the ledger reconciled by committing its row too.
+                    ledger.close_round(rs)
+                    ledger.end_unit("crashed")
+                raise
+            if ledger is not None:
+                ledger.close_round(rs)
             if stop is not None and stop():
                 self.terminated_by = "stopped"
                 break
             if precheck is None and not more and rnd >= min_rounds:
                 self.terminated_by = "quiescence"
                 break
+        if ledger is not None:
+            ledger.end_unit(self.terminated_by)
         return rnd
 
     # -- resilience policies -------------------------------------------------
@@ -187,6 +229,7 @@ class SuperstepRuntime:
         *,
         max_rounds: int,
         checkpoint: CheckpointPolicy,
+        phase: str = "guarded",
     ) -> int:
         """The checkpointed round loop: snapshot periodically, resume on crash.
 
@@ -196,22 +239,46 @@ class SuperstepRuntime:
         policy snapshots; an injected crash restores the latest snapshot,
         charges the lost rounds to recovery, and rewinds the counter.  If
         the policy cannot snapshot at all, a crash is unrecoverable.
+        ``phase`` labels the round-ledger unit (the loop itself opens no
+        round records — ``body`` does — so the ledger brackets the rounds
+        ``body`` appends to keep its totals reconciled with the run).
         """
         from repro.resilience.errors import HostCrashError, UnrecoverableFaultError
 
+        ledger = self._round_ledger()
+        if ledger is not None:
+            ledger.begin_unit(phase)
         can_checkpoint = checkpoint.save(0)
         rounds = 0
         attempt = 0
+        mark = len(self.run.rounds) if self.run is not None else 0
         while precheck() and rounds < max_rounds:
             try:
                 rounds += 1
+                if ledger is not None:
+                    mark = len(self.run.rounds)
+                    ledger.open_round(phase, rounds)
                 body(rounds)
+                if ledger is not None:
+                    if len(self.run.rounds) > mark:
+                        ledger.close_round(self.run.rounds[mark])
+                    else:
+                        ledger.discard_round()
                 if can_checkpoint and rounds % checkpoint.interval == 0:
                     checkpoint.save(rounds)
             except HostCrashError as err:
+                if ledger is not None:
+                    # Commit the crashed round's row, mirroring the
+                    # partial stats the run keeps.
+                    if len(self.run.rounds) > mark:
+                        ledger.close_round(self.run.rounds[mark])
+                    else:
+                        ledger.discard_round()
                 attempt += 1
                 self.resilience.on_crash(err, attempt)
                 if not can_checkpoint:
+                    if ledger is not None:
+                        ledger.end_unit("crashed")
                     raise UnrecoverableFaultError(checkpoint.describe) from err
                 resume = checkpoint.restore()
                 # Backoff before the replay countdown, as in
@@ -221,4 +288,8 @@ class SuperstepRuntime:
                 # re-executed as recovery overhead.
                 self.run.replay_countdown = rounds - resume
                 rounds = resume
+        if ledger is not None:
+            ledger.end_unit(
+                "round_limit" if rounds >= max_rounds else "quiescence"
+            )
         return rounds

@@ -457,6 +457,69 @@ class TestRuleFixtures:
         )
         assert "RL404" not in codes(src, relpath="tests/test_whatever.py")
 
+    # -- RL405: shadow round accounting ----------------------------------------
+
+    def test_rl405_flags_adhoc_round_counter(self):
+        src = """
+            def run_forward(self, gluon):
+                rounds = 0
+                while self.step(gluon):
+                    rounds += 1
+                return rounds
+        """
+        assert "RL405" in codes(src)
+
+    def test_rl405_flags_attribute_round_counter(self):
+        src = """
+            def advance(self):
+                self.round_count += 1
+                return self.round_count
+        """
+        assert "RL405" in codes(src)
+
+    def test_rl405_flags_frontier_tally(self):
+        src = """
+            def run(self):
+                frontier_size = 0
+                for fires in self.per_host_fires:
+                    frontier_size += len(fires)
+                return frontier_size
+        """
+        assert "RL405" in codes(src)
+
+    def test_rl405_passes_accumulating_run_loop_returns(self):
+        src = """
+            def drive(self, runtime, step):
+                fwd_rounds = 0
+                fwd_rounds += runtime.run_loop("forward", step)
+                return fwd_rounds
+        """
+        assert "RL405" not in codes(src)
+
+    def test_rl405_passes_unrelated_counters(self):
+        src = """
+            def tally(items):
+                attempts = 0
+                for it in items:
+                    attempts += 1
+                return attempts
+        """
+        assert "RL405" not in codes(src)
+
+    def test_rl405_exempts_runtime_obs_and_tests(self):
+        src = """
+            def run_loop(self, phase, step):
+                rnd = 0
+                while step(rnd):
+                    rnd += 1
+                return rnd
+        """
+        assert "RL405" not in codes(
+            src, relpath="src/repro/runtime/superstep.py"
+        )
+        assert "RL405" not in codes(src, relpath="src/repro/obs/rounds.py")
+        assert "RL405" not in codes(src, relpath="tests/test_whatever.py")
+
     # -- RL900: parse errors ---------------------------------------------------
 
     def test_rl900_on_syntax_error(self, tmp_path):

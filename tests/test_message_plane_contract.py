@@ -17,6 +17,13 @@ deterministic workloads and held to the same contract:
 
 The shared assertions live in :class:`PlaneContractBase`; each plane
 subclass provides ``drive()`` plus plane-specific reconciliation checks.
+
+The same contract binds the :class:`~repro.obs.rounds.RoundLedger`
+(:class:`RoundLedgerContractBase`): every round the plane executes
+through :class:`~repro.runtime.superstep.SuperstepRuntime` appears in
+the ledger exactly once (ledger totals == ``EngineRun`` round counts /
+``rounds_executed``), units terminate by quiescence, and attachment is
+signature-neutral.
 """
 
 from __future__ import annotations
@@ -38,7 +45,9 @@ from repro.obs.comm import (
     WORD_BYTES,
     CommLedger,
 )
+from repro.obs.rounds import RoundLedger
 from repro.runtime.plane import GluonPlane
+from repro.runtime.superstep import SuperstepRuntime
 
 NUM_HOSTS = 4
 
@@ -206,3 +215,129 @@ class TestCongestPlaneContract(PlaneContractBase):
             rc.round_index <= res.last_send_round
             for rc in ledger.rounds(PLANE_CONGEST)
         )
+
+
+# -- the round-ledger contract ------------------------------------------------
+
+
+class RoundLedgerContractBase:
+    """Assertions binding the :class:`RoundLedger` to a plane's rounds.
+
+    Same shape as the comm contract: ``drive_rounds()`` runs a small
+    deterministic workload through the plane's *runtime-owned* round
+    loop with the given ledger attached and returns ``(ledger,
+    signature, engine_result)``.
+    """
+
+    def drive_rounds(
+        self, rledger: RoundLedger | None
+    ) -> tuple[RoundLedger | None, dict[str, Any], Any]:
+        raise NotImplementedError
+
+    def test_round_ledger_attachment_is_neutral(self):
+        _, with_sig, _ = self.drive_rounds(RoundLedger())
+        _, without_sig, _ = self.drive_rounds(None)
+        assert with_sig == without_sig
+
+    def test_units_terminate_by_quiescence(self):
+        rledger, _, _ = self.drive_rounds(RoundLedger())
+        units = rledger.units()
+        assert units
+        assert all(
+            u.terminated_by in ("quiescence", "stopped") for u in units
+        )
+        assert rledger.recovery_rounds() == 0
+
+
+class TestGluonRoundLedgerContract(RoundLedgerContractBase):
+    def drive_rounds(
+        self, rledger: RoundLedger | None
+    ) -> tuple[RoundLedger | None, dict[str, Any], Any]:
+        g = gen.erdos_renyi(40, 3.0, seed=13)
+        pg = partition_graph(g, NUM_HOSTS, "cvc")
+        plane = GluonPlane(pg)
+        runtime = SuperstepRuntime(plane=plane)
+
+        def step(rnd, rs):
+            items: list[list] = [[] for _ in range(NUM_HOSTS)]
+            fired = 0
+            for v in range(rnd - 1, g.num_vertices, 8):
+                fired += 1
+                for h in pg.hosts_with_proxy(v).tolist():
+                    items[h].append((v, 1, float(v)))
+            plane.reduce_to_masters(items, 12, 1, rs)
+            rl = obs.current().rounds
+            if rl is not None:
+                rl.note(frontier=fired, settled=fired)
+            return rnd < 3
+
+        with obs.session(rounds=rledger):
+            with runtime.phase("forward", batch=0):
+                runtime.run_loop("forward", step)
+            with runtime.phase("backward", batch=0):
+                runtime.run_loop("backward", step)
+        return rledger, runtime.run.deterministic_signature(), runtime.run
+
+    def test_ledger_reconciles_with_engine_run(self):
+        rledger, _, run = self.drive_rounds(RoundLedger())
+        assert rledger.total_rounds() == run.num_rounds
+        assert rledger.rounds_by_phase() == {
+            "forward": run.rounds_in_phase("forward"),
+            "backward": run.rounds_in_phase("backward"),
+        }
+
+    def test_units_carry_phase_span_attribution(self):
+        rledger, _, _ = self.drive_rounds(RoundLedger())
+        assert [
+            (u.phase, u.label) for u in rledger.units()
+        ] == [("forward", "batch=0"), ("backward", "batch=0")]
+
+    def test_noted_state_accumulates_per_round(self):
+        rledger, _, _ = self.drive_rounds(RoundLedger())
+        (fwd,) = rledger.units("forward")
+        # range(rnd-1, 40, 8) fires 5 pairs in each of the 3 rounds.
+        assert fwd.convergence() == [5, 5, 5]
+        assert fwd.total_settled == 15
+        assert rledger.max_frontier() == 5
+
+
+class TestCongestRoundLedgerContract(RoundLedgerContractBase):
+    def drive_rounds(
+        self, rledger: RoundLedger | None
+    ) -> tuple[RoundLedger | None, dict[str, Any], Any]:
+        net = CongestNetwork(
+            path_graph(8, bidirectional=False), lambda v: Flood()
+        )
+        with obs.session(rounds=rledger):
+            res = net.run(20, detect_quiescence=True)
+        sig = {
+            "messages": res.stats.messages,
+            "values": res.stats.values,
+            "words": res.stats.words,
+            "rounds_executed": res.rounds_executed,
+            "terminated_by": res.terminated_by,
+        }
+        return rledger, sig, res
+
+    def test_ledger_reconciles_with_network_result(self):
+        rledger, _, res = self.drive_rounds(RoundLedger())
+        assert rledger.total_rounds() == res.rounds_executed
+        (unit,) = rledger.units("congest")
+        # The plane's per-round channel counts are the network's own
+        # sends-per-round series, row for row.
+        assert [r.channels for r in unit.rounds] == res.sends_per_round
+        assert sum(r.values for r in unit.rounds) == res.stats.values
+
+    def test_comm_totals_unchanged_by_round_ledger(self):
+        def run_with(comm, rounds):
+            net = CongestNetwork(
+                path_graph(8, bidirectional=False), lambda v: Flood()
+            )
+            with obs.session(comm=comm, rounds=rounds):
+                net.run(20, detect_quiescence=True)
+
+        alone = CommLedger()
+        run_with(alone, None)
+        both = CommLedger()
+        run_with(both, RoundLedger())
+        assert both.totals(PLANE_CONGEST) == alone.totals(PLANE_CONGEST)
