@@ -5,7 +5,12 @@ Examples::
     repro lint src tests                     # config-driven baseline, text
     repro lint src --format json             # machine-readable report
     repro lint src tests --no-baseline       # show everything, incl. baselined
-    repro lint src tests --write-baseline    # (re)capture current findings
+    repro lint src tests --write-baseline    # (re)capture + prune report
+    repro lint --changed                     # only git-touched files, whole
+                                             #   program graph from cache
+    repro lint src --readiness               # per-driver ready/blocked gate
+    repro lint src --effects mrbc_engine     # inferred effect summary
+    repro lint src --sarif lint.sarif        # SARIF 2.1.0 artifact
     repro lint --list-rules
 
 Exit status: 0 when no *new* findings remain after pragma and baseline
@@ -15,13 +20,21 @@ suppression, 1 otherwise, 2 on usage errors.
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 
+from repro.lint import dataflow
 from repro.lint.baseline import Baseline
 from repro.lint.config import find_project_root, load_config
 from repro.lint.rules import RULES
-from repro.lint.runner import render_json, render_text, run_lint
+from repro.lint.runner import (
+    LintCache,
+    render_json,
+    render_text,
+    run_lint,
+)
+from repro.lint.sarif import write_sarif
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,7 +43,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Domain-aware static analysis: determinism (RL1xx), CONGEST "
             "protocol conformance (RL2xx), delayed-sync safety (RL3xx), "
-            "obs/resilience hygiene (RL4xx)."
+            "obs/resilience hygiene (RL4xx), interprocedural "
+            "vectorization-readiness (RL5xx) and parallel-safety (RL6xx)."
         ),
     )
     p.add_argument(
@@ -62,7 +76,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--write-baseline",
         action="store_true",
-        help="write all current findings to the baseline file and exit 0",
+        help=(
+            "write all current findings to the baseline file (pruning and "
+            "reporting stale entries) and exit 0"
+        ),
+    )
+    p.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "lint only files git reports as changed (vs HEAD, plus "
+            "untracked); the whole-program call graph still covers the "
+            "configured graph roots, served from the incremental cache"
+        ),
+    )
+    p.add_argument(
+        "--effects",
+        metavar="FUNCTION",
+        default=None,
+        help=(
+            "explain mode: print the inferred effect summary, call "
+            "neighborhood, and finding chains for FUNCTION, then exit"
+        ),
+    )
+    p.add_argument(
+        "--sarif",
+        metavar="FILE",
+        default=None,
+        help="additionally write the report as a SARIF 2.1.0 document",
+    )
+    p.add_argument(
+        "--readiness",
+        action="store_true",
+        help=(
+            "print the per-driver vectorization/parallel-safety readiness "
+            "report (always included in --format json)"
+        ),
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the incremental cache; analyze every file cold",
     )
     p.add_argument(
         "--select",
@@ -88,12 +142,62 @@ def _split_codes(raw: str | None) -> set[str]:
     return {tok.strip() for tok in raw.split(",") if tok.strip()}
 
 
+def _changed_files(root: Path) -> list[Path] | None:
+    """Python files git reports as modified vs HEAD, plus untracked."""
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD", "--"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    names = {
+        line.strip()
+        for out in (diff.stdout, untracked.stdout)
+        for line in out.splitlines()
+        if line.strip()
+    }
+    return sorted(
+        root / n for n in names if n.endswith(".py") and (root / n).is_file()
+    )
+
+
+def _report_baseline_prune(old: Baseline, new: Baseline) -> None:
+    """Explain every entry --write-baseline dropped, and why."""
+    pruned = {
+        fp: entry for fp, entry in old.entries.items() if fp not in new.entries
+    }
+    if not pruned:
+        return
+    print(f"repro lint: pruned {len(pruned)} stale baseline entr(y/ies):")
+    for fp in sorted(pruned):
+        entry = pruned[fp]
+        code = str(entry.get("code", "?"))
+        reason = (
+            "rule retired" if code not in RULES else "finding fixed or renamed"
+        )
+        print(f"  - {fp}  {code} at {entry.get('where', '?')}  ({reason})")
+
+
 def lint_main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.list_rules:
         for code, rule in sorted(RULES.items()):
-            print(f"{code}  {rule.severity:<7}  {rule.name}: {rule.summary}")
+            scope = "  [whole-program]" if rule.scope == "program" else ""
+            print(
+                f"{code}  {rule.severity:<7}  {rule.name}: {rule.summary}{scope}"
+            )
         return 0
 
     targets = args.paths or ["src"]
@@ -114,10 +218,35 @@ def lint_main(argv: list[str] | None = None) -> int:
     baseline_path = (
         Path(args.baseline) if args.baseline else cfg.baseline_path
     )
+    cache = None if args.no_cache else LintCache.load(cfg.cache_path)
+    graph_targets: list[str | Path] | None = None
+
+    if args.changed:
+        changed = _changed_files(root)
+        if changed is None:
+            print(
+                "repro lint: --changed requires a git checkout",
+                file=sys.stderr,
+            )
+            return 2
+        graph_targets = [root / g for g in cfg.graph if (root / g).exists()]
+        targets = [p for p in changed]
+        if not targets:
+            print("repro lint: no changed python files -- PASS")
+            return 0
 
     if args.write_baseline:
-        result = run_lint(targets, project_root=root, enabled=enabled)
-        Baseline.from_findings(result.active).dump(baseline_path)
+        result = run_lint(
+            targets,
+            project_root=root,
+            enabled=enabled,
+            cache=cache,
+            graph_targets=graph_targets,
+        )
+        new = Baseline.from_findings(result.active)
+        if baseline_path.is_file():
+            _report_baseline_prune(Baseline.load(baseline_path), new)
+        new.dump(baseline_path)
         print(
             f"repro lint: wrote {len(result.active)} finding(s) to "
             f"{baseline_path}"
@@ -136,12 +265,37 @@ def lint_main(argv: list[str] | None = None) -> int:
             baseline = Baseline.load(baseline_path)
 
     result = run_lint(
-        targets, project_root=root, enabled=enabled, baseline=baseline
+        targets,
+        project_root=root,
+        enabled=enabled,
+        baseline=baseline,
+        cache=cache,
+        graph_targets=graph_targets,
     )
+
+    if args.effects:
+        report = dataflow.explain_effects(
+            result.program, args.effects, result.active
+        )
+        if report is None:
+            print(
+                f"repro lint: no function named '{args.effects}' in the "
+                "analyzed set",
+                file=sys.stderr,
+            )
+            return 2
+        print(report, end="")
+        return 0
+
+    if args.sarif:
+        write_sarif(args.sarif, result.active, result.suppressed)
+
     if args.format == "json":
         render_json(result)
     else:
         render_text(result)
+        if args.readiness:
+            dataflow.render_readiness(result.readiness, sys.stdout)
     return 0 if result.ok else 1
 
 

@@ -4,9 +4,11 @@ Read with :mod:`tomllib` (stdlib); absence of the file or the table means
 all defaults.  Recognized keys::
 
     [tool.repro-lint]
-    baseline = "lint-baseline.json"   # project-root-relative path
+    baseline = "lint-baseline.json"    # project-root-relative path
     disable = ["RL402"]                # rule codes disabled globally
     select = []                        # if non-empty, ONLY these codes run
+    cache = ".repro-lint-cache.json"   # incremental-cache path
+    graph = ["src"]                    # call-graph roots for --changed runs
 
 CLI flags (``--baseline``, ``--select``, ``--disable``) override the
 file.  The project root is found by walking up from the first lint
@@ -16,7 +18,7 @@ target until a ``pyproject.toml`` or ``.git`` appears.
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 if sys.version_info >= (3, 11):
@@ -33,6 +35,8 @@ TABLE = "repro-lint"
 class LintConfig:
     project_root: Path
     baseline_path: Path
+    cache_path: Path = Path(".repro-lint-cache.json")
+    graph: tuple[str, ...] = ("src",)
     disable: frozenset[str] = frozenset()
     select: frozenset[str] = frozenset()
 
@@ -61,9 +65,13 @@ def load_config(project_root: str | Path) -> LintConfig:
             data = tomllib.load(fh)
         table = data.get("tool", {}).get(TABLE, {})
     baseline = table.get("baseline", DEFAULT_BASELINE_NAME)
+    cache = table.get("cache", ".repro-lint-cache.json")
+    graph = table.get("graph", ["src"])
     return LintConfig(
         project_root=root,
         baseline_path=root / str(baseline),
+        cache_path=root / str(cache),
+        graph=tuple(str(g) for g in graph),
         disable=frozenset(str(c) for c in table.get("disable", [])),
         select=frozenset(str(c) for c in table.get("select", [])),
     )

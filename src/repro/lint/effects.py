@@ -1,0 +1,459 @@
+"""Per-function effect inference — the atoms of the dataflow layer.
+
+For every function scope in a module this pass records, from one AST
+walk, the *effect summary* the interprocedural rules and the call graph
+consume: which per-source state fields it reads/writes, which module
+globals it mutates, which telemetry/ledger objects it stores into,
+every call site (as a dotted chain, so the graph builder can resolve
+it), which nested closures it defines and where it hands them, whether
+it raises or routes resilience errors, and each resilience ``except``
+handler with the calls made inside it (for the interprocedural RL404
+refinement).
+
+Summaries are plain data — JSON round-trippable via :meth:`to_dict` /
+:meth:`from_dict` — so the incremental cache can persist them and a
+``--changed`` run can rebuild the whole-program call graph without
+re-parsing unchanged files.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint import model
+from repro.lint.rules import FunctionScope, ModuleInfo, chain_root, terminal_name
+
+
+def chain_text(node: ast.AST) -> str:
+    """Render a call/attribute chain as dotted text.
+
+    Subscripts are elided (``self.hosts[h].push`` → ``self.hosts.push``)
+    — resolution works over names, not indices.  Unrenderable roots
+    (calls of calls, literals) contribute ``()``.
+    """
+    parts: list[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            break
+        else:
+            parts.append("()")
+            break
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class CallSite:
+    """One call expression: its dotted chain and bare-name arguments."""
+
+    chain: str
+    line: int
+    arg_names: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {"chain": self.chain, "line": self.line, "args": list(self.arg_names)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CallSite":
+        return cls(chain=d["chain"], line=int(d["line"]), arg_names=tuple(d["args"]))
+
+
+@dataclass
+class HandlerInfo:
+    """One ``except``-a-resilience-error handler (RL404 refinement)."""
+
+    line: int
+    caught: tuple[str, ...]
+    routed: bool
+    calls: tuple[str, ...]  # terminal names called inside the handler
+
+    def to_dict(self) -> dict:
+        return {
+            "line": self.line,
+            "caught": list(self.caught),
+            "routed": self.routed,
+            "calls": list(self.calls),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "HandlerInfo":
+        return cls(
+            line=int(d["line"]),
+            caught=tuple(d["caught"]),
+            routed=bool(d["routed"]),
+            calls=tuple(d["calls"]),
+        )
+
+
+@dataclass
+class FunctionEffects:
+    """The inferred effect summary of one function scope."""
+
+    qualname: str
+    line: int
+    class_name: str = ""
+    parent: str = ""  # qualname of the enclosing function scope
+    params: tuple[str, ...] = ()
+    calls: list[CallSite] = field(default_factory=list)
+    state_reads: list[tuple[str, int]] = field(default_factory=list)
+    state_writes: list[tuple[str, int]] = field(default_factory=list)
+    global_mutations: list[tuple[str, str, int]] = field(default_factory=list)
+    telemetry_writes: list[tuple[str, int]] = field(default_factory=list)
+    sync_lines: list[int] = field(default_factory=list)
+    raises: bool = False
+    routes: bool = False
+    nested_defs: list[str] = field(default_factory=list)
+    #: Nested defs (or lambda pseudo-names) passed to a runtime seam.
+    seam_closures: list[str] = field(default_factory=list)
+    handlers: list[HandlerInfo] = field(default_factory=list)
+
+    # -- classification --------------------------------------------------------
+
+    @property
+    def pure(self) -> bool:
+        """Locally side-effect-free: no state/global/telemetry writes and
+        no synchronization.  (Transitive purity is the Program's job.)"""
+        return not (
+            self.state_writes
+            or self.global_mutations
+            or self.telemetry_writes
+            or self.sync_lines
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "qualname": self.qualname,
+            "line": self.line,
+            "class_name": self.class_name,
+            "parent": self.parent,
+            "params": list(self.params),
+            "calls": [c.to_dict() for c in self.calls],
+            "state_reads": [list(t) for t in self.state_reads],
+            "state_writes": [list(t) for t in self.state_writes],
+            "global_mutations": [list(t) for t in self.global_mutations],
+            "telemetry_writes": [list(t) for t in self.telemetry_writes],
+            "sync_lines": list(self.sync_lines),
+            "raises": self.raises,
+            "routes": self.routes,
+            "nested_defs": list(self.nested_defs),
+            "seam_closures": list(self.seam_closures),
+            "handlers": [h.to_dict() for h in self.handlers],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FunctionEffects":
+        return cls(
+            qualname=d["qualname"],
+            line=int(d["line"]),
+            class_name=d.get("class_name", ""),
+            parent=d.get("parent", ""),
+            params=tuple(d.get("params", ())),
+            calls=[CallSite.from_dict(c) for c in d.get("calls", ())],
+            state_reads=[(a, int(ln)) for a, ln in d.get("state_reads", ())],
+            state_writes=[(a, int(ln)) for a, ln in d.get("state_writes", ())],
+            global_mutations=[
+                (n, how, int(ln)) for n, how, ln in d.get("global_mutations", ())
+            ],
+            telemetry_writes=[(c, int(ln)) for c, ln in d.get("telemetry_writes", ())],
+            sync_lines=[int(x) for x in d.get("sync_lines", ())],
+            raises=bool(d.get("raises", False)),
+            routes=bool(d.get("routes", False)),
+            nested_defs=list(d.get("nested_defs", ())),
+            seam_closures=list(d.get("seam_closures", ())),
+            handlers=[HandlerInfo.from_dict(h) for h in d.get("handlers", ())],
+        )
+
+
+@dataclass
+class ModuleEffects:
+    """Effect summaries plus the module-level facts the graph needs."""
+
+    relpath: str
+    module: str  # dotted import name, "" outside the package tree
+    functions: dict[str, FunctionEffects] = field(default_factory=dict)
+    #: local name -> dotted import target ("from X import a as b" → b: X.a)
+    imports: dict[str, str] = field(default_factory=dict)
+    #: class name -> sorted method names
+    classes: dict[str, list[str]] = field(default_factory=dict)
+    #: module-level names bound to mutable containers: (name, kind, line)
+    mutable_globals: list[tuple[str, str, int]] = field(default_factory=list)
+    vertex_programs: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "relpath": self.relpath,
+            "module": self.module,
+            "functions": {q: fe.to_dict() for q, fe in self.functions.items()},
+            "imports": dict(self.imports),
+            "classes": {c: list(ms) for c, ms in self.classes.items()},
+            "mutable_globals": [list(t) for t in self.mutable_globals],
+            "vertex_programs": list(self.vertex_programs),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ModuleEffects":
+        return cls(
+            relpath=d["relpath"],
+            module=d.get("module", ""),
+            functions={
+                q: FunctionEffects.from_dict(fe)
+                for q, fe in d.get("functions", {}).items()
+            },
+            imports=dict(d.get("imports", {})),
+            classes={c: list(ms) for c, ms in d.get("classes", {}).items()},
+            mutable_globals=[
+                (n, k, int(ln)) for n, k, ln in d.get("mutable_globals", ())
+            ],
+            vertex_programs=list(d.get("vertex_programs", ())),
+        )
+
+
+def module_name_of(relpath: str) -> str:
+    """Dotted import name for a source path (``src/repro/core/mrbc.py`` →
+    ``repro.core.mrbc``); "" when the path is not under a package tree."""
+    norm = relpath.replace("\\", "/")
+    if not norm.endswith(".py"):
+        return ""
+    parts = norm[: -len(".py")].split("/")
+    if parts and parts[0] in ("src", "lib"):
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _is_mutable_ctor(node: ast.AST) -> str | None:
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        t = terminal_name(node.func)
+        if t in model.MUTABLE_CONSTRUCTOR_NAMES:
+            return t
+    return None
+
+
+def _collect_imports(tree: ast.Module) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                out[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return out
+
+
+def _bound_names(scope: FunctionScope) -> set[str]:
+    """Names assigned (or bound as params/loop targets) in this scope."""
+    bound = set(scope.params)
+    for node in scope.walk():
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            bound.add(node.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+    return bound
+
+
+def _infer_function(
+    mod: ModuleInfo,
+    scope: FunctionScope,
+    module_mutables: set[str],
+    nested_names: set[str],
+) -> FunctionEffects:
+    fe = FunctionEffects(
+        qualname=scope.qualname,
+        line=getattr(scope.node, "lineno", 1),
+        class_name=scope.class_node.name if scope.class_node is not None else "",
+        params=tuple(scope.params),
+    )
+    bound = _bound_names(scope)
+    global_decls: set[str] = set()
+    closure_args_seen: set[str] = set()
+
+    for node in scope.walk():
+        if isinstance(node, ast.Global):
+            global_decls.update(node.names)
+        elif isinstance(node, ast.Raise):
+            fe.raises = True
+        elif isinstance(node, ast.Call):
+            chain = chain_text(node.func)
+            args = tuple(
+                a.id
+                for a in list(node.args) + [k.value for k in node.keywords]
+                if isinstance(a, ast.Name)
+            )
+            fe.calls.append(
+                CallSite(chain=chain, line=node.lineno, arg_names=args)
+            )
+            t = terminal_name(node.func)
+            if t in model.SYNC_PRIMITIVES:
+                fe.sync_lines.append(node.lineno)
+            if t in model.RESILIENCE_ROUTING_NAMES:
+                fe.routes = True
+            if t in model.RUNTIME_SEAM_CALLS:
+                closure_args_seen.update(args)
+            # in-place mutation of a module-level mutable global
+            if (
+                t in model.MUTATING_METHODS
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in module_mutables
+                and node.func.value.id not in bound
+            ):
+                fe.global_mutations.append(
+                    (node.func.value.id, f".{t}()", node.lineno)
+                )
+        elif isinstance(node, ast.Attribute):
+            if node.attr in model.STATE_FIELD_ATTRS and isinstance(
+                node.ctx, ast.Load
+            ):
+                parent = mod.parent(node)
+                store_through = isinstance(
+                    parent, ast.Subscript
+                ) and isinstance(parent.ctx, (ast.Store, ast.Del))
+                if store_through:
+                    fe.state_writes.append((node.attr, node.lineno))
+                else:
+                    fe.state_reads.append((node.attr, node.lineno))
+            elif node.attr in model.STATE_FIELD_ATTRS and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                fe.state_writes.append((node.attr, node.lineno))
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                list(node.targets)
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for tgt in targets:
+                if isinstance(tgt, ast.Name):
+                    if tgt.id in global_decls:
+                        fe.global_mutations.append(
+                            (tgt.id, "assign", node.lineno)
+                        )
+                    continue
+                if not isinstance(tgt, (ast.Attribute, ast.Subscript)):
+                    continue
+                root = chain_root(tgt)
+                if isinstance(root, ast.Name):
+                    rid = root.id
+                    if rid in module_mutables and rid not in bound:
+                        fe.global_mutations.append((rid, "store", node.lineno))
+                    if (
+                        rid in model.TELEMETRY_RECEIVER_NAMES
+                        or rid in model.LEDGER_RECEIVER_NAMES
+                    ):
+                        fe.telemetry_writes.append(
+                            (chain_text(tgt), node.lineno)
+                        )
+        elif isinstance(node, ast.ExceptHandler):
+            caught = _caught_names(node.type)
+            hit = tuple(sorted(caught & model.RESILIENCE_ERROR_NAMES))
+            if not hit:
+                continue
+            routed = False
+            calls: list[str] = []
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Raise):
+                    routed = True
+                elif isinstance(inner, ast.Call):
+                    ct = terminal_name(inner.func)
+                    if ct in model.RESILIENCE_ROUTING_NAMES:
+                        routed = True
+                    elif ct is not None:
+                        calls.append(ct)
+            fe.handlers.append(
+                HandlerInfo(
+                    line=node.lineno,
+                    caught=hit,
+                    routed=routed,
+                    calls=tuple(dict.fromkeys(calls)),
+                )
+            )
+    # Nested defs become their qualname; anything else is kept raw so the
+    # graph can try a module-level function of that name (a step function
+    # defined at module scope and handed to run_loop is still a round root).
+    fe.seam_closures = sorted(
+        f"{scope.qualname}.{n}" if n in nested_names else n
+        for n in closure_args_seen
+    )
+    return fe
+
+
+def _caught_names(node: ast.AST | None) -> set[str]:
+    if node is None:
+        return set()
+    if isinstance(node, ast.Tuple):
+        out: set[str] = set()
+        for elt in node.elts:
+            out |= _caught_names(elt)
+        return out
+    t = terminal_name(node)
+    return set() if t is None else {t}
+
+
+def infer_effects(mod: ModuleInfo) -> ModuleEffects:
+    """Run effect inference over every function scope of ``mod``."""
+    me = ModuleEffects(
+        relpath=mod.relpath,
+        module=module_name_of(mod.relpath),
+        imports=_collect_imports(mod.tree),
+        vertex_programs=sorted(mod.vertex_program_classes),
+    )
+    # module-level mutable bindings
+    for node in ast.iter_child_nodes(mod.tree):
+        if isinstance(node, ast.Assign):
+            kind = _is_mutable_ctor(node.value)
+            if kind is None:
+                continue
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    me.mutable_globals.append((tgt.id, kind, node.lineno))
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            kind = _is_mutable_ctor(node.value)
+            if kind is not None and isinstance(node.target, ast.Name):
+                me.mutable_globals.append((node.target.id, kind, node.lineno))
+    module_mutables = {n for n, _k, _ln in me.mutable_globals}
+
+    # class method tables
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.ClassDef):
+            me.classes[node.name] = sorted(
+                c.name
+                for c in node.body
+                if isinstance(c, (ast.FunctionDef, ast.AsyncFunctionDef))
+            )
+
+    func_scopes = [s for s in mod.scopes if s.qualname]
+    qualnames = {s.qualname for s in func_scopes}
+    for scope in func_scopes:
+        nested = {
+            q.rsplit(".", 1)[1]
+            for q in qualnames
+            if q.startswith(scope.qualname + ".") and "." not in q[len(scope.qualname) + 1 :]
+        }
+        fe = _infer_function(mod, scope, module_mutables, nested)
+        parent_qn = scope.qualname.rsplit(".", 1)[0] if "." in scope.qualname else ""
+        if parent_qn in qualnames:
+            fe.parent = parent_qn
+        fe.nested_defs = sorted(
+            f"{scope.qualname}.{n}" for n in nested
+        )
+        me.functions[scope.qualname] = fe
+    return me

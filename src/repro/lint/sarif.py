@@ -1,0 +1,165 @@
+"""SARIF 2.1.0 export for repro-lint findings.
+
+One run, one driver (``repro-lint``), one result per finding.  The
+stable baseline fingerprint rides along as a ``partialFingerprints``
+entry so SARIF consumers dedup across revisions the same way the
+committed baseline does; pragma- and baseline-suppressed findings are
+emitted with a ``suppressions`` record (``inSource`` / ``external``)
+rather than dropped, matching the spec's model of "found but muted".
+
+:func:`from_sarif` inverts the export (used by the round-trip tests and
+by tooling that wants to diff two SARIF artifacts).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.findings import SEVERITY_ERROR, SEVERITY_WARNING, Finding
+from repro.lint.rules import RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+FINGERPRINT_KEY = "reproLint/v1"
+
+_LEVEL = {SEVERITY_ERROR: "error", SEVERITY_WARNING: "warning"}
+_SEVERITY = {
+    "error": SEVERITY_ERROR,
+    "warning": SEVERITY_WARNING,
+    "note": SEVERITY_WARNING,
+}
+_SUPPRESSION_KIND = {"pragma": "inSource", "baseline": "external"}
+_SUPPRESSED_BY = {v: k for k, v in _SUPPRESSION_KIND.items()}
+
+
+def to_sarif(
+    findings: Iterable[Finding], suppressed: Iterable[Finding] = ()
+) -> dict:
+    """Render findings as a SARIF 2.1.0 document (a plain dict)."""
+    findings = list(findings)
+    suppressed = list(suppressed)
+    used_codes = sorted({f.code for f in findings + suppressed})
+    rule_index = {code: i for i, code in enumerate(used_codes)}
+    rules = []
+    for code in used_codes:
+        rule = RULES.get(code)
+        rules.append(
+            {
+                "id": code,
+                "name": rule.name if rule else "parse-error",
+                "shortDescription": {
+                    "text": rule.summary if rule else "file does not parse"
+                },
+                "defaultConfiguration": {
+                    "level": _LEVEL.get(
+                        rule.severity if rule else SEVERITY_ERROR, "error"
+                    )
+                },
+            }
+        )
+
+    results = []
+    for f in findings + suppressed:
+        res: dict = {
+            "ruleId": f.code,
+            "ruleIndex": rule_index[f.code],
+            "level": _LEVEL.get(f.severity, "error"),
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {FINGERPRINT_KEY: f.fingerprint()},
+        }
+        props: dict = {}
+        if f.symbol:
+            props["symbol"] = f.symbol
+        if f.chain:
+            props["chain"] = f.chain
+        if props:
+            res["properties"] = props
+        if f.suppressed_by:
+            res["suppressions"] = [
+                {
+                    "kind": _SUPPRESSION_KIND.get(
+                        f.suppressed_by, "external"
+                    )
+                }
+            ]
+        results.append(res)
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": "docs/STATIC_ANALYSIS.md",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def from_sarif(doc: dict) -> list[Finding]:
+    """Reconstruct findings from a SARIF document (inverse of export)."""
+    out: list[Finding] = []
+    for run in doc.get("runs", ()):
+        for res in run.get("results", ()):
+            loc = (res.get("locations") or [{}])[0].get("physicalLocation", {})
+            region = loc.get("region", {})
+            props = res.get("properties", {})
+            suppressions = res.get("suppressions", ())
+            suppressed_by = ""
+            if suppressions:
+                suppressed_by = _SUPPRESSED_BY.get(
+                    suppressions[0].get("kind", "external"), "baseline"
+                )
+            out.append(
+                Finding(
+                    code=res.get("ruleId", ""),
+                    severity=_SEVERITY.get(res.get("level", "error"),
+                                           SEVERITY_ERROR),
+                    path=loc.get("artifactLocation", {}).get("uri", ""),
+                    line=int(region.get("startLine", 1)),
+                    col=int(region.get("startColumn", 1)),
+                    message=res.get("message", {}).get("text", ""),
+                    symbol=str(props.get("symbol", "")),
+                    chain=str(props.get("chain", "")),
+                    suppressed_by=suppressed_by,
+                )
+            )
+    return out
+
+
+def write_sarif(
+    path: str | Path,
+    findings: Iterable[Finding],
+    suppressed: Iterable[Finding] = (),
+) -> None:
+    doc = to_sarif(findings, suppressed)
+    Path(path).write_text(
+        json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+    )

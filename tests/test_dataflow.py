@@ -1,0 +1,612 @@
+"""repro.lint.dataflow: effects, call graph, SARIF, cache, CLI modes.
+
+Covers the interprocedural layer end to end:
+
+- per-function effect inference on the aliasing/closure/global fixtures
+  the rules are built from, plus the JSON round-trip the cache depends on;
+- call-graph construction over a multi-module fixture package (import
+  edges, constructor edges, method resolution, nested-def edges, cones
+  and shortest call chains);
+- the interprocedural RL404 refinement;
+- SARIF 2.1.0 export/import round-trip;
+- incremental-cache hit/miss behavior on file edit, and the acceptance
+  criterion that cached and cold runs produce identical findings;
+- ``--changed`` git-scoped selection and the ``--write-baseline`` prune
+  report (rename + rule-retirement cases);
+- the per-driver readiness report and the ``--effects`` explain mode.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+from textwrap import dedent
+
+from repro.lint import sarif
+from repro.lint.baseline import Baseline
+from repro.lint.cli import lint_main
+from repro.lint.dataflow import (
+    Program,
+    analyze_sources,
+    explain_effects,
+    readiness_report,
+)
+from repro.lint.effects import ModuleEffects, infer_effects
+from repro.lint.findings import Finding
+from repro.lint.runner import LintCache, run_lint
+from repro.lint.rules import ModuleInfo
+
+
+def effects_of(source: str, relpath: str = "src/repro/core/mod.py") -> ModuleEffects:
+    src = dedent(source)
+    return infer_effects(ModuleInfo(path=relpath, relpath=relpath, source=src))
+
+
+# -- effect inference ----------------------------------------------------------
+
+
+class TestEffectInference:
+    def test_state_reads_writes_and_delivery_pattern(self):
+        me = effects_of(
+            """
+            class Host:
+                def deliver(self, st, lid, si, d):
+                    st.fin_dist[lid, si] = d          # subscript store = write
+                    st.dirty[lid] = True
+                    return st.cand_dist[lid, si]      # subscript load = read
+            """
+        )
+        fe = me.functions["Host.deliver"]
+        assert {a for a, _ in fe.state_writes} == {"fin_dist", "dirty"}
+        assert {a for a, _ in fe.state_reads} == {"cand_dist"}
+        assert not fe.pure
+
+    def test_global_mutations_all_three_forms(self):
+        me = effects_of(
+            """
+            _CACHE = {}
+            _SEEN = []
+            _COUNT = 0
+
+            def mutate():
+                global _COUNT
+                _COUNT = 1
+                _CACHE["k"] = 2
+                _SEEN.append(3)
+            """
+        )
+        muts = {(n, how) for n, how, _ in me.functions["mutate"].global_mutations}
+        assert muts == {("_COUNT", "assign"), ("_CACHE", "store"), ("_SEEN", ".append()")}
+        assert {n for n, _k, _ln in me.mutable_globals} == {"_CACHE", "_SEEN"}
+
+    def test_shadowed_local_is_not_a_global_mutation(self):
+        me = effects_of(
+            """
+            _CACHE = {}
+
+            def local_only():
+                _CACHE = {}
+                _CACHE["k"] = 1
+            """
+        )
+        assert me.functions["local_only"].global_mutations == []
+
+    def test_seam_closures_nested_and_module_level(self):
+        me = effects_of(
+            """
+            def module_step(rnd):
+                return False
+
+            def some_engine(runtime, resilience=None):
+                def step(rnd):
+                    return False
+
+                runtime.run_loop("fwd", step)
+                runtime.run_guarded(module_step, step)
+            """
+        )
+        fe = me.functions["some_engine"]
+        assert "some_engine.step" in fe.seam_closures
+        assert "module_step" in fe.seam_closures
+
+    def test_telemetry_writes_and_purity(self):
+        me = effects_of(
+            """
+            def bad(tele):
+                tele.rounds = 3
+
+            def fine(tele):
+                return tele.rounds
+            """
+        )
+        assert me.functions["bad"].telemetry_writes
+        assert not me.functions["bad"].pure
+        assert me.functions["fine"].pure
+
+    def test_handler_records_calls_for_refinement(self):
+        me = effects_of(
+            """
+            def guarded():
+                try:
+                    work()
+                except FaultDetectedError as exc:
+                    cleanup(exc)
+            """
+        )
+        (handler,) = me.functions["guarded"].handlers
+        assert handler.caught == ("FaultDetectedError",)
+        assert not handler.routed
+        assert "cleanup" in handler.calls
+
+    def test_json_round_trip(self):
+        me = effects_of(
+            """
+            _REG = {}
+
+            class C:
+                def m(self, st):
+                    st.entries = []
+                    _REG["x"] = 1
+
+            def f(runtime):
+                def step():
+                    pass
+                runtime.run_loop("p", step)
+                raise ValueError
+            """
+        )
+        back = ModuleEffects.from_dict(json.loads(json.dumps(me.to_dict())))
+        assert back.to_dict() == me.to_dict()
+        assert back.functions["f"].raises
+
+
+# -- call graph ----------------------------------------------------------------
+
+FIXTURE_PKG = {
+    "src/repro/core/alpha.py": dedent(
+        """
+        from repro.core.beta import shared_helper
+
+        class Table:
+            def __init__(self):
+                self.entries = {}
+
+            def fill(self, k):
+                self.entries[k] = shared_helper(k)
+
+        def alpha_engine(pg, resilience=None):
+            t = Table()
+            t.fill(1)
+
+            def step(rnd):
+                return inner(rnd)
+
+            def inner(rnd):
+                return False
+
+            pg.runtime.run_loop("fwd", step)
+        """
+    ),
+    "src/repro/core/beta.py": dedent(
+        """
+        import repro.core.gamma as gamma
+
+        def shared_helper(k):
+            return gamma.leafy(k)
+        """
+    ),
+    "src/repro/core/gamma.py": dedent(
+        """
+        def leafy(k):
+            return k + 1
+
+        def mrbc_congest(g, sources, resilience=None):
+            return leafy(0)
+        """
+    ),
+}
+
+
+class TestCallGraph:
+    def build(self) -> Program:
+        _findings, program = analyze_sources(FIXTURE_PKG)
+        return program
+
+    def test_import_constructor_method_and_module_attr_edges(self):
+        p = self.build()
+        a = "src/repro/core/alpha.py"
+        assert f"{a}::Table.__init__" in p.edges[f"{a}::alpha_engine"]
+        assert (
+            "src/repro/core/beta.py::shared_helper"
+            in p.edges[f"{a}::Table.fill"]
+        )
+        # module-attribute call through `import ... as gamma`
+        assert (
+            "src/repro/core/gamma.py::leafy"
+            in p.edges["src/repro/core/beta.py::shared_helper"]
+        )
+
+    def test_nested_def_edges_and_cone(self):
+        p = self.build()
+        a = "src/repro/core/alpha.py"
+        cone = p.cone([f"{a}::alpha_engine"])
+        assert f"{a}::alpha_engine.step" in cone
+        assert f"{a}::alpha_engine.inner" in cone
+        assert "src/repro/core/gamma.py::leafy" in cone
+
+    def test_chain_is_shortest_path(self):
+        p = self.build()
+        chain = p.chain(
+            "src/repro/core/alpha.py::alpha_engine",
+            "src/repro/core/gamma.py::leafy",
+        )
+        names = [p.functions[k][1].qualname for k in chain]
+        assert names == ["alpha_engine", "Table.fill", "shared_helper", "leafy"]
+
+    def test_driver_discovery_gluon_and_congest(self):
+        p = self.build()
+        kinds = {p.functions[k][1].qualname: kind for k, kind in p.drivers()}
+        assert kinds == {"alpha_engine": "gluon", "mrbc_congest": "congest"}
+
+    def test_round_roots_include_seam_closures(self):
+        p = self.build()
+        assert "src/repro/core/alpha.py::alpha_engine.step" in p.round_roots()
+
+
+class TestRL404Refinement:
+    def test_handler_routing_through_helper_is_rescinded(self):
+        findings, _ = analyze_sources(
+            {
+                "src/repro/core/mod.py": dedent(
+                    """
+                    def escalate(exc):
+                        raise RuntimeError(str(exc))
+
+                    def routed_via_helper():
+                        try:
+                            work()
+                        except FaultDetectedError as exc:
+                            escalate(exc)
+
+                    def swallowed():
+                        try:
+                            work()
+                        except FaultDetectedError:
+                            log_quietly()
+
+                    def log_quietly():
+                        pass
+                    """
+                )
+            }
+        )
+        rl404 = {f.symbol for f in findings if f.code == "RL404"}
+        assert rl404 == {"swallowed"}
+
+
+# -- SARIF ---------------------------------------------------------------------
+
+
+class TestSarif:
+    FINDINGS = [
+        Finding(
+            code="RL503",
+            severity="error",
+            path="src/repro/core/mod.py",
+            line=12,
+            col=1,
+            message="orphan writer",
+            symbol="orphan",
+            chain="a -> b",
+        ),
+        Finding(
+            code="RL101",
+            severity="error",
+            path="src/repro/core/mod.py",
+            line=4,
+            col=9,
+            message="set iteration",
+            symbol="Engine.send",
+        ),
+    ]
+    SUPPRESSED = [
+        Finding(
+            code="RL602",
+            severity="error",
+            path="src/repro/core/mod.py",
+            line=7,
+            col=1,
+            message="telemetry store",
+            symbol="report",
+            suppressed_by="pragma",
+        )
+    ]
+
+    def test_document_shape(self):
+        doc = sarif.to_sarif(self.FINDINGS, self.SUPPRESSED)
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == sorted({"RL503", "RL101", "RL602"})
+        assert len(run["results"]) == 3
+        suppressed = [r for r in run["results"] if r.get("suppressions")]
+        assert len(suppressed) == 1
+        assert suppressed[0]["suppressions"][0]["kind"] == "inSource"
+
+    def test_round_trip_preserves_findings(self):
+        doc = sarif.to_sarif(self.FINDINGS, self.SUPPRESSED)
+        back = sarif.from_sarif(json.loads(json.dumps(doc)))
+        assert len(back) == 3
+        by_code = {f.code: f for f in back}
+        orig = self.FINDINGS[0]
+        got = by_code["RL503"]
+        for attr in ("path", "line", "col", "message", "symbol", "chain"):
+            assert getattr(got, attr) == getattr(orig, attr)
+        assert by_code["RL602"].suppressed_by == "pragma"
+
+    def test_write_sarif_is_valid_json(self, tmp_path):
+        out = tmp_path / "lint.sarif"
+        sarif.write_sarif(out, self.FINDINGS)
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["runs"][0]["results"]
+
+
+# -- incremental cache ---------------------------------------------------------
+
+
+def make_project(root: Path) -> Path:
+    (root / "pyproject.toml").write_text(
+        '[tool.repro-lint]\nbaseline = "lint-baseline.json"\n',
+        encoding="utf-8",
+    )
+    pkg = root / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (root / "src" / "repro" / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "clean.py").write_text(
+        dedent(
+            """
+            def tidy(x):
+                return x + 1
+            """
+        ),
+        encoding="utf-8",
+    )
+    (pkg / "dirty.py").write_text(
+        dedent(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        ),
+        encoding="utf-8",
+    )
+    return root
+
+
+class TestIncrementalCache:
+    def test_cold_then_warm_identical_findings(self, tmp_path):
+        root = make_project(tmp_path)
+        cache_path = root / ".repro-lint-cache.json"
+
+        cache = LintCache.load(cache_path)
+        cold = run_lint([root / "src"], project_root=root, cache=cache)
+        assert cold.cache_hits == 0 and cold.cache_misses > 0
+        assert cache_path.is_file()
+
+        warm = run_lint(
+            [root / "src"], project_root=root, cache=LintCache.load(cache_path)
+        )
+        assert warm.cache_misses == 0
+        assert warm.cache_hits == cold.cache_misses
+        assert [f.to_dict() for f in warm.active] == [
+            f.to_dict() for f in cold.active
+        ]
+        assert {f.code for f in cold.active} == {"RL103"}
+
+    def test_edit_invalidates_only_that_file(self, tmp_path):
+        root = make_project(tmp_path)
+        cache_path = root / ".repro-lint-cache.json"
+        run_lint(
+            [root / "src"], project_root=root, cache=LintCache.load(cache_path)
+        )
+
+        dirty = root / "src" / "repro" / "core" / "dirty.py"
+        dirty.write_text(
+            "def stamp():\n    return 0\n", encoding="utf-8"
+        )
+        after = run_lint(
+            [root / "src"], project_root=root, cache=LintCache.load(cache_path)
+        )
+        assert after.cache_misses == 1
+        assert after.active == []
+
+    def test_no_cache_matches_cached_run(self, tmp_path):
+        root = make_project(tmp_path)
+        cache_path = root / ".repro-lint-cache.json"
+        cached = run_lint(
+            [root / "src"], project_root=root, cache=LintCache.load(cache_path)
+        )
+        cached2 = run_lint(
+            [root / "src"], project_root=root, cache=LintCache.load(cache_path)
+        )
+        cold = run_lint([root / "src"], project_root=root)
+        assert (
+            [f.to_dict() for f in cold.active]
+            == [f.to_dict() for f in cached.active]
+            == [f.to_dict() for f in cached2.active]
+        )
+
+
+# -- --changed mode ------------------------------------------------------------
+
+
+def _git(root: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", *args],
+        cwd=root,
+        check=True,
+        capture_output=True,
+    )
+
+
+class TestChangedMode:
+    def test_changed_scopes_report_to_touched_files(self, tmp_path, monkeypatch, capsys):
+        root = make_project(tmp_path)
+        _git(root, "init", "-q")
+        _git(root, "add", "-A")
+        _git(root, "commit", "-qm", "init")
+
+        monkeypatch.chdir(root)
+        # Nothing changed: exits clean without analyzing.
+        assert lint_main(["--changed"]) == 0
+        assert "no changed python files" in capsys.readouterr().out
+
+        # Touch only the clean file; the dirty file's finding must NOT
+        # appear even though the whole-program graph covers it.
+        clean = root / "src" / "repro" / "core" / "clean.py"
+        clean.write_text(
+            "def tidy(x):\n    return x + 2\n", encoding="utf-8"
+        )
+        assert lint_main(["--changed", "--no-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "1 files" in out
+        assert "RL103" not in out
+
+        # Introduce a finding in the touched file: now it fails.
+        clean.write_text(
+            "import time\n\ndef tidy(x):\n    return time.time()\n",
+            encoding="utf-8",
+        )
+        assert lint_main(["--changed", "--no-baseline"]) == 1
+        assert "RL103" in capsys.readouterr().out
+
+
+# -- --write-baseline prune report ---------------------------------------------
+
+
+class TestBaselinePrune:
+    def test_prune_reports_renames_and_retired_rules(self, tmp_path, monkeypatch, capsys):
+        root = make_project(tmp_path)
+        monkeypatch.chdir(root)
+
+        stale_rename = Finding(
+            code="RL103",
+            severity="error",
+            path="src/repro/core/old_name.py",
+            line=3,
+            col=5,
+            message="time.time() reads the wall clock",
+            symbol="stamp",
+        )
+        retired = Finding(
+            code="RL999",
+            severity="error",
+            path="src/repro/core/dirty.py",
+            line=1,
+            col=1,
+            message="some finding of a rule that no longer exists",
+            symbol="stamp",
+        )
+        old = Baseline.from_findings([stale_rename, retired])
+        old.dump(root / "lint-baseline.json")
+
+        assert lint_main(["src", "--write-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 2 stale baseline entr" in out
+        assert "rule retired" in out and "RL999" in out
+        assert "finding fixed or renamed" in out and "old_name.py" in out
+
+        new = Baseline.load(root / "lint-baseline.json")
+        assert all(e["code"] == "RL103" for e in new.entries.values())
+        assert not any(
+            "old_name.py" in str(e["where"]) for e in new.entries.values()
+        )
+
+
+# -- readiness report & explain mode -------------------------------------------
+
+
+class TestReadiness:
+    def test_blocked_and_ready_verdicts(self):
+        findings, program = analyze_sources(
+            {
+                "src/repro/core/good.py": dedent(
+                    """
+                    def clean_engine(pg, resilience=None):
+                        return pg
+                    """
+                ),
+                "src/repro/core/bad.py": dedent(
+                    """
+                    _CACHE = {}
+
+                    def step(rnd):
+                        _CACHE["r"] = rnd
+                        return False
+
+                    def racy_engine(runtime, resilience=None):
+                        runtime.run_loop("fwd", step)
+                    """
+                ),
+            }
+        )
+        report = readiness_report(program, findings)
+        drivers = report["drivers"]
+        assert drivers["clean_engine"]["parallel_safety"]["verdict"] == "ready"
+        racy = drivers["racy_engine"]
+        assert racy["parallel_safety"]["verdict"] == "blocked"
+        (blocker,) = racy["parallel_safety"]["blockers"]
+        assert blocker["code"] == "RL601"
+        assert "step" in blocker["chain"]
+
+    def test_every_repo_driver_has_a_verdict(self):
+        repo_root = Path(__file__).resolve().parent.parent
+        result = run_lint([repo_root / "src"], project_root=repo_root)
+        drivers = result.readiness["drivers"]
+        for name in (
+            "mrbc_engine",
+            "sbbc_engine",
+            "run_bsp",
+            "mrbc_congest",
+            "mrbc_congest_batched",
+            "sbbc_congest",
+            "directed_apsp",
+            "lenzen_peleg_apsp",
+        ):
+            assert name in drivers, f"driver {name} missing from readiness"
+            for gate in ("vectorization", "parallel_safety"):
+                assert drivers[name][gate]["verdict"] in ("ready", "blocked")
+
+
+class TestExplainMode:
+    def test_explain_reports_effects_and_neighborhood(self):
+        findings, program = analyze_sources(
+            {
+                "src/repro/core/mod.py": dedent(
+                    """
+                    def writer(st, v):
+                        st.cand_dist[0] = v
+
+                    def some_engine(pg, resilience=None):
+                        writer(pg.hosts[0], 1)
+                    """
+                )
+            }
+        )
+        text = explain_effects(program, "writer", findings)
+        assert "state writes: .cand_dist" in text
+        assert "called by:   some_engine" in text
+        assert explain_effects(program, "no_such_function") is None
+
+    def test_cli_effects_flag(self, tmp_path, monkeypatch, capsys):
+        root = make_project(tmp_path)
+        monkeypatch.chdir(root)
+        assert lint_main(["src", "--effects", "tidy", "--no-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "tidy" in out and "purity:" in out
+        assert lint_main(["src", "--effects", "zzz", "--no-baseline"]) == 2

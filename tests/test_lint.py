@@ -520,6 +520,224 @@ class TestRuleFixtures:
         assert "RL405" not in codes(src, relpath="src/repro/obs/rounds.py")
         assert "RL405" not in codes(src, relpath="tests/test_whatever.py")
 
+    # -- RL501: aliased state containers escaping the plane --------------------
+
+    def test_rl501_flags_alias_stored_and_passed_out(self):
+        src = """
+            class Engine:
+                def leak(self, gid, sink):
+                    ms = self.masters.get(gid)
+                    sink.keep = ms
+                    external.stash(ms)
+        """
+        found = findings_for(src, relpath="src/repro/core/mod.py")
+        assert sum(1 for f in found if f.code == "RL501") == 2
+
+    def test_rl501_passes_plane_internal_idioms(self):
+        src = """
+            class Engine:
+                def ok(self, gid, lid):
+                    ms = self.masters.get(gid)
+                    self.masters[gid] = ms
+                    st = self.hosts[0]
+                    lst = st.local_lists[lid]
+                    bisect.insort(lst, (1, 2))
+                    self._touch(st)
+                    return sorted(ms.entries)
+        """
+        assert "RL501" not in codes(src, relpath="src/repro/core/mod.py")
+
+    def test_rl501_only_polices_state_modules(self):
+        src = """
+            def elsewhere(plane, out):
+                st = plane.hosts[0]
+                out.keep = st
+        """
+        assert "RL501" not in codes(src, relpath="src/repro/analysis/mod.py")
+
+    # -- RL502: stateful closures escaping the runtime seams -------------------
+
+    def test_rl502_flags_closure_passed_off_seam(self):
+        src = """
+            import threading
+
+            def some_engine(pg, runtime, resilience=None):
+                fired = []
+
+                def step(rnd):
+                    fired.append(rnd)
+                    return False
+
+                threading.Thread(target=step).start()
+        """
+        assert "RL502" in codes(src, relpath="src/repro/engine/mod.py")
+
+    def test_rl502_passes_seam_and_same_module_consumers(self):
+        src = """
+            def _helper(live, body):
+                return body() if live() else None
+
+            def some_engine(pg, runtime, resilience=None):
+                state = {"fires": 0}
+
+                def live():
+                    return state["fires"] < 3
+
+                def step(rnd):
+                    state["fires"] += 1
+                    return live()
+
+                runtime.run_loop("fwd", step, precheck=live)
+                _helper(live, step)
+                return sorted(pg.parts, key=lambda p: p.host)
+        """
+        assert "RL502" not in codes(src, relpath="src/repro/engine/mod.py")
+
+    def test_rl502_flags_capturing_lambda_off_seam(self):
+        src = """
+            def some_engine(pg, registry, resilience=None):
+                batch = [1, 2, 3]
+                registry.defer(lambda: len(batch))
+        """
+        assert "RL502" in codes(src, relpath="src/repro/engine/mod.py")
+
+    # -- RL503 (program scope): off-seam state writers -------------------------
+
+    def test_rl503_flags_writer_unreachable_from_any_seam(self):
+        from repro.lint.dataflow import analyze_sources
+
+        src = dedent(
+            """
+            def orphan(st, v):
+                st.cand_dist[0] = v
+
+            def some_engine(pg, resilience=None):
+                return pg
+            """
+        )
+        found, _ = analyze_sources({"src/repro/core/mod.py": src})
+        assert any(
+            f.code == "RL503" and f.symbol == "orphan" for f in found
+        )
+
+    def test_rl503_passes_writer_reachable_from_driver(self):
+        from repro.lint.dataflow import analyze_sources
+
+        src = dedent(
+            """
+            def deliver(st, v):
+                st.cand_dist[0] = v
+
+            def some_engine(pg, resilience=None):
+                deliver(pg.hosts[0], 1)
+            """
+        )
+        found, _ = analyze_sources({"src/repro/core/mod.py": src})
+        assert not any(f.code == "RL503" for f in found)
+
+    # -- RL601 (program scope): module globals mutated in the round cone -------
+
+    def test_rl601_flags_global_mutation_reached_from_step(self):
+        from repro.lint.dataflow import analyze_sources
+
+        src = dedent(
+            """
+            _CACHE = {}
+
+            def step(rnd):
+                helper()
+                return False
+
+            def helper():
+                _CACHE["k"] = 1
+
+            def some_engine(runtime, resilience=None):
+                runtime.run_loop("fwd", step)
+            """
+        )
+        found, _ = analyze_sources({"src/repro/core/mod.py": src})
+        hits = [f for f in found if f.code == "RL601"]
+        assert any(f.symbol == "helper" and "step" in f.chain for f in hits)
+
+    def test_rl601_passes_global_mutation_outside_round_cone(self):
+        from repro.lint.dataflow import analyze_sources
+
+        src = dedent(
+            """
+            _REGISTRY = {}
+
+            def register_algo(name, fn):
+                _REGISTRY[name] = fn
+
+            def step(rnd):
+                return False
+
+            def some_engine(runtime, resilience=None):
+                runtime.run_loop("fwd", step)
+            """
+        )
+        found, _ = analyze_sources({"src/repro/core/mod.py": src})
+        assert not any(f.code == "RL601" for f in found)
+
+    # -- RL602: telemetry/ledger field stores off the recording seams ----------
+
+    def test_rl602_flags_direct_store_through_telemetry(self):
+        src = """
+            def report(tele, n):
+                tele.counters["rounds"] = n
+        """
+        assert "RL602" in codes(src, relpath="src/repro/core/mod.py")
+
+    def test_rl602_passes_seam_calls_and_receiver_binding(self):
+        src = """
+            class Engine:
+                def __init__(self, tele):
+                    self.tele = tele
+
+                def report(self, rledger, n):
+                    rledger.note(frontier=n)
+                    self.tele.metrics.observe("x", n)
+        """
+        assert "RL602" not in codes(src, relpath="src/repro/core/mod.py")
+
+    def test_rl602_exempts_obs_implementation(self):
+        src = """
+            def flush(tele):
+                tele.buffer = []
+        """
+        assert "RL602" not in codes(src, relpath="src/repro/obs/telemetry.py")
+
+    # -- RL603: cross-host subscripts inside host loops ------------------------
+
+    def test_rl603_flags_foreign_host_index(self):
+        src = """
+            class Plane:
+                def mix(self):
+                    for h, st in enumerate(self.hosts):
+                        other = self.hosts[0]
+        """
+        assert "RL603" in codes(src, relpath="src/repro/core/mod.py")
+
+    def test_rl603_passes_own_index_and_non_host_loops(self):
+        src = """
+            class Plane:
+                def ok(self, pg, deliveries):
+                    for h, st in enumerate(self.hosts):
+                        part = pg.parts[h]
+                    for h, items in enumerate(deliveries):
+                        st = self.hosts[h]
+        """
+        assert "RL603" not in codes(src, relpath="src/repro/core/mod.py")
+
+    def test_rl603_exempts_communication_layer(self):
+        src = """
+            class Substrate:
+                def exchange(self):
+                    for h, st in enumerate(self.hosts):
+                        peer = self.hosts[(h + 1) % 2]
+        """
+        assert "RL603" not in codes(src, relpath="src/repro/engine/gluon.py")
+
     # -- RL900: parse errors ---------------------------------------------------
 
     def test_rl900_on_syntax_error(self, tmp_path):
