@@ -106,6 +106,7 @@ class CommCheckCase:
     sources: int = 8
     batch: int = 8
     seed: int = 7
+    plane: str = "dict"  # engine tier (ignored by mrbc-congest)
 
 
 #: CI-sized: seconds total, both engines and both graph regimes, plus the
@@ -347,13 +348,19 @@ def run_case_checks(case: CommCheckCase) -> list[CheckResult]:
         from repro.baselines.sbbc import sbbc_engine
 
         with obs.session(comm=ledger):
-            res = sbbc_engine(g, sources=sources, num_hosts=case.hosts)
+            res = sbbc_engine(
+                g, sources=sources, num_hosts=case.hosts, plane=case.plane
+            )
     elif case.algorithm == "mrbc":
         from repro.core.mrbc import mrbc_engine
 
         with obs.session(comm=ledger):
             res = mrbc_engine(
-                g, sources=sources, batch_size=case.batch, num_hosts=case.hosts
+                g,
+                sources=sources,
+                batch_size=case.batch,
+                num_hosts=case.hosts,
+                plane=case.plane,
             )
     else:
         raise ValueError(f"unknown commcheck algorithm {case.algorithm!r}")
@@ -373,6 +380,7 @@ def run_case_checks(case: CommCheckCase) -> list[CheckResult]:
                 batch_size=case.batch,
                 num_hosts=case.hosts,
                 delayed_sync=False,
+                plane=case.plane,
             )
         results.append(
             check_delayed_sync(

@@ -86,6 +86,7 @@ class RoundCheckCase:
     batch: int = 4
     seed: int = 7
     slack: int = DEFAULT_SLACK
+    plane: str = "dict"  # engine tier (ignored by mrbc-congest)
 
 
 #: CI-sized: seconds total, both engines and both graph regimes, plus the
@@ -339,13 +340,19 @@ def run_case_checks(case: RoundCheckCase) -> list[CheckResult]:
         from repro.baselines.sbbc import sbbc_engine
 
         with obs.session(rounds=ledger):
-            res = sbbc_engine(g, sources=sources, num_hosts=case.hosts)
+            res = sbbc_engine(
+                g, sources=sources, num_hosts=case.hosts, plane=case.plane
+            )
     elif case.algorithm == "mrbc":
         from repro.core.mrbc import mrbc_engine
 
         with obs.session(rounds=ledger):
             res = mrbc_engine(
-                g, sources=sources, batch_size=case.batch, num_hosts=case.hosts
+                g,
+                sources=sources,
+                batch_size=case.batch,
+                num_hosts=case.hosts,
+                plane=case.plane,
             )
     else:
         raise ValueError(f"unknown roundcheck algorithm {case.algorithm!r}")
@@ -371,6 +378,7 @@ def run_case_checks(case: RoundCheckCase) -> list[CheckResult]:
                 batch_size=case.batch,
                 num_hosts=case.hosts,
                 delayed_sync=False,
+                plane=case.plane,
             )
         results.append(
             check_delayed_rounds(

@@ -34,7 +34,8 @@ from repro.engine.gluon import TARGET_ALL_PROXIES, TARGET_IN_EDGES
 from repro.engine.partition import PartitionedGraph
 from repro.engine.stats import EngineRun
 from repro.graph.digraph import DiGraph
-from repro.runtime.plane import GluonPlane, resolve_partition
+from repro.runtime.arrays import ColumnBlock, HostArena, expand_csr
+from repro.runtime.plane import GluonArrayPlane, GluonPlane, resolve_partition
 from repro.runtime.superstep import SuperstepRuntime
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -288,6 +289,358 @@ class _SourceExecutor:
 
         return runtime.run_loop("backward", step, min_rounds=max_level)
 
+    def collect(
+        self, dist_row: np.ndarray, sigma_row: np.ndarray, bc: np.ndarray
+    ) -> None:
+        """Bank this source's results into the engine accumulators."""
+        for gid, (d, sg) in self.settled.items():
+            dist_row[gid] = d
+            sigma_row[gid] = sg
+        for gid, dl in self.delta.items():
+            if gid != self.source:
+                bc[gid] += dl
+
+
+class _ArraySourceExecutor:
+    """One Brandes source on the columnar plane.
+
+    The vectorized twin of :class:`_SourceExecutor`: per-source state
+    lives in a shared :class:`~repro.runtime.arrays.HostArena` (``k=1``
+    — one column) reset between sources, masters keep dense settled
+    arrays, and every step is an arena-wide sweep.
+
+    Bit-exactness relies on SBBC's level synchrony: all deliveries in a
+    round carry the same BFS level, so every candidate cell sees one
+    assignment followed by ordered additions — ``np.add.at`` in item
+    order reproduces the dict plane's float sequences without any
+    per-cell replay.
+    """
+
+    def __init__(
+        self,
+        pg: PartitionedGraph,
+        gluon: "GluonArrayPlane",
+        run: EngineRun,
+        source: int,
+        arena: HostArena,
+    ) -> None:
+        self.pg = pg
+        self.gluon = gluon
+        self.run = run
+        self.source = source
+        self.H = pg.num_hosts
+        self.n = int(pg.master_of.size)
+        arena.reset_state()
+        self.arena = arena
+        # Master-side settled state, dense over all vertices.
+        self.settled_d = np.full(self.n, INF, dtype=np.int64)
+        self.settled_sg = np.zeros(self.n, dtype=np.float64)
+        #: Settle order (the dict plane's insertion order), per round.
+        self._order: list[np.ndarray] = []
+        self.delta = np.zeros(self.n, dtype=np.float64)
+
+    def run_forward(self, runtime: "SuperstepRuntime | None" = None) -> int:
+        if runtime is None:
+            runtime = SuperstepRuntime(run=self.run)
+        pg, gluon = self.pg, self.gluon
+        A = self.arena
+        H = self.H
+        rledger = obs.current().rounds
+        pending: list = [None] * H
+        # View construction only — every value read happens inside the
+        # step closure, after that round's broadcast delivered.
+        fd = A.fin_dist[:, 0]  # repro-lint: disable=RL301
+        fsg = A.fin_sigma[:, 0]  # repro-lint: disable=RL301
+        cd = A.cand_dist[:, 0]
+        csg = A.cand_sigma[:, 0]
+        dirty = A.dirty[:, 0]
+        fpos = A.fpos[:, 0]
+        # Round 1 settles the source itself.
+        newly = (
+            np.array([self.source], dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+            np.ones(1, dtype=np.float64),
+        )
+        empty = (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+
+        def step(rnd: int, rs) -> bool:
+            nonlocal pending, newly
+            inbox = gluon.reduce_to_masters(pending, FWD_PAYLOAD_BYTES, 1, rs)
+            pending = [None] * H
+            got = [
+                (h, blk) for h, blk in enumerate(inbox)
+                if blk is not None and len(blk)
+            ]
+            if got:
+                for h, blk in got:
+                    rs.compute[h].struct_ops += len(blk)
+                gi = np.concatenate([blk.gids for _h, blk in got])
+                d = np.concatenate(
+                    [blk.cols[1] for _h, blk in got]
+                ).astype(np.int64, copy=False)
+                sg = np.concatenate(
+                    [blk.cols[2] for _h, blk in got]
+                ).astype(np.float64, copy=False)
+                fresh = self.settled_d[gi] == INF
+                assert (
+                    d[~fresh] > self.settled_d[gi[~fresh]]
+                ).all(), "late same-level contribution"
+                gi, d, sg = gi[fresh], d[fresh], sg[fresh]
+                if gi.size:
+                    # Merge same-gid contributions in first-occurrence
+                    # order; σ sums accumulate in item order.
+                    ug, first, inv = np.unique(
+                        gi, return_index=True, return_inverse=True
+                    )
+                    assert (d == d[first][inv]).all(), "level-synchrony violated"
+                    acc = np.zeros(ug.size, dtype=np.float64)
+                    np.add.at(acc, inv, sg)
+                    ordp = np.argsort(first, kind="stable")
+                    newly = (ug[ordp], d[first][ordp], acc[ordp])
+
+            new_g, new_d, new_sg = newly
+            blocks: list = [None] * H
+            level = int(new_g.size)
+            if level:
+                self.settled_d[new_g] = new_d
+                self.settled_sg[new_g] = new_sg
+                self._order.append(new_g)
+                hosts_f = pg.master_of[new_g]
+                for h, c in enumerate(np.bincount(hosts_f, minlength=H)):
+                    if c:
+                        rs.compute[h].vertex_ops += int(c)
+                blocks = GluonArrayPlane._split_by_dest(
+                    new_g, hosts_f, [new_d, new_sg], H
+                )
+            if rledger is not None:
+                # Level-synchronous settling: this round's frontier is
+                # exactly the BFS level that settles in it.
+                rledger.note(frontier=level, settled=level, active_sources=1)
+            newly = empty
+
+            deliveries = gluon.broadcast_from_masters(
+                blocks, TARGET_ALL_PROXIES, FWD_PAYLOAD_BYTES, 1, rs
+            )
+
+            present = [
+                (h, blk) for h, blk in enumerate(deliveries)
+                if blk is not None and len(blk)
+            ]
+            if present:
+                lens = np.array([len(blk) for _h, blk in present], dtype=np.int64)
+                hs = np.repeat(
+                    np.array([h for h, _blk in present], dtype=np.int64), lens
+                )
+                gidv = np.concatenate([blk.gids for _h, blk in present])
+                dv = np.concatenate(
+                    [blk.cols[0] for _h, blk in present]
+                ).astype(np.int64, copy=False)
+                sgv = np.concatenate(
+                    [blk.cols[1] for _h, blk in present]
+                ).astype(np.float64, copy=False)
+                m = int(gidv.size)
+                lid = A.lut[hs, gidv]
+                fd[lid] = dv
+                fsg[lid] = sgv
+                fpos[lid] = np.arange(m, dtype=np.int64)
+                for (h, _blk), cnt in zip(present, lens.tolist()):
+                    rs.compute[h].vertex_ops += cnt
+                deg = A.out_offsets[lid + 1] - A.out_offsets[lid]
+                block_starts = np.zeros(lens.size, dtype=np.int64)
+                np.cumsum(lens[:-1], out=block_starts[1:])
+                for (h, _blk), e in zip(
+                    present, np.add.reduceat(deg, block_starts).tolist()
+                ):
+                    if e:
+                        rs.compute[h].edge_ops += int(e)
+                item_of, w = expand_csr(A.out_offsets, A.out_targets, lid)
+                if w.size:
+                    # Open ⟺ not settled in an earlier round and not
+                    # finalized by an earlier item of this round.
+                    open_ = (fd[w] == INF) | (fpos[w] > item_of)
+                    sel = np.nonzero(open_)[0]
+                    if sel.size:
+                        wt = w[sel]
+                        nd = dv[item_of[sel]] + 1
+                        sv = sgv[item_of[sel]]
+                        cdv = cd[wt]
+                        # One shared level per round: the first event into
+                        # an improved cell assigns, the rest add — a
+                        # zeroed ordered sum, and every open event with
+                        # nd <= old candidate counts one struct op.
+                        bet = nd < cdv
+                        upd = bet | (nd == cdv)
+                        if bet.any():
+                            bw = wt[bet]
+                            cd[bw] = nd[bet]
+                            csg[bw] = 0.0
+                        if upd.any():
+                            uw = wt[upd]
+                            np.add.at(csg, uw, sv[upd])
+                            dirty[uw] = True
+                            for h, c in enumerate(
+                                np.bincount(
+                                    hs[item_of[sel[upd]]], minlength=H
+                                )
+                            ):
+                                if c:
+                                    rs.compute[h].struct_ops += int(c)
+                fpos[lid] = -1
+
+            pending = [None] * H
+            rows = np.nonzero(dirty)[0]
+            if rows.size == 0:
+                return False
+            d_sel = cd[rows]
+            sg_sel = csg[rows]
+            g_sel = A.gids[rows]
+            bounds = np.searchsorted(rows, A.off)
+            for h in range(H):
+                a, b = int(bounds[h]), int(bounds[h + 1])
+                if b > a:
+                    pending[h] = ColumnBlock.raw(
+                        g_sel[a:b], (d_sel[a:b], sg_sel[a:b])
+                    )
+            dirty[rows] = False
+            return True
+
+        return runtime.run_loop("forward", step)
+
+    def run_backward(self, runtime: "SuperstepRuntime | None" = None) -> int:
+        if runtime is None:
+            runtime = SuperstepRuntime(run=self.run)
+        pg, gluon = self.pg, self.gluon
+        A = self.arena
+        H = self.H
+        so = (
+            np.concatenate(self._order)
+            if self._order
+            else np.empty(0, dtype=np.int64)
+        )
+        so = so[so != self.source]
+        lv = self.settled_d[so]
+        max_level = int(lv.max()) if lv.size else 0
+        self.delta[:] = 0.0
+        # View construction only — every value read happens inside the
+        # step closure, on state the forward phase already finalized.
+        fd = A.fin_dist[:, 0]  # repro-lint: disable=RL301
+        fsg = A.fin_sigma[:, 0]  # repro-lint: disable=RL301
+        pdel = A.partial_delta[:, 0]
+        ddirty = A.delta_dirty[:, 0]
+        rledger = obs.current().rounds
+        pending: list = [None] * H
+
+        def step(rnd: int, rs) -> bool:
+            nonlocal pending
+            inbox = gluon.reduce_to_masters(pending, BWD_PAYLOAD_BYTES, 1, rs)
+            got = [
+                (h, blk) for h, blk in enumerate(inbox)
+                if blk is not None and len(blk)
+            ]
+            if got:
+                for h, blk in got:
+                    rs.compute[h].struct_ops += len(blk)
+                gi = np.concatenate([blk.gids for _h, blk in got])
+                pd = np.concatenate(
+                    [blk.cols[1] for _h, blk in got]
+                ).astype(np.float64, copy=False)
+                # Item-order accumulation — the dict plane's `+=` sequence.
+                np.add.at(self.delta, gi, pd)
+
+            level = max_level - rnd + 1
+            fires_g = so[lv == level]
+            blocks: list = [None] * H
+            if fires_g.size:
+                coeff = (1.0 + self.delta[fires_g]) / self.settled_sg[fires_g]
+                hosts_f = pg.master_of[fires_g]
+                for h, c in enumerate(np.bincount(hosts_f, minlength=H)):
+                    if c:
+                        rs.compute[h].vertex_ops += int(c)
+                blocks = GluonArrayPlane._split_by_dest(
+                    fires_g, hosts_f, [coeff, self.settled_d[fires_g]], H
+                )
+            if rledger is not None:
+                # The reverse walk fires level max_level - rnd + 1 whole:
+                # each settled vertex's dependency finalizes exactly once.
+                rledger.note(
+                    frontier=int(fires_g.size), settled=int(fires_g.size)
+                )
+
+            deliveries = gluon.broadcast_from_masters(
+                blocks, TARGET_IN_EDGES, BWD_PAYLOAD_BYTES, 1, rs
+            )
+
+            present = [
+                (h, blk) for h, blk in enumerate(deliveries)
+                if blk is not None and len(blk)
+            ]
+            if present:
+                lens = np.array([len(blk) for _h, blk in present], dtype=np.int64)
+                hs = np.repeat(
+                    np.array([h for h, _blk in present], dtype=np.int64), lens
+                )
+                gidv = np.concatenate([blk.gids for _h, blk in present])
+                coeff = np.concatenate(
+                    [blk.cols[0] for _h, blk in present]
+                ).astype(np.float64, copy=False)
+                dv = np.concatenate(
+                    [blk.cols[1] for _h, blk in present]
+                ).astype(np.int64, copy=False)
+                lid = A.lut[hs, gidv]
+                for (h, _blk), cnt in zip(present, lens.tolist()):
+                    rs.compute[h].vertex_ops += cnt
+                deg = A.in_offsets[lid + 1] - A.in_offsets[lid]
+                block_starts = np.zeros(lens.size, dtype=np.int64)
+                np.cumsum(lens[:-1], out=block_starts[1:])
+                for (h, _blk), e in zip(
+                    present, np.add.reduceat(deg, block_starts).tolist()
+                ):
+                    if e:
+                        rs.compute[h].edge_ops += int(e)
+                item_of, wp = expand_csr(A.in_offsets, A.in_sources, lid)
+                if wp.size:
+                    sel = np.nonzero(fd[wp] == dv[item_of] - 1)[0]
+                    if sel.size:
+                        wt = wp[sel]
+                        np.add.at(pdel, wt, fsg[wt] * coeff[item_of[sel]])
+                        ddirty[wt] = True
+                        for h, c in enumerate(
+                            np.bincount(hs[item_of[sel]], minlength=H)
+                        ):
+                            if c:
+                                rs.compute[h].struct_ops += int(c)
+
+            pending = [None] * H
+            rows = np.nonzero(ddirty)[0]
+            if rows.size == 0:
+                return False
+            pd_sel = pdel[rows]
+            g_sel = A.gids[rows]
+            bounds = np.searchsorted(rows, A.off)
+            for h in range(H):
+                a, b = int(bounds[h]), int(bounds[h + 1])
+                if b > a:
+                    pending[h] = ColumnBlock.raw(g_sel[a:b], (pd_sel[a:b],))
+            pdel[rows] = 0.0
+            ddirty[rows] = False
+            return True
+
+        return runtime.run_loop("backward", step, min_rounds=max_level)
+
+    def collect(
+        self, dist_row: np.ndarray, sigma_row: np.ndarray, bc: np.ndarray
+    ) -> None:
+        """Bank this source's results into the engine accumulators."""
+        sel = np.nonzero(self.settled_d != INF)[0]
+        dist_row[sel] = self.settled_d[sel]
+        sigma_row[sel] = self.settled_sg[sel]
+        nz = sel[sel != self.source]
+        bc[nz] += self.delta[nz]
+
 
 def sbbc_engine(
     g: DiGraph,
@@ -297,6 +650,7 @@ def sbbc_engine(
     partition: PartitionedGraph | None = None,
     resilience: "ResilienceContext | None" = None,
     recovery_policy: "RecoveryPolicy | str | None" = None,
+    plane: str = "dict",
 ) -> SBBCResult:
     """Run Synchronous-Brandes BC on the simulated engine.
 
@@ -315,6 +669,13 @@ def sbbc_engine(
     .RecoveryPolicy`: retry/backoff/deadline/restart budgets, and — when
     the policy degrades — per-source failure domains, with unrecoverable
     sources dropped and the completed ones salvaged into ``partial``.
+
+    ``plane`` selects the execution tier: ``"dict"`` (default) runs the
+    row-wise reference executor on :class:`~repro.runtime.plane
+    .GluonPlane`; ``"array"`` runs the vectorized columnar executor on
+    :class:`~repro.runtime.plane.GluonArrayPlane`, reusing one
+    :class:`~repro.runtime.arrays.HostArena` across sources.  Both tiers
+    produce bit-identical results and identical ledger counts.
     """
     from repro.resilience.supervisor import attach_policy
 
@@ -327,12 +688,20 @@ def sbbc_engine(
         raise ValueError("need at least one source")
 
     resilience, supervisor = attach_policy(resilience, recovery_policy)
-    runtime = SuperstepRuntime(
-        plane=GluonPlane(pg, resilience=resilience), resilience=resilience
-    )
+    n = g.num_vertices
+    arena: HostArena | None = None
+    if plane == "dict":
+        plane_obj = GluonPlane(pg, resilience=resilience)
+    elif plane == "array":
+        plane_obj = GluonArrayPlane(pg, resilience=resilience)
+        # One arena for the whole run: topology (LUT + stitched CSRs) is
+        # source-independent; only the state columns reset per source.
+        arena = HostArena(pg.parts, 1, n)
+    else:
+        raise ValueError(f"unknown plane {plane!r} (expected 'dict' or 'array')")
+    runtime = SuperstepRuntime(plane=plane_obj, resilience=resilience)
     gluon = runtime.plane
     run = runtime.run
-    n = g.num_vertices
     bc = np.zeros(n, dtype=np.float64)
     dist = np.full((src.size, n), -1, dtype=np.int64)
     sigma = np.zeros((src.size, n), dtype=np.float64)
@@ -342,10 +711,12 @@ def sbbc_engine(
         # The source is SBBC's recovery unit: on an injected crash the
         # in-flight source replays from scratch (redone rounds are
         # charged to the recovery phase by the runtime policy).
-        def prepare(attempt: int, s: int = int(s)) -> _SourceExecutor:
+        def prepare(attempt: int, s: int = int(s)):
+            if arena is not None:
+                return _ArraySourceExecutor(pg, gluon, run, s, arena)
             return _SourceExecutor(pg, gluon, run, s)
 
-        def both_phases(ex: _SourceExecutor, s: int = int(s)) -> tuple[int, int]:
+        def both_phases(ex, s: int = int(s)) -> tuple[int, int]:
             with runtime.phase("forward", source=s):
                 f = ex.run_forward(runtime)
             with runtime.phase("backward", source=s):
@@ -366,12 +737,7 @@ def sbbc_engine(
         ex, (f, b) = out
         fwd += f
         bwd += b
-        for gid, (d, sg) in ex.settled.items():
-            dist[i, gid] = d
-            sigma[i, gid] = sg
-        for gid, dl in ex.delta.items():
-            if gid != s:
-                bc[gid] += dl
+        ex.collect(dist[i], sigma[i], bc)
     partial = (
         supervisor.partial_result(bc, requested_sources=int(src.size), num_vertices=n)
         if supervisor is not None

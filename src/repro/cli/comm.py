@@ -31,13 +31,19 @@ def _run_with_ledger(args, g, sources):
         from repro.baselines.sbbc import sbbc_engine
 
         with obs.session(comm=ledger):
-            sbbc_engine(g, sources=sources, num_hosts=args.hosts)
+            sbbc_engine(
+                g, sources=sources, num_hosts=args.hosts, plane=args.plane
+            )
     else:
         from repro.core.mrbc import mrbc_engine
 
         with obs.session(comm=ledger):
             mrbc_engine(
-                g, sources=sources, batch_size=args.batch, num_hosts=args.hosts
+                g,
+                sources=sources,
+                batch_size=args.batch,
+                num_hosts=args.hosts,
+                plane=args.plane,
             )
     return ledger
 
@@ -128,6 +134,9 @@ def comm_main(argv: list[str]) -> int:
     p.add_argument("--hosts", type=int, default=4, help="simulated hosts")
     p.add_argument("--batch", type=int, default=8, help="MRBC batch size")
     p.add_argument("--seed", type=int, default=7, help="sampling seed")
+    p.add_argument("--plane", choices=("dict", "array"), default="dict",
+                   help="engine execution tier for mrbc/sbbc (the ledger "
+                        "counts are identical by contract; default: dict)")
     p.add_argument("--check", action="store_true",
                    help="run predicted-vs-measured conformance checks "
                         "(exit code is the verdict)")
@@ -164,7 +173,9 @@ def comm_main(argv: list[str]) -> int:
         )
 
         if args.graph is None:
-            cases = DEFAULT_CHECK_SUITE
+            from dataclasses import replace
+
+            cases = [replace(c, plane=args.plane) for c in DEFAULT_CHECK_SUITE]
         else:
             cases = [CommCheckCase(
                 name=f"{args.algorithm}-{args.graph}",
@@ -174,6 +185,7 @@ def comm_main(argv: list[str]) -> int:
                 sources=args.sources,
                 batch=args.batch,
                 seed=args.seed,
+                plane=args.plane,
             )]
         report = run_conformance(
             cases, progress=lambda c: log.info("checking %s ...", c.name)

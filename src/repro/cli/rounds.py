@@ -26,13 +26,19 @@ def _run_with_ledger(args, g, sources):
         from repro.baselines.sbbc import sbbc_engine
 
         with obs.session(rounds=ledger):
-            sbbc_engine(g, sources=sources, num_hosts=args.hosts)
+            sbbc_engine(
+                g, sources=sources, num_hosts=args.hosts, plane=args.plane
+            )
     else:
         from repro.core.mrbc import mrbc_engine
 
         with obs.session(rounds=ledger):
             mrbc_engine(
-                g, sources=sources, batch_size=args.batch, num_hosts=args.hosts
+                g,
+                sources=sources,
+                batch_size=args.batch,
+                num_hosts=args.hosts,
+                plane=args.plane,
             )
     return ledger
 
@@ -122,6 +128,9 @@ def rounds_main(argv: list[str]) -> int:
     p.add_argument("--hosts", type=int, default=4, help="simulated hosts")
     p.add_argument("--batch", type=int, default=4, help="source batch size")
     p.add_argument("--seed", type=int, default=7, help="sampling seed")
+    p.add_argument("--plane", choices=("dict", "array"), default="dict",
+                   help="engine execution tier for mrbc/sbbc (the round "
+                        "ledger is identical by contract; default: dict)")
     p.add_argument("--check", action="store_true",
                    help="run predicted-vs-measured round-bound checks "
                         "(exit code is the verdict)")
@@ -150,17 +159,12 @@ def rounds_main(argv: list[str]) -> int:
 
         slack = DEFAULT_SLACK if args.slack is None else args.slack
         if args.graph is None:
-            if args.slack is None:
-                cases = DEFAULT_ROUND_SUITE
-            else:
-                cases = [
-                    RoundCheckCase(
-                        name=c.name, algorithm=c.algorithm, graph=c.graph,
-                        hosts=c.hosts, sources=c.sources, batch=c.batch,
-                        seed=c.seed, slack=slack,
-                    )
-                    for c in DEFAULT_ROUND_SUITE
-                ]
+            from dataclasses import replace
+
+            cases = [
+                replace(c, slack=slack, plane=args.plane)
+                for c in DEFAULT_ROUND_SUITE
+            ]
         else:
             cases = [RoundCheckCase(
                 name=f"{args.algorithm}-{args.graph}",
@@ -171,6 +175,7 @@ def rounds_main(argv: list[str]) -> int:
                 batch=args.batch,
                 seed=args.seed,
                 slack=slack,
+                plane=args.plane,
             )]
         report = run_conformance(
             cases, progress=lambda c: log.info("checking %s ...", c.name)

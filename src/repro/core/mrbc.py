@@ -53,7 +53,15 @@ from repro.resilience.checkpoint import (
     mrbc_forward_snapshot,
     restore_mrbc_forward,
 )
-from repro.runtime.plane import GluonPlane, resolve_partition
+from repro.runtime.arrays import (
+    BIG,
+    ColumnBlock,
+    HostArena,
+    MasterColumns,
+    RowStateView,
+    expand_csr,
+)
+from repro.runtime.plane import GluonArrayPlane, GluonPlane, resolve_partition
 from repro.runtime.superstep import SuperstepRuntime
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -573,6 +581,676 @@ class _BatchExecutor:
 
         return runtime.run_loop("backward", step, min_rounds=R)
 
+    # -- uniform executor interface (shared with the array twin) -----------
+
+    def flatmap_entry_counts(self) -> list[int]:
+        """Per master, |L_v| — the flat-map occupancy histogram input."""
+        return [len(ms.entries) for ms in self.masters.values()]
+
+
+class _ArrayBatchExecutor:
+    """Columnar twin of :class:`_BatchExecutor` (``plane="array"``).
+
+    Replaces the per-vertex dicts with the dense state in
+    :mod:`repro.runtime.arrays` and each per-item Python loop with a
+    whole-column sweep, while producing *byte-identical* engine counts,
+    ledger entries and floating-point results.  The contract rests on
+    three structural facts about the dict plane:
+
+    - **Derived local lists** — a proxy's sorted ``(d, si)`` list always
+      equals the sorted view of its candidate-distance row (a candidate
+      is never displaced to a worse distance), so delayed-sync staging
+      recomputes the due prefix from ``cand_dist`` each round instead of
+      maintaining lists incrementally.
+    - **Per-cell sequencing** — within one relax sweep, items interact
+      only through per-``(vertex, source)`` cells.  Cells touched by a
+      single event this round (the vast majority) are handled with array
+      ops; multi-event cells replay the dict plane's exact per-item
+      order via an event sort (``lexsort`` on (cell, item, kind)).
+    - **Order-pinned masters** — everywhere the dict plane depends on
+      dict insertion order (fire emission, backward schedule, banking),
+      ``MasterColumns.master_seq`` reproduces it explicitly.
+
+    σ path counts are integers in float64, so reassociated sums are
+    exact; δ accumulations use ``np.add.at`` with events in the dict
+    plane's order, making them bit-identical too.
+    """
+
+    def __init__(
+        self,
+        pg: PartitionedGraph,
+        gluon: GluonArrayPlane,
+        run: EngineRun,
+        batch: np.ndarray,
+        delayed_sync: bool,
+        resilience: "ResilienceContext | None" = None,
+    ) -> None:
+        self.pg = pg
+        self.gluon = gluon
+        self.run = run
+        self.batch = batch
+        self.k = batch.size
+        self.delayed_sync = delayed_sync
+        self.H = pg.num_hosts
+        self.n = int(pg.master_of.size)
+        self.checker = (
+            resilience.new_invariant_checker() if resilience is not None else None
+        )
+        self.arena = HostArena(pg.parts, self.k, self.n)
+        self.masters = MasterColumns(self.k, self.n, self.H)
+        for si, s in enumerate(batch):
+            self.masters.initialize_source(si, int(s))
+        self.delta: np.ndarray | None = None
+
+    # -- forward phase -----------------------------------------------------
+
+    def _apply_contribution_scalar(
+        self, host: int, si: int, gid: int, d: int, sigma: float
+    ) -> None:
+        """Sequential merge for duplicate-keyed inbox items (fault plans)."""
+        M = self.masters
+        if int(M.contrib_d[host, si, gid]) < d:
+            return  # stale (the host already reported something better)
+        M.contrib_d[host, si, gid] = d
+        M.contrib_sigma[host, si, gid] = sigma
+
+    def _apply_forward_inbox(self, inbox, rs: RoundStats) -> None:
+        """Merge reduced candidates into the master columns.
+
+        Vectorized form of ``apply_contribution`` over all inbox items:
+        the per-host stale filter touches only each sender's own past
+        contribution, and (sender, si, gid) keys are unique within a
+        fault-free round, so a scatter write is exact; the authoritative
+        ``(d*, σ*)`` is then recomputed once per touched cell (the dict
+        plane recomputes per item, but the final state is a pure
+        function of the contribution table).
+        """
+        M = self.masters
+        present = [
+            (h, blk) for h, blk in enumerate(inbox)
+            if blk is not None and len(blk)
+        ]
+        if not present:
+            return
+        for h, blk in present:
+            rs.compute[h].struct_ops += 2 * len(blk)  # flat-map lookup + update
+        gids = np.concatenate([blk.gids for _h, blk in present])
+        snd = np.concatenate([blk.cols[0] for _h, blk in present]).astype(np.int64, copy=False)
+        si = np.concatenate([blk.cols[1] for _h, blk in present]).astype(np.int64, copy=False)
+        d = np.concatenate([blk.cols[2] for _h, blk in present]).astype(np.int64, copy=False)
+        sg = np.concatenate([blk.cols[3] for _h, blk in present]).astype(np.float64, copy=False)
+        M.register_new(gids)
+        key = np.sort((snd * self.k + si) * self.n + gids)
+        if key.size > 1 and (key[1:] == key[:-1]).any():
+            for j in range(gids.size):
+                self._apply_contribution_scalar(
+                    int(snd[j]), int(si[j]), int(gids[j]), int(d[j]), float(sg[j])
+                )
+        else:
+            old = M.contrib_d[snd, si, gids]
+            keep = old >= d
+            sw, iw, gw, dw, gg = snd[keep], si[keep], gids[keep], d[keep], sg[keep]
+            M.contrib_d[sw, iw, gw] = dw
+            M.contrib_sigma[sw, iw, gw] = gg
+        # Recompute (d*, σ*) for every delivered cell — idempotent for
+        # the stale-filtered ones, so the full set is safe.
+        cells = np.unique(si * self.n + gids)
+        si_u = cells // self.n
+        g_u = cells % self.n
+        sub_d = M.contrib_d[:, si_u, g_u]
+        d_star = sub_d.min(axis=0)
+        sig_star = np.where(
+            sub_d == d_star, M.contrib_sigma[:, si_u, g_u], 0.0
+        ).sum(axis=0)
+        fired_worse = M.fired[si_u, g_u] & (d_star < M.ent_d[si_u, g_u])
+        assert not fired_worse.any(), "replacing a fired entry"
+        M.ent_d[si_u, g_u] = d_star
+        M.best_sigma[si_u, g_u] = sig_star
+
+    def _emit_fires(self, rnd: int, rs: RoundStats):
+        """Evaluate the CONGEST send rule over all masters at once.
+
+        The head of each master's unfired schedule is the min of
+        ``d*(k+1)+si`` over unfired present cells; it fires when
+        ``d + sent_prefix + 1 == rnd``, exactly ``next_fire``.
+        Returns (per-host fire blocks, fired count, any_pending).
+        """
+        M = self.masters
+        kmin = M.schedule_key().min(axis=0)
+        has = kmin < BIG
+        due = np.where(has, kmin // (self.k + 1), 0) + M.sent_prefix + 1
+        fire = has & (due == rnd)
+        missed = has & (due < rnd)
+        assert not missed.any(), "missed fire: an entry was due earlier"
+        g = np.nonzero(fire)[0]
+        blocks = [None] * self.H
+        if g.size:
+            g = g[M.order_by_seq(g)]
+            si_f = (kmin[g] % (self.k + 1)).astype(np.int64, copy=False)
+            d_f = (kmin[g] // (self.k + 1)).astype(np.int64, copy=False)
+            M.fired[si_f, g] = True
+            M.tau[si_f, g] = rnd
+            M.sent_prefix[g] += 1
+            hosts_f = self.pg.master_of[g]
+            blocks = GluonArrayPlane._split_by_dest(
+                g, hosts_f, [si_f, d_f, M.best_sigma[si_f, g]], self.H
+            )
+            for h, c in enumerate(np.bincount(hosts_f, minlength=self.H)):
+                if c:
+                    rs.compute[h].struct_ops += int(c)
+        any_pending = bool(((M.ent_d != INF) & ~M.fired).any())
+        return blocks, int(g.size), any_pending
+
+    def _relax_forward(self, deliveries, rs: RoundStats) -> None:
+        """Relax local out-edges of this round's fired vertices — one
+        arena-wide sweep over every host's delivery block.
+
+        The dict plane processes delivery items one by one per host;
+        every intra-round read-after-write runs through either the
+        finalized row (unique writes — reconstructed exactly from the
+        post-state plus the per-cell fire position ``fpos``) or a
+        candidate cell.  Hosts never share cells (arena rows are
+        per-host), so concatenating the blocks in host order preserves
+        each host's item order and changes nothing else.  Cells with one
+        event this round take the vectorized path; multi-event cells
+        replay events in item order.
+        """
+        present = [
+            (h, blk) for h, blk in enumerate(deliveries)
+            if blk is not None and len(blk)
+        ]
+        if not present:
+            return
+        A = self.arena
+        delayed = self.delayed_sync
+        k = self.k
+        lens = np.array([len(blk) for _h, blk in present], dtype=np.int64)
+        hs = np.repeat(
+            np.array([h for h, _blk in present], dtype=np.int64), lens
+        )
+        gids = np.concatenate([blk.gids for _h, blk in present])
+        si = np.concatenate([blk.cols[0] for _h, blk in present]).astype(np.int64, copy=False)
+        d = np.concatenate([blk.cols[1] for _h, blk in present]).astype(np.int64, copy=False)
+        sg = np.concatenate([blk.cols[2] for _h, blk in present]).astype(np.float64, copy=False)
+        m = int(gids.size)
+        lid = A.lut[hs, gids]
+        A.fin_dist[lid, si] = d
+        A.fin_sigma[lid, si] = sg
+        A.fpos[lid, si] = np.arange(m, dtype=np.int64)
+        for (h, blk), cnt in zip(present, lens.tolist()):
+            oc = rs.compute[h]
+            oc.vertex_ops += cnt
+            if delayed:
+                oc.struct_ops += cnt  # local-list reconciliation probes
+        deg = A.out_offsets[lid + 1] - A.out_offsets[lid]
+        # Delivery blocks are host-contiguous, so per-host edge totals are
+        # segment sums at the block starts (int all the way, no bincount
+        # float round-trip).
+        block_starts = np.zeros(lens.size, dtype=np.int64)
+        np.cumsum(lens[:-1], out=block_starts[1:])
+        for (h, _blk), e in zip(
+            present, np.add.reduceat(deg, block_starts).tolist()
+        ):
+            if e:
+                rs.compute[h].edge_ops += int(e)
+        item_of, w = expand_csr(A.out_offsets, A.out_targets, lid)
+        if w.size:
+            sie = si[item_of]
+            nd = d[item_of] + 1
+            # Open ⟺ the finalized value does not already beat the
+            # relaxation *at the time the item runs*: final after this
+            # round, or finalized by a later item than this one.
+            # Called from the step loop right after broadcast delivery,
+            # so the finalized columns are post-synchronization here.
+            open_ = (A.fin_dist[w, sie] >= nd) | (A.fpos[w, sie] > item_of)  # repro-lint: disable=RL301
+            r_sel = np.nonzero(open_)[0]
+        else:
+            sie = nd = np.empty(0, dtype=np.int64)
+            r_sel = np.empty(0, dtype=np.int64)
+        if delayed:
+            cells = np.concatenate([lid * k + si, w[r_sel] * k + sie[r_sel]])
+            js = np.concatenate([np.arange(m, dtype=np.int64), item_of[r_sel]])
+            kinds = np.concatenate(
+                [np.zeros(m, dtype=np.int8), np.ones(r_sel.size, dtype=np.int8)]
+            )
+        else:
+            cells = w[r_sel] * k + sie[r_sel] if r_sel.size else r_sel
+            js = item_of[r_sel] if r_sel.size else r_sel
+            kinds = np.ones(r_sel.size, dtype=np.int8)
+        n_better = np.zeros(self.H, dtype=np.int64)
+        n_equal = np.zeros(self.H, dtype=np.int64)
+        if cells.size:
+            # Stable sort on one composite key ≡ lexsort((kinds, js,
+            # cells)): js < m and kinds < 2, so the packing is injective.
+            order = np.argsort(
+                (cells * m + js) * 2 + kinds, kind="stable"
+            )
+            cs = cells[order]
+            first = np.ones(cs.size, dtype=bool)
+            first[1:] = cs[1:] != cs[:-1]
+            run_len = np.bincount(np.cumsum(first) - 1)
+            single = np.repeat(run_len == 1, run_len)
+            ev = order[single]
+            if delayed:
+                fe = ev[ev < m]
+                re_ = ev[ev >= m] - m
+            else:
+                fe = np.empty(0, dtype=np.int64)
+                re_ = ev
+            if fe.size:
+                # F events: the broadcast value supersedes this host's
+                # own candidate (see the dict plane for the rationale).
+                fl, fs, fd = lid[fe], si[fe], d[fe]
+                old = A.cand_dist[fl, fs]
+                has_old = old != INF
+                upd = has_old & (old > fd)
+                A.cand_dist[fl[upd], fs[upd]] = fd[upd]
+                A.cand_sigma[fl[upd], fs[upd]] = 0.0
+                A.unsent.set_many(fl[has_old])
+                A.sent_d[fl, fs] = fd
+            if re_.size:
+                idx = r_sel[re_]
+                wt, ws, wnd = w[idx], sie[idx], nd[idx]
+                wsg = sg[item_of[idx]]
+                ev_h = hs[item_of[idx]]
+                cd = A.cand_dist[wt, ws]
+                bet = wnd < cd
+                eq = wnd == cd
+                if bet.any():
+                    bw, bs = wt[bet], ws[bet]
+                    A.cand_dist[bw, bs] = wnd[bet]
+                    A.cand_sigma[bw, bs] = wsg[bet]
+                    if delayed:
+                        A.unsent.set_many(bw)
+                    else:
+                        A.dirty[bw, bs] = True
+                    n_better += np.bincount(ev_h[bet], minlength=self.H)
+                if eq.any():
+                    ew, es = wt[eq], ws[eq]
+                    A.cand_sigma[ew, es] += wsg[eq]
+                    if delayed:
+                        reset = A.sent_d[ew, es] == wnd[eq]
+                        A.sent_d[ew[reset], es[reset]] = -1
+                        A.unsent.set_many(ew)
+                    else:
+                        A.dirty[ew, es] = True
+                    n_equal += np.bincount(ev_h[eq], minlength=self.H)
+            multi = order[~single]
+            if multi.size:
+                self._replay_multi(
+                    multi, m, lid, si, d, r_sel, w, sie, nd, sg, item_of,
+                    hs, n_better, n_equal,
+                )
+        sfac = 2 if delayed else 1
+        for h in range(self.H):
+            ops = sfac * int(n_better[h]) + int(n_equal[h])
+            if ops:
+                rs.compute[h].struct_ops += ops
+        A.fpos[lid, si] = -1
+
+    def _replay_multi(
+        self, multi, m, lid, si, d, r_sel, w, sie, nd, sg, item_of,
+        hs, n_better, n_equal,
+    ) -> None:
+        """Replay multi-event cells in the dict plane's per-item order.
+
+        Cell state is gathered into Python dicts once, replayed with
+        pure-Python arithmetic (float64 in, float64 out — bit-identical
+        to the in-array sequence), and scattered back; per-event NumPy
+        scalar indexing is the thing this avoids.
+        """
+        A = self.arena
+        delayed = self.delayed_sync
+        k = self.k
+        if delayed:
+            isf = multi < m
+            idx_f = np.where(isf, multi, 0)
+            idx_r = r_sel[np.where(isf, 0, multi - m)]
+            rows = np.where(isf, lid[idx_f], w[idx_r])
+            srcs = np.where(isf, si[idx_f], sie[idx_r])
+            vals = np.where(isf, d[idx_f], nd[idx_r])
+            sgv = np.where(isf, 0.0, sg[item_of[idx_r]])
+            hostv = hs[np.where(isf, idx_f, item_of[idx_r])]
+            kinds_l = isf.tolist()
+        else:
+            idx_r = r_sel[multi]
+            rows = w[idx_r]
+            srcs = sie[idx_r]
+            vals = nd[idx_r]
+            sgv = sg[item_of[idx_r]]
+            hostv = hs[item_of[idx_r]]
+            kinds_l = [False] * int(multi.size)
+        cells = rows * k + srcs
+        ucells, pos = np.unique(cells, return_inverse=True)
+        ua, us = ucells // k, ucells % k
+        cd_l = A.cand_dist[ua, us].tolist()
+        sg_l = A.cand_sigma[ua, us].tolist()
+        sd_l = A.sent_d[ua, us].tolist()
+        nb = [0] * self.H
+        ne = [0] * self.H
+        unsent_rows: list[int] = []
+        dirty_pos: list[int] = []
+        for isf_, p, a_, v_, s_, h_ in zip(
+            kinds_l, pos.tolist(), rows.tolist(), vals.tolist(),
+            sgv.tolist(), hostv.tolist(),
+        ):
+            cd_ = cd_l[p]
+            if isf_:
+                if cd_ != INF:
+                    if cd_ > v_:
+                        cd_l[p] = v_
+                        sg_l[p] = 0.0
+                    unsent_rows.append(a_)
+                sd_l[p] = v_
+            elif v_ < cd_:
+                cd_l[p] = v_
+                sg_l[p] = s_
+                if delayed:
+                    unsent_rows.append(a_)
+                else:
+                    dirty_pos.append(p)
+                nb[h_] += 1
+            elif v_ == cd_:
+                sg_l[p] = sg_l[p] + s_
+                if delayed:
+                    if sd_l[p] == v_:
+                        sd_l[p] = -1
+                    unsent_rows.append(a_)
+                else:
+                    dirty_pos.append(p)
+                ne[h_] += 1
+        A.cand_dist[ua, us] = cd_l
+        A.cand_sigma[ua, us] = sg_l
+        n_better += np.array(nb, dtype=np.int64)
+        n_equal += np.array(ne, dtype=np.int64)
+        if delayed:
+            A.sent_d[ua, us] = sd_l
+            if unsent_rows:
+                A.unsent.set_many(np.array(unsent_rows, dtype=np.int64))
+        elif dirty_pos:
+            dp = np.array(dirty_pos, dtype=np.int64)
+            A.dirty[ua[dp], us[dp]] = True
+
+    def _stage_delayed(self, rnd: int, rs: RoundStats):
+        """Vectorized §4.3 staging: derive each pending vertex's sorted
+        pair list from its candidate row, send the due prefix.
+
+        One arena-wide sweep: the unsent bitset's sorted index vector is
+        exactly the dict plane's (host asc, lid asc) iteration order, so
+        slicing the row-major result at the arena's host offsets yields
+        the per-host blocks in the dict plane's staging order.
+        """
+        blocks: list = [None] * self.H
+        A = self.arena
+        lids = A.unsent.indices()
+        if lids.size == 0:
+            return blocks, False
+        for h, c in enumerate(
+            np.bincount(A.host_of[lids], minlength=self.H)
+        ):
+            if c:
+                rs.compute[h].struct_ops += int(c)  # flat-map probes
+        pos = np.arange(self.k, dtype=np.int64)[None, :]
+        sub_d = A.cand_dist[lids]
+        present = sub_d != INF
+        key = np.where(present, sub_d * (self.k + 1) + pos, BIG)
+        order = np.argsort(key, axis=1)
+        rix = np.arange(lids.size, dtype=np.int64)[:, None]
+        d_sorted = sub_d[rix, order]
+        p_sorted = present[rix, order]
+        sent_sorted = A.sent_d[lids][rix, order]
+        # Due rounds are strictly increasing along each sorted list,
+        # so the due test per position yields the dict plane's
+        # break-at-first-not-due prefix automatically.
+        due = p_sorted & (d_sorted + pos <= rnd)
+        need = due & (sent_sorted != d_sorted)
+        rows, cols = np.nonzero(need)
+        if rows.size:
+            l_sel = lids[rows]  # non-decreasing: row-major over sorted lids
+            si_sel = order[rows, cols]
+            d_sel = d_sorted[rows, cols]
+            A.sent_d[l_sel, si_sel] = d_sel
+            sg_sel = A.cand_sigma[l_sel, si_sel]
+            g_sel = A.gids[l_sel]
+            bounds = np.searchsorted(l_sel, A.off)
+            for h in range(self.H):
+                a, b = int(bounds[h]), int(bounds[h + 1])
+                if b > a:
+                    blocks[h] = ColumnBlock.raw(
+                        g_sel[a:b], (si_sel[a:b], d_sel[a:b], sg_sel[a:b])
+                    )
+        remain = p_sorted & ~due & (sent_sorted != d_sorted)
+        A.unsent.clear_many(lids[~remain.any(axis=1)])
+        any_work = rows.size > 0 or A.unsent.any()
+        return blocks, any_work
+
+    def _stage_eager(self):
+        """Ablation path: reduce every updated candidate every round."""
+        blocks: list = [None] * self.H
+        A = self.arena
+        rows, cols = np.nonzero(A.dirty)
+        if rows.size == 0:
+            return blocks, False
+        cols = cols.astype(np.int64, copy=False)
+        d_sel = A.cand_dist[rows, cols]
+        sg_sel = A.cand_sigma[rows, cols]
+        g_sel = A.gids[rows]
+        bounds = np.searchsorted(rows, A.off)
+        for h in range(self.H):
+            a, b = int(bounds[h]), int(bounds[h + 1])
+            if b > a:
+                blocks[h] = ColumnBlock.raw(
+                    g_sel[a:b], (cols[a:b], d_sel[a:b], sg_sel[a:b])
+                )
+        A.dirty[:] = False
+        return blocks, True
+
+    def run_forward(self, runtime: "SuperstepRuntime | None" = None) -> int:
+        if runtime is None:
+            runtime = SuperstepRuntime(run=self.run)
+        gluon = self.gluon
+        rledger = obs.current().rounds
+        pending: list = [None] * self.H
+
+        def step(rnd: int, rs: RoundStats) -> bool:
+            nonlocal pending
+
+            inbox = gluon.reduce_to_masters(pending, FWD_PAYLOAD_BYTES, self.k, rs)
+            pending = [None] * self.H
+            self._apply_forward_inbox(inbox, rs)
+            fires, fired_total, any_pending = self._emit_fires(rnd, rs)
+
+            if self.checker is not None:
+                self.checker.check_master_round(rnd, self.masters.to_rows())
+
+            if rledger is not None:
+                M = self.masters
+                present = M.ent_d != INF
+                rledger.note(
+                    frontier=fired_total,
+                    settled=fired_total,
+                    active_sources=int(
+                        np.count_nonzero((present & ~M.fired).any(axis=1))
+                    ),
+                    stage_entries=int(present.sum()),
+                    stage_fired=int(M.sent_prefix.sum()),
+                    stage_depth=self.arena.unsent.count(),
+                )
+
+            deliveries = gluon.broadcast_from_masters(
+                fires, TARGET_ALL_PROXIES, FWD_PAYLOAD_BYTES, self.k, rs
+            )
+            self._relax_forward(deliveries, rs)
+
+            if self.delayed_sync:
+                pending, any_work = self._stage_delayed(rnd, rs)
+            else:
+                pending, any_work = self._stage_eager()
+            return any_work or any_pending
+
+        return runtime.run_loop("forward", step)
+
+    # -- backward phase ----------------------------------------------------
+
+    def run_backward(self, runtime: "SuperstepRuntime | None" = None) -> int:
+        if runtime is None:
+            runtime = SuperstepRuntime(run=self.run)
+        gluon = self.gluon
+        M = self.masters
+        R = int(M.tau[M.fired].max()) if M.fired.any() else 1
+        src_self = np.zeros((self.k, self.n), dtype=bool)
+        src_self[np.arange(self.k), self.batch] = True
+        sched = M.fired & ~src_self
+        self.delta = np.zeros((self.k, self.n), dtype=np.float64)
+        pending: list = [None] * self.H
+        rledger = obs.current().rounds
+
+        def step(rnd: int, rs: RoundStats) -> bool:
+            nonlocal pending
+
+            inbox = gluon.reduce_to_masters(pending, BWD_PAYLOAD_BYTES, self.k, rs)
+            pending = [None] * self.H
+            got = [
+                (h, blk) for h, blk in enumerate(inbox)
+                if blk is not None and len(blk)
+            ]
+            if got:
+                for h, blk in got:
+                    rs.compute[h].struct_ops += len(blk)
+                gi = np.concatenate([blk.gids for _h, blk in got])
+                si = np.concatenate(
+                    [blk.cols[1] for _h, blk in got]
+                ).astype(np.int64, copy=False)
+                pd = np.concatenate(
+                    [blk.cols[2] for _h, blk in got]
+                ).astype(np.float64, copy=False)
+                # Sequential accumulation in inbox order (host asc, item
+                # order within) — bit-identical to the dict plane's
+                # per-item `+=`.
+                np.add.at(self.delta, (si, gi), pd)
+
+            fr = sched & (M.tau == R - rnd + 1)
+            si_f, g_f = np.nonzero(fr)
+            blocks = [None] * self.H
+            if g_f.size:
+                ordp = M.order_by_seq(g_f)
+                g_f, si_f = g_f[ordp], si_f[ordp]
+                sg = M.best_sigma[si_f, g_f]
+                coeff = (1.0 + self.delta[si_f, g_f]) / sg
+                hosts_f = self.pg.master_of[g_f]
+                blocks = GluonArrayPlane._split_by_dest(
+                    g_f, hosts_f, [si_f, coeff, M.ent_d[si_f, g_f]], self.H
+                )
+                for h, c in enumerate(np.bincount(hosts_f, minlength=self.H)):
+                    if c:
+                        rs.compute[h].struct_ops += int(c)
+
+            if rledger is not None:
+                rledger.note(frontier=int(g_f.size), settled=int(g_f.size))
+
+            deliveries = gluon.broadcast_from_masters(
+                blocks, TARGET_IN_EDGES, BWD_PAYLOAD_BYTES, self.k, rs
+            )
+            self._credit_backward(deliveries, rs)
+
+            pending = [None] * self.H
+            A = self.arena
+            rows, cols = np.nonzero(A.delta_dirty)
+            if rows.size == 0:
+                return False
+            cols = cols.astype(np.int64, copy=False)
+            pd_sel = A.partial_delta[rows, cols]
+            g_sel = A.gids[rows]
+            bounds = np.searchsorted(rows, A.off)
+            for h in range(self.H):
+                a, b = int(bounds[h]), int(bounds[h + 1])
+                if b > a:
+                    pending[h] = ColumnBlock.raw(
+                        g_sel[a:b], (cols[a:b], pd_sel[a:b])
+                    )
+            A.partial_delta[rows, cols] = 0.0
+            A.delta_dirty[:] = False
+            return True
+
+        return runtime.run_loop("backward", step, min_rounds=R)
+
+    def _credit_backward(self, deliveries, rs: RoundStats) -> None:
+        present = [
+            (h, blk) for h, blk in enumerate(deliveries)
+            if blk is not None and len(blk)
+        ]
+        if not present:
+            return
+        A = self.arena
+        lens = np.array([len(blk) for _h, blk in present], dtype=np.int64)
+        hs = np.repeat(
+            np.array([h for h, _blk in present], dtype=np.int64), lens
+        )
+        gids = np.concatenate([blk.gids for _h, blk in present])
+        si = np.concatenate([blk.cols[0] for _h, blk in present]).astype(np.int64, copy=False)
+        coeff = np.concatenate(
+            [blk.cols[1] for _h, blk in present]
+        ).astype(np.float64, copy=False)
+        d = np.concatenate([blk.cols[2] for _h, blk in present]).astype(np.int64, copy=False)
+        lid = A.lut[hs, gids]
+        for (h, blk), cnt in zip(present, lens.tolist()):
+            rs.compute[h].vertex_ops += cnt
+        deg = A.in_offsets[lid + 1] - A.in_offsets[lid]
+        block_starts = np.zeros(lens.size, dtype=np.int64)
+        np.cumsum(lens[:-1], out=block_starts[1:])
+        for (h, _blk), e in zip(
+            present, np.add.reduceat(deg, block_starts).tolist()
+        ):
+            if e:
+                rs.compute[h].edge_ops += int(e)
+        item_of, wp = expand_csr(A.in_offsets, A.in_sources, lid)
+        if wp.size == 0:
+            return
+        sie = si[item_of]
+        # Called from the step loop right after broadcast delivery, so
+        # the finalized columns are post-synchronization here.
+        is_pred = A.fin_dist[wp, sie] == d[item_of] - 1  # repro-lint: disable=RL301
+        sel = np.nonzero(is_pred)[0]
+        if sel.size == 0:
+            return
+        wt, ws = wp[sel], sie[sel]
+        vals = A.fin_sigma[wt, ws] * coeff[item_of[sel]]  # repro-lint: disable=RL301
+        # np.add.at accumulates in event order = (host, item,
+        # predecessor) order — the dict plane's exact float sequence
+        # per cell (cells never span hosts).
+        np.add.at(A.partial_delta, (wt, ws), vals)
+        A.delta_dirty[wt, ws] = True
+        for h, c in enumerate(
+            np.bincount(hs[item_of[sel]], minlength=self.H)
+        ):
+            if c:
+                rs.compute[h].struct_ops += int(c)
+
+    # -- uniform executor interface ----------------------------------------
+
+    def flatmap_entry_counts(self) -> list[int]:
+        """Per master, |L_v| — the flat-map occupancy histogram input."""
+        counts = (self.masters.ent_d != INF).sum(axis=0)
+        return [int(counts[g]) for g in self.masters.master_order]
+
+    def to_rows(self) -> RowStateView:
+        """Dict-plane-shaped view for checkpoints/invariant checks."""
+        return RowStateView(
+            masters=self.masters.to_rows(),
+            hosts=[self.arena.host_view(h) for h in range(self.H)],
+            batch=self.batch,
+        )
+
+    def from_rows(self, masters, arrays) -> None:
+        """Load a dict-plane forward snapshot (checkpoint restore)."""
+        self.masters = MasterColumns(self.k, self.n, self.H)
+        self.masters.from_rows(masters)
+        self.delta = None
+        for h in range(self.H):
+            view = self.arena.host_view(h)
+            view.fin_dist[:] = arrays[f"fin_dist_{h}"]
+            view.fin_sigma[:] = arrays[f"fin_sigma_{h}"]
+
 
 def mrbc_engine(
     g: DiGraph,
@@ -587,6 +1265,7 @@ def mrbc_engine(
     seed: int | None = None,
     resilience: "ResilienceContext | None" = None,
     recovery_policy: "RecoveryPolicy | str | None" = None,
+    plane: str = "dict",
 ) -> MRBCEngineResult:
     """Run Min-Rounds BC on the simulated D-Galois engine.
 
@@ -627,6 +1306,13 @@ def mrbc_engine(
         :class:`~repro.resilience.supervisor.PartialResult` salvaging
         the completed batches.  With no faults, attaching a policy is
         neutral — the deterministic signature is byte-identical.
+    plane:
+        ``"dict"`` (default) runs the per-vertex reference executor on
+        the tuple-exchanging :class:`~repro.runtime.plane.GluonPlane`;
+        ``"array"`` runs the columnar executor on the
+        :class:`~repro.runtime.plane.GluonArrayPlane`.  Both produce
+        byte-identical results, engine counts and ledger entries; the
+        array plane is the fast path (see docs/PERFORMANCE.md).
 
     Returns per-vertex BC (summed over the sampled sources), per-source
     distances and path counts, and the full engine statistics.
@@ -645,9 +1331,15 @@ def mrbc_engine(
         raise ValueError("need at least one source")
 
     resilience, supervisor = attach_policy(resilience, recovery_policy)
-    runtime = SuperstepRuntime(
-        plane=GluonPlane(pg, resilience=resilience), resilience=resilience
-    )
+    if plane == "dict":
+        exec_cls = _BatchExecutor
+        plane_obj = GluonPlane(pg, resilience=resilience)
+    elif plane == "array":
+        exec_cls = _ArrayBatchExecutor
+        plane_obj = GluonArrayPlane(pg, resilience=resilience)
+    else:
+        raise ValueError(f"unknown plane {plane!r} (expected 'dict' or 'array')")
+    runtime = SuperstepRuntime(plane=plane_obj, resilience=resilience)
     gluon = runtime.plane
     run = runtime.run
     n = g.num_vertices
@@ -663,7 +1355,7 @@ def mrbc_engine(
         # -- forward, restarting the batch from scratch on a host crash
         # (redone rounds are charged to the recovery phase by the runtime).
         def fwd_prepare(attempt: int) -> _BatchExecutor:
-            return _BatchExecutor(pg, gluon, run, batch, delayed_sync, resilience)
+            return exec_cls(pg, gluon, run, batch, delayed_sync, resilience)
 
         def fwd_body(ex: _BatchExecutor) -> int:
             with runtime.phase("forward", batch=b0, k=int(batch.size)):
@@ -678,15 +1370,15 @@ def mrbc_engine(
             # data structure whose maintenance cost Figure 2 charges to
             # MRBC's computation time).
             hist = tele.metrics.histogram("mrbc.flatmap_entries")
-            for ms in ex.masters.values():
-                hist.observe(len(ms.entries))
+            for cnt in ex.flatmap_entry_counts():
+                hist.observe(cnt)
         b = 0
         if not forward_only:
             # -- backward, resuming from the forward checkpoint on a crash.
             def bwd_prepare(attempt: int, first: _BatchExecutor = ex) -> _BatchExecutor:
                 if attempt == 1:
                     return first
-                fresh = _BatchExecutor(
+                fresh = exec_cls(
                     pg, gluon, run, batch, delayed_sync, resilience
                 )
                 meta, arrays = resilience.checkpoints.load(
@@ -718,15 +1410,31 @@ def mrbc_engine(
         fwd_rounds += f
         bwd_rounds += b
         base = b0 * batch_size
-        for gid, ms in ex.masters.items():
-            for si, (d, sg) in ms.best.items():
-                dist[base + si, gid] = d
-                sigma[base + si, gid] = sg
-        if not forward_only:
-            for gid, dl in ex.delta.items():
+        if plane == "array":
+            # Same banking, columnar: (si, gid) cells are disjoint, and
+            # the per-gid BC accumulation runs si-ascending with zero
+            # contributions from non-masters (float identity), so the
+            # result is bit-identical to the dict loop below.
+            M = ex.masters
+            si_p, g_p = np.nonzero(M.ent_d != INF)
+            dist[base + si_p, g_p] = M.ent_d[si_p, g_p]
+            sigma[base + si_p, g_p] = M.best_sigma[si_p, g_p]
+            if not forward_only:
+                registered = M.master_seq >= 0
                 for si in range(batch.size):
-                    if int(batch[si]) != gid:
-                        bc[gid] += dl[si]
+                    row = np.where(registered, ex.delta[si], 0.0)
+                    row[int(batch[si])] = 0.0
+                    bc += row
+        else:
+            for gid, ms in ex.masters.items():
+                for si, (d, sg) in ms.best.items():
+                    dist[base + si, gid] = d
+                    sigma[base + si, gid] = sg
+            if not forward_only:
+                for gid, dl in ex.delta.items():
+                    for si in range(batch.size):
+                        if int(batch[si]) != gid:
+                            bc[gid] += dl[si]
 
     partial = (
         supervisor.partial_result(bc, requested_sources=int(src.size), num_vertices=n)

@@ -119,6 +119,104 @@ class GluonSubstrate:
             + payload_bytes * n_items
         )
 
+    def _pair_bytes_from_stats(
+        self,
+        sender: int,
+        receiver: int,
+        n_vertices: int,
+        n_items: int,
+        source_meta: int,
+        payload_bytes: int,
+    ) -> int:
+        """The :meth:`_message_bytes` formula from pre-aggregated counts.
+
+        The array plane computes ``n_vertices`` (distinct vertices in the
+        pair message), ``n_items`` and ``source_meta`` (the summed
+        min(index list, k-bit bitvector) term) with array reductions
+        instead of a per-item dict scan; the byte model is shared so both
+        planes charge identical sizes.
+        """
+        shared = int(self.pg.shared_proxies[sender, receiver])
+        vertex_meta = min(
+            VERTEX_ID_BYTES * n_vertices,
+            (shared + 7) // 8 if shared else VERTEX_ID_BYTES * n_vertices,
+        )
+        return (
+            MESSAGE_HEADER_BYTES
+            + vertex_meta
+            + source_meta
+            + payload_bytes * n_items
+        )
+
+    def account_column_pairs(
+        self,
+        pair_stats: Sequence[tuple[int, int, int, int, int]],
+        payload_bytes: int,
+        batch_width: int,
+        rs: RoundStats,
+        op: str = "sync",
+    ) -> None:
+        """Columnar twin of :meth:`_account`.
+
+        ``pair_stats`` rows are ``(sender, receiver, n_items, n_vertices,
+        source_meta_bytes)`` — one row per host pair with traffic this
+        round.  Every byte, counter, ledger entry and telemetry sample is
+        produced exactly as the tuple path would; only the aggregation
+        that *computes* the per-pair counts moved into array code.
+        Requires the closed-form size model (``exact_sizes`` encodes each
+        item and has no columnar equivalent).
+        """
+        if self.exact_sizes:
+            raise ValueError(
+                "columnar accounting requires the closed-form size model; "
+                "exact_sizes stays on the dict plane"
+            )
+        del batch_width  # folded into source_meta_bytes by the caller
+        tele = obs.current()
+        ledger = tele.comm
+        if tele.enabled:
+            before = (
+                int(rs.bytes_out.sum()),
+                rs.pair_messages,
+                rs.items_synced,
+                rs.proxies_synced,
+            )
+        for sender, receiver, n_items, n_vertices, source_meta in pair_stats:
+            rs.items_synced += n_items
+            rs.proxies_synced += n_vertices
+            if sender == receiver:
+                continue  # local delivery is free
+            nbytes = self._pair_bytes_from_stats(
+                sender, receiver, n_vertices, n_items, source_meta, payload_bytes
+            )
+            rs.pair_messages += 1
+            rs.bytes_out[sender] += nbytes
+            rs.bytes_in[receiver] += nbytes
+            rs.msgs_out[sender] += 1
+            rs.msgs_in[receiver] += 1
+            if ledger is not None:
+                ledger.record_pair_message(
+                    rs, sender, receiver, n_items, nbytes, op
+                )
+            if tele.enabled:
+                tele.metrics.histogram("gluon.message_bytes", op=op).observe(
+                    nbytes
+                )
+        if tele.enabled:
+            m = tele.metrics
+            m.counter("gluon.bytes", op=op).inc(
+                int(rs.bytes_out.sum()) - before[0]
+            )
+            m.counter("gluon.pair_messages", op=op).inc(
+                rs.pair_messages - before[1]
+            )
+            m.counter("gluon.items_synced", op=op).inc(
+                rs.items_synced - before[2]
+            )
+            m.counter("gluon.proxies_synced", op=op).inc(
+                rs.proxies_synced - before[3]
+            )
+
     def _encoded_bytes(
         self,
         items: list[tuple[Any, ...]],

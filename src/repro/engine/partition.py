@@ -204,6 +204,22 @@ class PartitionedGraph:
             self._proxy_hosts_off[v] : self._proxy_hosts_off[v + 1]
         ]
 
+    def vertex_host_csr(self, targets: str) -> tuple[np.ndarray, np.ndarray]:
+        """The full ``(offsets, hosts)`` CSR behind a broadcast selector.
+
+        ``targets`` is one of ``"out_edges"``, ``"in_edges"`` or
+        ``"proxies"`` (the Gluon broadcast target names).  The array
+        plane gathers destination hosts for whole columns from this CSR
+        instead of calling the per-vertex queries above in a loop.
+        """
+        if targets == "out_edges":
+            return self._out_hosts_off, self._out_hosts
+        if targets == "in_edges":
+            return self._in_hosts_off, self._in_hosts
+        if targets == "proxies":
+            return self._proxy_hosts_off, self._proxy_hosts
+        raise ValueError(f"unknown broadcast target {targets!r}")
+
 
 def _balanced_blocks(weights: np.ndarray, num_hosts: int) -> np.ndarray:
     """Assign vertices to hosts in contiguous blocks of ~equal total weight."""

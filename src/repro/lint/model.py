@@ -455,6 +455,18 @@ CONGEST_DRIVER_NAMES = frozenset(
     }
 )
 
+#: Drivers already ported to the columnar execution tier (they accept
+#: ``plane="array"`` and run on ``GluonArrayPlane`` with bit-identical
+#: results).  The readiness report's third column: a driver that is
+#: vectorization-*ready* but not yet in this set is the next porting
+#: candidate for ROADMAP item 1.
+COLUMNAR_PORTED_DRIVERS = frozenset(
+    {
+        "mrbc_engine",
+        "sbbc_engine",
+    }
+)
+
 #: Methods on mutable containers that mutate the receiver in place —
 #: used to detect module-global mutation (RL601).
 MUTATING_METHODS = frozenset(

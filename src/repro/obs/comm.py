@@ -193,15 +193,19 @@ class CommLedger:
             rc = self._rounds[key] = RoundComm(
                 plane=plane, epoch=key[1], phase=phase, round_index=round_index
             )
-        rc.totals.add(values=values, words=words, payload_bytes=payload_bytes)
         pair = rc.pairs.get((src, dst))
         if pair is None:
             pair = rc.pairs[(src, dst)] = CommTotals()
-        pair.add(values=values, words=words, payload_bytes=payload_bytes)
         ot = self._op_totals.get((plane, op))
         if ot is None:
             ot = self._op_totals[(plane, op)] = CommTotals()
-        ot.add(values=values, words=words, payload_bytes=payload_bytes)
+        # Inlined CommTotals.add ×3 — this is the ledger's hottest line
+        # (one call per host pair per exchange).
+        for t in (rc.totals, pair, ot):
+            t.messages += 1
+            t.values += values
+            t.words += words
+            t.payload_bytes += payload_bytes
         if (
             plane == PLANE_CONGEST
             and self.bound_words is not None

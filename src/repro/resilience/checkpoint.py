@@ -214,9 +214,16 @@ class CheckpointStore:
 def mrbc_forward_snapshot(
     ex: "_BatchExecutor",
 ) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
-    """Capture a batch executor's post-forward state for backward replay."""
+    """Capture a batch executor's post-forward state for backward replay.
+
+    Accepts either the dict-plane executor directly or the columnar
+    executor via its ``to_rows()`` view — both produce the identical
+    snapshot (same meta, same arrays, same digest), so checkpoints are
+    cross-plane compatible.
+    """
+    view = ex.to_rows() if hasattr(ex, "to_rows") else ex
     masters: dict[str, Any] = {}
-    for gid, ms in ex.masters.items():
+    for gid, ms in view.masters.items():
         masters[str(gid)] = {
             "entries": [[int(d), int(si)] for d, si in ms.entries],
             "best": {str(si): [int(d), float(sg)] for si, (d, sg) in ms.best.items()},
@@ -229,11 +236,11 @@ def mrbc_forward_snapshot(
         }
     meta = {
         "kind": "mrbc-forward",
-        "batch": [int(s) for s in ex.batch.tolist()],
+        "batch": [int(s) for s in view.batch.tolist()],
         "masters": masters,
     }
     arrays: dict[str, np.ndarray] = {}
-    for h, st in enumerate(ex.hosts):
+    for h, st in enumerate(view.hosts):
         # Checkpoints deliberately capture proxies *as-is*, provisional or
         # final — restore puts back the identical bytes, so the delayed-sync
         # contract is preserved across a recovery, not re-established.
@@ -266,6 +273,10 @@ def restore_mrbc_forward(
             for si, per in rec["contrib"].items()
         }
         masters[int(gid_s)] = ms
+    if hasattr(ex, "from_rows"):
+        # Columnar executor: load the row-format snapshot into columns.
+        ex.from_rows(masters, arrays)
+        return
     ex.masters = masters
     ex.delta = {}
     for h, st in enumerate(ex.hosts):

@@ -104,20 +104,30 @@ class Bitset:
 
     def indices(self) -> np.ndarray:
         """Return the sorted array of set-bit indices as ``int64``."""
-        out: list[np.ndarray] = []
-        nz = np.nonzero(self._words)[0]
-        for w in nz:
-            word = int(self._words[w])
-            base = int(w) << 6
-            bits = []
-            while word:
-                b = word & -word
-                bits.append(base + b.bit_length() - 1)
-                word ^= b
-            out.append(np.asarray(bits, dtype=np.int64))
-        if not out:
+        if not self._words.size or not self._words.any():
             return np.empty(0, dtype=np.int64)
-        return np.concatenate(out)
+        bits = np.unpackbits(self._words.view(np.uint8), bitorder="little")
+        return np.nonzero(bits)[0].astype(np.int64)
+
+    def set_many(self, indices: np.ndarray) -> None:
+        """Set every bit named in ``indices`` (duplicates allowed)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self._capacity:
+            raise IndexError("bit index out of range")
+        masks = np.left_shift(np.uint64(1), (idx & 63).astype(np.uint64))
+        np.bitwise_or.at(self._words, idx >> 6, masks)
+
+    def clear_many(self, indices: np.ndarray) -> None:
+        """Clear every bit named in ``indices`` (duplicates allowed)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self._capacity:
+            raise IndexError("bit index out of range")
+        masks = ~np.left_shift(np.uint64(1), (idx & 63).astype(np.uint64))
+        np.bitwise_and.at(self._words, idx >> 6, masks)
 
     def __iter__(self) -> Iterator[int]:
         return iter(self.indices().tolist())

@@ -114,9 +114,14 @@ class FlatMap:
         """Values in key order (a copy)."""
         return list(self._values)
 
-    def items(self) -> Iterator[tuple[Any, Any]]:
-        """Iterate ``(key, value)`` pairs in ascending key order."""
-        return iter(zip(self._keys, self._values))
+    def items(self) -> list[tuple[Any, Any]]:
+        """``(key, value)`` pairs in ascending key order (a copy).
+
+        A list, not an iterator, so all three views (:meth:`keys`,
+        :meth:`values`, :meth:`items`) are consistent snapshots that
+        survive mutation during iteration.
+        """
+        return list(zip(self._keys, self._values))
 
     def __iter__(self) -> Iterator[Any]:
         return iter(self._keys)
@@ -157,7 +162,7 @@ class FlatMap:
         return self._keys == other._keys and self._values == other._values
 
     def __repr__(self) -> str:
-        pairs = ", ".join(f"{k!r}: {v!r}" for k, v in list(self.items())[:8])
+        pairs = ", ".join(f"{k!r}: {v!r}" for k, v in self.items()[:8])
         more = "" if len(self) <= 8 else ", ..."
         return f"FlatMap({{{pairs}{more}}})"
 

@@ -46,10 +46,28 @@ from repro.obs.comm import (
     CommLedger,
 )
 from repro.obs.rounds import RoundLedger
-from repro.runtime.plane import GluonPlane
+from repro.runtime.arrays import ColumnBlock
+from repro.runtime.plane import GluonArrayPlane, GluonPlane
 from repro.runtime.superstep import SuperstepRuntime
 
 NUM_HOSTS = 4
+
+
+def _blocks(per_host_items: list[list], payload_cols: int) -> list:
+    """Tuple staging lists → per-host :class:`ColumnBlock`s (or None)."""
+    import numpy as np
+
+    out: list = [None] * len(per_host_items)
+    for h, items in enumerate(per_host_items):
+        if not items:
+            continue
+        gids = np.array([it[0] for it in items], dtype=np.int64)
+        cols = tuple(
+            np.array([it[1 + c] for it in items])
+            for c in range(payload_cols)
+        )
+        out[h] = ColumnBlock.raw(gids, cols)
+    return out
 
 
 @dataclass
@@ -151,6 +169,73 @@ class TestGluonPlaneContract(PlaneContractBase):
         assert [sum(row) for row in m] == out
         assert [sum(m[s][d] for s in range(NUM_HOSTS))
                 for d in range(NUM_HOSTS)] == inn
+
+
+class TestGluonArrayPlaneContract(PlaneContractBase):
+    """The columnar plane under the exact same contract and workload.
+
+    Drives :class:`GluonArrayPlane` with the same logical items as
+    :class:`TestGluonPlaneContract` (staged as ColumnBlocks), so on top
+    of the base contract we can assert its accounting is *identical* to
+    the tuple plane's, byte for byte.
+    """
+
+    plane_label = PLANE_GLUON
+
+    def drive(self, ledger: CommLedger | None) -> Reference:
+        g = gen.erdos_renyi(40, 3.0, seed=13)
+        pg = partition_graph(g, NUM_HOSTS, "cvc")
+        plane = GluonArrayPlane(pg)
+        run = EngineRun(num_hosts=NUM_HOSTS)
+        with obs.session(comm=ledger):
+            for step in range(3):
+                rs = run.new_round("forward")
+                items: list[list] = [[] for _ in range(NUM_HOSTS)]
+                for v in range(step, g.num_vertices, 4):
+                    for h in pg.hosts_with_proxy(v).tolist():
+                        items[h].append((v, 1, float(v)))
+                plane.reduce_to_masters(_blocks(items, 2), 12, 1, rs)
+            rs = run.new_round("backward")
+            items = [[] for _ in range(NUM_HOSTS)]
+            for v in range(0, g.num_vertices, 3):
+                items[int(pg.master_of[v])].append((v, 0, 1, float(v)))
+            plane.broadcast_from_masters(
+                _blocks(items, 3), TARGET_ALL_PROXIES, 16, 1, rs
+            )
+            # An empty round: nothing staged, nothing may be recorded.
+            rs = run.new_round("forward")
+            plane.reduce_to_masters([None] * NUM_HOSTS, 12, 1, rs)
+        return Reference(
+            messages=run.total_pair_messages,
+            payload_bytes=run.total_bytes,
+            nonempty_rounds=sum(
+                1 for r in run.rounds if r.pair_messages > 0
+            ),
+            signature=run.deterministic_signature(),
+            extra=run,
+        )
+
+    def test_accounting_identical_to_tuple_plane(self):
+        array_ledger = CommLedger()
+        array_ref = self.drive(array_ledger)
+        tuple_ledger = CommLedger()
+        tuple_ref = TestGluonPlaneContract().drive(tuple_ledger)
+        assert array_ref.signature == tuple_ref.signature
+        assert array_ledger.totals(PLANE_GLUON) == tuple_ledger.totals(
+            PLANE_GLUON
+        )
+        assert array_ledger.pair_totals(PLANE_GLUON) == tuple_ledger.pair_totals(
+            PLANE_GLUON
+        )
+
+    def test_per_host_bytes_match_round_stats(self):
+        ledger = CommLedger()
+        ref = self.drive(ledger)
+        run = ref.extra
+        out, inn = ledger.per_host_bytes(NUM_HOSTS)
+        for h in range(NUM_HOSTS):
+            assert out[h] == sum(int(r.bytes_out[h]) for r in run.rounds)
+            assert inn[h] == sum(int(r.bytes_in[h]) for r in run.rounds)
 
 
 class Flood(VertexProgram):
@@ -299,6 +384,38 @@ class TestGluonRoundLedgerContract(RoundLedgerContractBase):
         assert fwd.convergence() == [5, 5, 5]
         assert fwd.total_settled == 15
         assert rledger.max_frontier() == 5
+
+
+class TestGluonArrayRoundLedgerContract(TestGluonRoundLedgerContract):
+    """The same runtime-owned round-loop contract on the columnar plane."""
+
+    def drive_rounds(
+        self, rledger: RoundLedger | None
+    ) -> tuple[RoundLedger | None, dict[str, Any], Any]:
+        g = gen.erdos_renyi(40, 3.0, seed=13)
+        pg = partition_graph(g, NUM_HOSTS, "cvc")
+        plane = GluonArrayPlane(pg)
+        runtime = SuperstepRuntime(plane=plane)
+
+        def step(rnd, rs):
+            items: list[list] = [[] for _ in range(NUM_HOSTS)]
+            fired = 0
+            for v in range(rnd - 1, g.num_vertices, 8):
+                fired += 1
+                for h in pg.hosts_with_proxy(v).tolist():
+                    items[h].append((v, 1, float(v)))
+            plane.reduce_to_masters(_blocks(items, 2), 12, 1, rs)
+            rl = obs.current().rounds
+            if rl is not None:
+                rl.note(frontier=fired, settled=fired)
+            return rnd < 3
+
+        with obs.session(rounds=rledger):
+            with runtime.phase("forward", batch=0):
+                runtime.run_loop("forward", step)
+            with runtime.phase("backward", batch=0):
+                runtime.run_loop("backward", step)
+        return rledger, runtime.run.deterministic_signature(), runtime.run
 
 
 class TestCongestRoundLedgerContract(RoundLedgerContractBase):
